@@ -1,0 +1,193 @@
+// Command hyperrecover-campaign runs fault-injection campaigns and
+// reports successful-recovery rates (Figure 2) and injection-outcome
+// breakdowns (§VII-A).
+//
+// Examples:
+//
+//	hyperrecover-campaign -mechanism nilihype -fault register -runs 700
+//	hyperrecover-campaign -mechanism rehype -fault code -runs 400
+//	hyperrecover-campaign -all -runs 300          # full Figure 2 grid
+//	hyperrecover-campaign -all -paper             # paper-scale campaign sizes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"nilihype/internal/campaign"
+	"nilihype/internal/core"
+	"nilihype/internal/guest"
+	"nilihype/internal/inject"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "hyperrecover-campaign:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		mechName = flag.String("mechanism", "nilihype", "recovery mechanism: nilihype | rehype | checkpoint")
+		faultStr = flag.String("fault", "failstop", "fault type: failstop | register | code")
+		setupStr = flag.String("setup", "3appvm", "target system: 1appvm | 3appvm")
+		workload = flag.String("workload", "unixbench", "1AppVM benchmark: blkbench | unixbench | netbench")
+		runs     = flag.Int("runs", 300, "number of injection runs")
+		duration = flag.Duration("duration", 3*time.Second, "benchmark duration (virtual time)")
+		logging  = flag.Bool("logging", true, "enable §IV retry-mitigation logging (off = NiLiHype*)")
+		hvm      = flag.Bool("hvm", false, "run AppVMs under full hardware virtualization (§VI-A)")
+		all      = flag.Bool("all", false, "run the full Figure 2 grid (both mechanisms, all fault types)")
+		traceRun = flag.Uint64("trace-run", 0, "run a single seed and print its recovery timeline instead of a campaign")
+		paper    = flag.Bool("paper", false, "paper-scale campaigns (1000/5000/2000 runs, 24s benchmarks)")
+		parallel = flag.Int("parallel", 0, "concurrent runs (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	mech, err := parseMechanism(*mechName)
+	if err != nil {
+		return err
+	}
+	setup, err := parseSetup(*setupStr)
+	if err != nil {
+		return err
+	}
+	wl, err := parseWorkload(*workload)
+	if err != nil {
+		return err
+	}
+
+	benchDur := *duration
+	if *paper {
+		benchDur = 24 * time.Second
+	}
+
+	execOne := func(m core.Mechanism, ft inject.FaultType, n int) {
+		c := campaign.Campaign{
+			Base: campaign.RunConfig{
+				Setup:         setup,
+				Fault:         ft,
+				Workload:      wl,
+				Logging:       *logging,
+				HVM:           *hvm,
+				Recovery:      core.Config{Mechanism: m, Enhancements: core.AllEnhancements},
+				BenchDuration: benchDur,
+			},
+			Runs:        n,
+			Parallelism: *parallel,
+		}
+		fmt.Print(c.Execute().Format())
+		fmt.Println()
+	}
+
+	if *traceRun > 0 {
+		ft, err := parseFault(*faultStr)
+		if err != nil {
+			return err
+		}
+		r := campaign.Run(campaign.RunConfig{
+			Seed:          *traceRun,
+			Setup:         setup,
+			Fault:         ft,
+			Workload:      wl,
+			Logging:       *logging,
+			HVM:           *hvm,
+			Recovery:      core.Config{Mechanism: mech, Enhancements: core.AllEnhancements},
+			BenchDuration: benchDur,
+			TraceCapacity: 4096,
+		})
+		fmt.Printf("seed %d: outcome=%v success=%v noVMF=%v fail=%q\n",
+			r.Seed, r.Outcome, r.Success, r.NoVMF, r.FailReason)
+		fmt.Println("recovery timeline (panic/spin/wedge/discard/retry/drop events):")
+		for _, line := range r.Trace {
+			for _, kind := range []string{" panic ", " spin ", " wedge ", " discard ", " retry ", " drop "} {
+				if strings.Contains(line, kind) {
+					fmt.Println(" ", line)
+					break
+				}
+			}
+		}
+		return nil
+	}
+
+	if *all {
+		for _, m := range []core.Mechanism{core.Microreset, core.Microreboot} {
+			for _, ft := range []inject.FaultType{inject.Failstop, inject.Register, inject.Code} {
+				n := *runs
+				if *paper {
+					n = map[inject.FaultType]int{
+						inject.Failstop: 1000, inject.Register: 5000, inject.Code: 2000,
+					}[ft]
+				}
+				execOne(m, ft, n)
+			}
+		}
+		return nil
+	}
+
+	ft, err := parseFault(*faultStr)
+	if err != nil {
+		return err
+	}
+	n := *runs
+	if *paper {
+		n = map[inject.FaultType]int{
+			inject.Failstop: 1000, inject.Register: 5000, inject.Code: 2000,
+		}[ft]
+	}
+	execOne(mech, ft, n)
+	return nil
+}
+
+func parseMechanism(s string) (core.Mechanism, error) {
+	switch strings.ToLower(s) {
+	case "nilihype", "microreset":
+		return core.Microreset, nil
+	case "rehype", "microreboot":
+		return core.Microreboot, nil
+	case "rehype-cp", "checkpoint":
+		return core.CheckpointRestore, nil
+	default:
+		return 0, fmt.Errorf("unknown mechanism %q", s)
+	}
+}
+
+func parseFault(s string) (inject.FaultType, error) {
+	switch strings.ToLower(s) {
+	case "failstop":
+		return inject.Failstop, nil
+	case "register":
+		return inject.Register, nil
+	case "code":
+		return inject.Code, nil
+	default:
+		return 0, fmt.Errorf("unknown fault type %q", s)
+	}
+}
+
+func parseSetup(s string) (campaign.Setup, error) {
+	switch strings.ToLower(s) {
+	case "1appvm":
+		return campaign.OneAppVM, nil
+	case "3appvm":
+		return campaign.ThreeAppVM, nil
+	default:
+		return 0, fmt.Errorf("unknown setup %q", s)
+	}
+}
+
+func parseWorkload(s string) (guest.Kind, error) {
+	switch strings.ToLower(s) {
+	case "blkbench":
+		return guest.BlkBench, nil
+	case "unixbench":
+		return guest.UnixBench, nil
+	case "netbench":
+		return guest.NetBench, nil
+	default:
+		return 0, fmt.Errorf("unknown workload %q", s)
+	}
+}

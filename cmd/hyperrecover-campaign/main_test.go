@@ -1,0 +1,67 @@
+package main
+
+import (
+	"testing"
+
+	"nilihype/internal/campaign"
+	"nilihype/internal/core"
+	"nilihype/internal/guest"
+	"nilihype/internal/inject"
+)
+
+func TestParseMechanism(t *testing.T) {
+	tests := []struct {
+		in      string
+		want    core.Mechanism
+		wantErr bool
+	}{
+		{"nilihype", core.Microreset, false},
+		{"MICRORESET", core.Microreset, false},
+		{"rehype", core.Microreboot, false},
+		{"microreboot", core.Microreboot, false},
+		{"checkpoint", core.CheckpointRestore, false},
+		{"rehype-cp", core.CheckpointRestore, false},
+		{"bogus", 0, true},
+	}
+	for _, tt := range tests {
+		got, err := parseMechanism(tt.in)
+		if (err != nil) != tt.wantErr || got != tt.want {
+			t.Errorf("parseMechanism(%q) = %v, %v", tt.in, got, err)
+		}
+	}
+}
+
+func TestParseFault(t *testing.T) {
+	for in, want := range map[string]inject.FaultType{
+		"failstop": inject.Failstop, "Register": inject.Register, "code": inject.Code,
+	} {
+		if got, err := parseFault(in); err != nil || got != want {
+			t.Errorf("parseFault(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := parseFault("alpha"); err == nil {
+		t.Error("parseFault accepted junk")
+	}
+}
+
+func TestParseSetupAndWorkload(t *testing.T) {
+	if s, err := parseSetup("1appvm"); err != nil || s != campaign.OneAppVM {
+		t.Errorf("parseSetup = %v, %v", s, err)
+	}
+	if s, err := parseSetup("3APPVM"); err != nil || s != campaign.ThreeAppVM {
+		t.Errorf("parseSetup = %v, %v", s, err)
+	}
+	if _, err := parseSetup("5appvm"); err == nil {
+		t.Error("parseSetup accepted junk")
+	}
+	for in, want := range map[string]guest.Kind{
+		"blkbench": guest.BlkBench, "unixbench": guest.UnixBench, "netbench": guest.NetBench,
+	} {
+		if got, err := parseWorkload(in); err != nil || got != want {
+			t.Errorf("parseWorkload(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := parseWorkload("webbench"); err == nil {
+		t.Error("parseWorkload accepted junk")
+	}
+}

@@ -1,0 +1,58 @@
+// Command hyperrecover-ladder reproduces Table I: the incremental
+// development of the NiLiHype enhancements, measured as the successful
+// recovery rate with fail-stop faults in the 1AppVM setup.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"nilihype/internal/campaign"
+	"nilihype/internal/core"
+	"nilihype/internal/guest"
+	"nilihype/internal/inject"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "hyperrecover-ladder:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		runs     = flag.Int("runs", 400, "injection runs per ladder rung")
+		duration = flag.Duration("duration", 2*time.Second, "benchmark duration (virtual time)")
+		paper    = flag.Bool("paper", false, "paper-scale (10s benchmark)")
+		parallel = flag.Int("parallel", 0, "concurrent runs (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+	benchDur := *duration
+	if *paper {
+		benchDur = 10 * time.Second
+	}
+
+	fmt.Println("Table I — NiLiHype enhancement ladder (1AppVM, fail-stop faults)")
+	fmt.Printf("%-52s %s\n", "Mechanism", "Successful Recovery Rate")
+	for _, rung := range core.Ladder() {
+		c := campaign.Campaign{
+			Base: campaign.RunConfig{
+				Setup:         campaign.OneAppVM,
+				Fault:         inject.Failstop,
+				Workload:      guest.UnixBench,
+				Logging:       true,
+				Recovery:      core.Config{Mechanism: core.Microreset, Enhancements: rung.Enh},
+				BenchDuration: benchDur,
+			},
+			Runs:        *runs,
+			Parallelism: *parallel,
+		}
+		s := c.Execute()
+		rate, ci := s.SuccessRate()
+		fmt.Printf("%-52s %5.1f%% ± %.1f%%\n", rung.Label, 100*rate, 100*ci)
+	}
+	return nil
+}

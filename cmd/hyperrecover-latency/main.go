@@ -1,0 +1,96 @@
+// Command hyperrecover-latency reproduces the recovery-latency
+// experiments: Table II (ReHype breakdown), Table III (NiLiHype
+// breakdown), the sender-observed service interruption of §VII-B, and the
+// memory-size sweep demonstrating the page-frame-scan scaling.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"nilihype/internal/campaign"
+	"nilihype/internal/core"
+	"nilihype/internal/report"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "hyperrecover-latency:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		mechName  = flag.String("mechanism", "both", "nilihype | rehype | checkpoint | both")
+		memoryMB  = flag.Int("memory", 8192, "machine memory in MiB (paper testbed: 8192)")
+		sweep     = flag.Bool("sweep", false, "sweep memory sizes 2-64 GB (page-frame-scan scaling)")
+		scanCPUs  = flag.Int("scan-cpus", 1, "parallelize the page-frame scan across N cores (§VII-B mitigation)")
+		seed      = flag.Uint64("seed", 3, "run seed")
+		formatStr = flag.String("format", "text", "sweep output format: text | md | csv")
+	)
+	flag.Parse()
+	format, err := report.ParseFormat(*formatStr)
+	if err != nil {
+		return err
+	}
+
+	var mechs []core.Mechanism
+	switch strings.ToLower(*mechName) {
+	case "nilihype", "microreset":
+		mechs = []core.Mechanism{core.Microreset}
+	case "rehype", "microreboot":
+		mechs = []core.Mechanism{core.Microreboot}
+	case "rehype-cp", "checkpoint":
+		mechs = []core.Mechanism{core.CheckpointRestore}
+	case "both":
+		mechs = []core.Mechanism{core.Microreset, core.Microreboot}
+	default:
+		return fmt.Errorf("unknown mechanism %q", *mechName)
+	}
+
+	if *sweep {
+		sizes := []int{2048, 4096, 8192, 16384, 32768, 65536}
+		for _, mech := range mechs {
+			tbl := report.NewTable(fmt.Sprintf("%s recovery latency vs. memory size", mech),
+				"memory_mb", "total_ms", "sender_interruption_ms")
+			results, err := campaign.SweepLatency(mech, sizes, *seed)
+			if err != nil {
+				return err
+			}
+			for _, r := range results {
+				tbl.AddRow(fmt.Sprintf("%d", r.MemoryMB),
+					fmt.Sprintf("%.1f", ms(r.Total)),
+					fmt.Sprintf("%.1f", ms(r.ServiceInterruption)))
+			}
+			fmt.Print(tbl.Render(format))
+			fmt.Println()
+		}
+		return nil
+	}
+
+	var totals []campaign.LatencyResult
+	for _, mech := range mechs {
+		r, err := campaign.MeasureLatencyCfg(core.Config{
+			Mechanism:    mech,
+			Enhancements: core.AllEnhancements,
+			ScanCPUs:     *scanCPUs,
+		}, *memoryMB, *seed)
+		if err != nil {
+			return err
+		}
+		totals = append(totals, r)
+		fmt.Print(r.FormattedBreakdown)
+		fmt.Printf("  Service interruption observed by NetBench sender: %.2fms\n\n",
+			ms(r.ServiceInterruption))
+	}
+	if len(totals) == 2 {
+		fmt.Printf("Latency ratio (ReHype/NiLiHype): %.1fx\n",
+			float64(totals[1].Total)/float64(totals[0].Total))
+	}
+	return nil
+}
+
+func ms(d interface{ Seconds() float64 }) float64 { return d.Seconds() * 1000 }

@@ -1,0 +1,72 @@
+// Command hyperrecover-report regenerates the full evaluation in one run:
+// the Table I enhancement ladder, the Figure 2 recovery-rate grid with the
+// §VII-A outcome breakdowns, and the Figure 3 overhead table — the numbers
+// recorded in EXPERIMENTS.md. Expect several CPU-minutes.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"nilihype/internal/campaign"
+	"nilihype/internal/core"
+	"nilihype/internal/guest"
+	"nilihype/internal/inject"
+	"nilihype/internal/report"
+)
+
+func main() {
+	start := time.Now()
+	fmt.Println("== Table I ladder (1AppVM failstop, n=500) ==")
+	for _, rung := range core.Ladder() {
+		c := campaign.Campaign{
+			Base: campaign.RunConfig{
+				Setup: campaign.OneAppVM, Fault: inject.Failstop,
+				Workload: guest.UnixBench, Logging: true,
+				Recovery:      core.Config{Mechanism: core.Microreset, Enhancements: rung.Enh},
+				BenchDuration: 2 * time.Second,
+			},
+			Runs: 500,
+		}
+		rate, ci := c.Execute().SuccessRate()
+		fmt.Printf("%-52s %5.1f%% ± %4.1f%%\n", rung.Label, 100*rate, 100*ci)
+	}
+	fmt.Println("\n== Figure 2 (3AppVM, n: fs=400 reg=1500 code=700) ==")
+	fig2 := report.NewBarChart("successful recovery rate (%)")
+	fig2.Max = 100
+	for _, mech := range []core.Mechanism{core.Microreset, core.Microreboot} {
+		for _, ft := range []inject.FaultType{inject.Failstop, inject.Register, inject.Code} {
+			runs := map[inject.FaultType]int{inject.Failstop: 400, inject.Register: 1500, inject.Code: 700}[ft]
+			c := campaign.Campaign{
+				Base: campaign.RunConfig{
+					Setup: campaign.ThreeAppVM, Fault: ft, Logging: true,
+					Recovery:      core.Config{Mechanism: mech, Enhancements: core.AllEnhancements},
+					BenchDuration: 3 * time.Second,
+				},
+				Runs: runs,
+			}
+			s := c.Execute()
+			rate, ci := s.SuccessRate()
+			nrate, _ := s.NoVMFRate()
+			nm, sdc, det := s.OutcomeRates()
+			fmt.Printf("%-9s %-9s success %5.1f%%±%4.1f%% noVMF %5.1f%% | nm=%4.1f%% sdc=%4.1f%% det=%4.1f%% (detected n=%d)\n",
+				mech, ft, 100*rate, 100*ci, 100*nrate, 100*nm, 100*sdc, 100*det, s.DetectedCount)
+			fig2.AddBar(fmt.Sprintf("%v/%v", mech, ft), 100*rate,
+				fmt.Sprintf("± %.1f (noVMF %.1f)", 100*ci, 100*nrate))
+		}
+	}
+	fmt.Println()
+	fmt.Print(fig2.Render())
+	fmt.Println("\n== Figure 3 overhead ==")
+	var pts []campaign.OverheadPoint
+	for _, cfg := range campaign.AllOverheadConfigs() {
+		pts = append(pts, campaign.MeasureOverhead(cfg, 2*time.Second, 1))
+	}
+	fig3 := report.NewBarChart("hypervisor processing overhead (%)")
+	for _, p := range pts {
+		fig3.AddBar(p.Config.String(), p.WithLogging(),
+			fmt.Sprintf("(NiLiHype* %.1f)", p.WithoutLogging()))
+	}
+	fmt.Print(fig3.Render())
+	fmt.Println("\nelapsed:", time.Since(start))
+}

@@ -1,0 +1,36 @@
+// Latencysweep: recovery latency versus host memory size for both
+// mechanisms (§VII-B). NiLiHype's latency is dominated by the page-frame
+// descriptor consistency scan and grows linearly with memory; ReHype adds
+// the full reboot on top. The crossover story is the paper's headline:
+// >30x lower recovery latency for a ~2% lower recovery rate.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nilihype/internal/campaign"
+	"nilihype/internal/core"
+)
+
+func main() {
+	sizes := []int{2048, 4096, 8192, 16384, 32768}
+	fmt.Printf("%-10s %14s %14s %8s\n", "memory", "NiLiHype", "ReHype", "ratio")
+	for _, mb := range sizes {
+		nili, err := campaign.MeasureLatency(core.Microreset, mb, 3)
+		if err != nil {
+			log.Fatal(err)
+		}
+		re, err := campaign.MeasureLatency(core.Microreboot, mb, 3)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%7d MB %12.1fms %12.1fms %7.1fx\n",
+			mb,
+			nili.Total.Seconds()*1000,
+			re.Total.Seconds()*1000,
+			float64(re.Total)/float64(nili.Total))
+	}
+	fmt.Println("\nNiLiHype scales with the page-frame scan (21ms at 8GB);")
+	fmt.Println("ReHype adds hardware init (412ms) and heap recreation on top.")
+}

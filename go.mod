@@ -1,0 +1,3 @@
+module nilihype
+
+go 1.22

@@ -1,0 +1,174 @@
+package campaign
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Campaign is a batch of identical runs differing only in seed.
+type Campaign struct {
+	Base RunConfig
+	Runs int
+	// Parallelism bounds concurrent runs (0 = GOMAXPROCS).
+	Parallelism int
+}
+
+// Summary aggregates a campaign.
+type Summary struct {
+	Config RunConfig
+	Runs   int
+
+	// Outcome breakdown (§VII-A).
+	NonManifested int
+	SDCCount      int
+	DetectedCount int
+
+	// Recovery statistics over detected runs.
+	RecoverySuccess int
+	NoVMFCount      int
+
+	// FailReasons histograms recovery-failure causes.
+	FailReasons map[string]int
+}
+
+// Execute runs the campaign with seeds 1..Runs.
+func (c *Campaign) Execute() Summary {
+	s := Summary{Config: c.Base, Runs: c.Runs, FailReasons: make(map[string]int)}
+	par := c.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	results := make([]Result, c.Runs)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, par)
+	for i := 0; i < c.Runs; i++ {
+		i := i
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			rc := c.Base
+			rc.Seed = uint64(i + 1)
+			results[i] = Run(rc)
+		}()
+	}
+	wg.Wait()
+	for i := range results {
+		s.add(results[i])
+	}
+	return s
+}
+
+func (s *Summary) add(r Result) {
+	switch r.Outcome {
+	case NonManifested:
+		s.NonManifested++
+	case SDC:
+		s.SDCCount++
+	case Detected:
+		s.DetectedCount++
+		if r.Success {
+			s.RecoverySuccess++
+		} else {
+			s.FailReasons[classifyFailure(r)]++
+		}
+		if r.NoVMF {
+			s.NoVMFCount++
+		}
+	}
+}
+
+// classifyFailure buckets a failed run into the paper's failure-cause
+// categories (§VII-A).
+func classifyFailure(r Result) string {
+	switch {
+	case strings.Contains(r.FailReason, "failed to be invoked"):
+		return "recovery routine not invoked"
+	case r.PrivVMFailed:
+		return "PrivVM failed"
+	case strings.Contains(r.FailReason, "corrupted"):
+		return "corrupted data structure"
+	case strings.Contains(r.FailReason, "ASSERT"):
+		return "post-recovery assertion"
+	case strings.Contains(r.FailReason, "hang") || strings.Contains(r.FailReason, "spinning") ||
+		strings.Contains(r.FailReason, "watchdog") || strings.Contains(r.FailReason, "waiting forever"):
+		return "post-recovery hang"
+	case r.FailReason != "":
+		return "other hypervisor failure"
+	case !r.NewVMOK:
+		return "new VM creation failed"
+	case r.AppVMsFailed > 1:
+		return "multiple AppVMs lost"
+	default:
+		return "AppVM lost (1AppVM criterion)"
+	}
+}
+
+// SuccessRate returns the successful recovery rate over detected runs,
+// with its 95% confidence half-width.
+func (s Summary) SuccessRate() (rate, ci float64) {
+	return proportion(s.RecoverySuccess, s.DetectedCount)
+}
+
+// NoVMFRate returns the no-VM-failures rate over detected runs.
+func (s Summary) NoVMFRate() (rate, ci float64) {
+	return proportion(s.NoVMFCount, s.DetectedCount)
+}
+
+// OutcomeRates returns the non-manifested/SDC/detected fractions.
+func (s Summary) OutcomeRates() (nonManifested, sdc, detected float64) {
+	if s.Runs == 0 {
+		return 0, 0, 0
+	}
+	n := float64(s.Runs)
+	return float64(s.NonManifested) / n, float64(s.SDCCount) / n, float64(s.DetectedCount) / n
+}
+
+// proportion computes k/n and the normal-approximation 95% CI half-width
+// (the paper sizes campaigns so this is within ±2%).
+func proportion(k, n int) (rate, ci float64) {
+	if n == 0 {
+		return 0, 0
+	}
+	p := float64(k) / float64(n)
+	return p, 1.96 * math.Sqrt(p*(1-p)/float64(n))
+}
+
+// Format renders the summary as a report block.
+func (s Summary) Format() string {
+	var b strings.Builder
+	rate, ci := s.SuccessRate()
+	nrate, nci := s.NoVMFRate()
+	fmt.Fprintf(&b, "%s %s %v, %d runs\n", s.Config.Recovery.Mechanism, s.Config.Setup, s.Config.Fault, s.Runs)
+	nm, sdc, det := s.OutcomeRates()
+	fmt.Fprintf(&b, "  outcomes: %.1f%% non-manifested, %.1f%% SDC, %.1f%% detected\n",
+		100*nm, 100*sdc, 100*det)
+	fmt.Fprintf(&b, "  successful recovery: %.1f%% ± %.1f%%  (noVMF %.1f%% ± %.1f%%)\n",
+		100*rate, 100*ci, 100*nrate, 100*nci)
+	if len(s.FailReasons) > 0 {
+		fmt.Fprintf(&b, "  failure causes:\n")
+		type kv struct {
+			k string
+			v int
+		}
+		var sorted []kv
+		for k, v := range s.FailReasons {
+			sorted = append(sorted, kv{k, v})
+		}
+		sort.Slice(sorted, func(i, j int) bool {
+			if sorted[i].v != sorted[j].v {
+				return sorted[i].v > sorted[j].v
+			}
+			return sorted[i].k < sorted[j].k
+		})
+		for _, e := range sorted {
+			fmt.Fprintf(&b, "    %-40s %d\n", e.k, e.v)
+		}
+	}
+	return b.String()
+}

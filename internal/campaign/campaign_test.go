@@ -1,0 +1,411 @@
+package campaign
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"nilihype/internal/core"
+	"nilihype/internal/guest"
+	"nilihype/internal/hv"
+	"nilihype/internal/hw"
+	"nilihype/internal/inject"
+	"nilihype/internal/mm"
+	"nilihype/internal/sched"
+	"nilihype/internal/simclock"
+)
+
+func fastCfg(fault inject.FaultType, mech core.Mechanism) RunConfig {
+	return RunConfig{
+		Seed:          1,
+		Setup:         ThreeAppVM,
+		Fault:         fault,
+		Logging:       true,
+		Recovery:      core.Config{Mechanism: mech, Enhancements: core.AllEnhancements},
+		BenchDuration: 2 * time.Second,
+	}
+}
+
+func TestSetupAndOutcomeStrings(t *testing.T) {
+	if OneAppVM.String() != "1AppVM" || ThreeAppVM.String() != "3AppVM" || Setup(9).String() != "setup(9)" {
+		t.Fatal("setup names wrong")
+	}
+	if NonManifested.String() != "non-manifested" || SDC.String() != "SDC" ||
+		Detected.String() != "detected" || Outcome(9).String() != "outcome(9)" {
+		t.Fatal("outcome names wrong")
+	}
+}
+
+func TestFailstopRunRecoversAndCreatesThirdVM(t *testing.T) {
+	r := Run(fastCfg(inject.Failstop, core.Microreset))
+	if !r.InjectionFired || !r.Detected {
+		t.Fatalf("fired=%v detected=%v", r.InjectionFired, r.Detected)
+	}
+	if r.Outcome != Detected {
+		t.Fatalf("outcome = %v", r.Outcome)
+	}
+	if !r.Recovered || r.FailReason != "" {
+		t.Fatalf("recovered=%v fail=%q", r.Recovered, r.FailReason)
+	}
+	if !r.NewVMOK {
+		t.Fatal("post-recovery BlkBench creation check failed")
+	}
+	if !r.Success || !r.NoVMF {
+		t.Fatalf("success=%v noVMF=%v vms=%v", r.Success, r.NoVMF, r.VMs)
+	}
+	if r.Latency == 0 || r.RecoveryAt == 0 {
+		t.Fatal("latency/recovery time not recorded")
+	}
+}
+
+func TestRunIsDeterministicPerSeed(t *testing.T) {
+	a := Run(fastCfg(inject.Register, core.Microreset))
+	b := Run(fastCfg(inject.Register, core.Microreset))
+	if a.Outcome != b.Outcome || a.Success != b.Success || a.FaultEffect != b.FaultEffect ||
+		a.InjectionAt != b.InjectionAt || a.RecoveryAt != b.RecoveryAt {
+		t.Fatalf("same seed diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestOneAppVMRun(t *testing.T) {
+	cfg := fastCfg(inject.Failstop, core.Microreset)
+	cfg.Setup = OneAppVM
+	cfg.Workload = guest.UnixBench
+	r := Run(cfg)
+	if r.Outcome != Detected {
+		t.Fatalf("outcome = %v (%s)", r.Outcome, r.FailReason)
+	}
+	if len(r.VMs) != 1 {
+		t.Fatalf("VMs = %v", r.VMs)
+	}
+	if r.Success != (r.AppVMsFailed == 0 && r.Recovered && !r.PrivVMFailed) {
+		t.Fatal("1AppVM success definition violated")
+	}
+}
+
+func TestBasicConfigRunFails(t *testing.T) {
+	cfg := fastCfg(inject.Failstop, core.Microreset)
+	cfg.Recovery = core.Config{Mechanism: core.Microreset, Enhancements: 0}
+	r := Run(cfg)
+	if r.Success {
+		t.Fatal("basic microreset run succeeded (must never, §V-A)")
+	}
+	if !strings.Contains(r.FailReason, "in_irq") {
+		t.Fatalf("FailReason = %q", r.FailReason)
+	}
+}
+
+func TestNoInjectionRunIsClean(t *testing.T) {
+	cfg := fastCfg(inject.Failstop, core.Microreset)
+	cfg.NoInjection = true
+	r := Run(cfg)
+	if r.InjectionFired || r.Detected {
+		t.Fatalf("fired=%v detected=%v on no-injection run", r.InjectionFired, r.Detected)
+	}
+	if r.Outcome != NonManifested {
+		t.Fatalf("outcome = %v, VMs = %v, fail=%q", r.Outcome, r.VMs, r.FailReason)
+	}
+}
+
+func TestCampaignExecuteAggregates(t *testing.T) {
+	c := Campaign{Base: fastCfg(inject.Failstop, core.Microreset), Runs: 6, Parallelism: 2}
+	s := c.Execute()
+	if s.Runs != 6 || s.DetectedCount != 6 {
+		t.Fatalf("runs=%d detected=%d", s.Runs, s.DetectedCount)
+	}
+	rate, ci := s.SuccessRate()
+	if rate < 0 || rate > 1 || ci < 0 {
+		t.Fatalf("rate=%v ci=%v", rate, ci)
+	}
+	out := s.Format()
+	if !strings.Contains(out, "successful recovery") {
+		t.Fatalf("Format = %q", out)
+	}
+}
+
+func TestProportionCI(t *testing.T) {
+	rate, ci := proportion(90, 100)
+	if rate != 0.9 {
+		t.Fatalf("rate = %v", rate)
+	}
+	want := 1.96 * math.Sqrt(0.9*0.1/100)
+	if math.Abs(ci-want) > 1e-9 {
+		t.Fatalf("ci = %v, want %v", ci, want)
+	}
+	if r, c := proportion(0, 0); r != 0 || c != 0 {
+		t.Fatal("empty proportion not zero")
+	}
+}
+
+func TestClassifyFailure(t *testing.T) {
+	tests := []struct {
+		r    Result
+		want string
+	}{
+		{Result{FailReason: "recovery routine failed to be invoked (x)"}, "recovery routine not invoked"},
+		{Result{PrivVMFailed: true}, "PrivVM failed"},
+		{Result{FailReason: "post-recovery failure: reused heap object corrupted"}, "corrupted data structure"},
+		{Result{FailReason: "ASSERT !in_irq()"}, "post-recovery assertion"},
+		{Result{FailReason: "watchdog: spinning on lock"}, "post-recovery hang"},
+		{Result{FailReason: "something else"}, "other hypervisor failure"},
+		{Result{NewVMOK: false}, "new VM creation failed"},
+		{Result{NewVMOK: true, AppVMsFailed: 2}, "multiple AppVMs lost"},
+		{Result{NewVMOK: true, AppVMsFailed: 1}, "AppVM lost (1AppVM criterion)"},
+	}
+	for _, tt := range tests {
+		if got := classifyFailure(tt.r); got != tt.want {
+			t.Errorf("classifyFailure(%+v) = %q, want %q", tt.r, got, tt.want)
+		}
+	}
+}
+
+func TestOverheadConfigStrings(t *testing.T) {
+	if OverheadBlk.String() != "BlkBench" || Overhead3AppVM.String() != "3AppVM" ||
+		OverheadConfig(9).String() != "overhead(9)" {
+		t.Fatal("overhead config names wrong")
+	}
+	if len(AllOverheadConfigs()) != 4 {
+		t.Fatal("Figure 3 has 4 configurations")
+	}
+}
+
+func TestOverheadLoggingDominates(t *testing.T) {
+	// §VII-C: most of the overhead is due to logging — NiLiHype* must be
+	// far below NiLiHype, and all overheads must be positive.
+	p := MeasureOverhead(OverheadBlk, 500*time.Millisecond, 1)
+	if p.WithLogging() <= 0 {
+		t.Fatalf("overhead with logging = %v", p.WithLogging())
+	}
+	if p.WithoutLogging() >= p.WithLogging()/3 {
+		t.Fatalf("logging does not dominate: with=%v without=%v",
+			p.WithLogging(), p.WithoutLogging())
+	}
+	if p.WithoutLogging() < 0 {
+		t.Fatalf("NiLiHype* overhead negative: %v", p.WithoutLogging())
+	}
+	out := FormatOverhead([]OverheadPoint{p})
+	if !strings.Contains(out, "BlkBench") {
+		t.Fatalf("FormatOverhead = %q", out)
+	}
+}
+
+func TestMeasureLatencyMatchesPaper(t *testing.T) {
+	nili, err := MeasureLatency(core.Microreset, 8192, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nili.Total != 22*time.Millisecond {
+		t.Fatalf("NiLiHype latency = %v, want 22ms (Table III)", nili.Total)
+	}
+	// The sender-observed interruption brackets the latency (±1 send
+	// period).
+	if d := nili.ServiceInterruption - nili.Total; d < -2*time.Millisecond || d > 2*time.Millisecond {
+		t.Fatalf("interruption %v vs latency %v", nili.ServiceInterruption, nili.Total)
+	}
+	re, err := MeasureLatency(core.Microreboot, 8192, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Total != 713*time.Millisecond {
+		t.Fatalf("ReHype latency = %v, want 713ms (Table II)", re.Total)
+	}
+	if ratio := float64(re.Total) / float64(nili.Total); ratio < 30 {
+		t.Fatalf("ratio %.1f, want >30 (§VII-B)", ratio)
+	}
+}
+
+func TestSweepLatencyScalesLinearly(t *testing.T) {
+	res, err := SweepLatency(core.Microreset, []int{2048, 8192}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	growth := res[1].Total - res[0].Total
+	// The scan grows by 3/4 of 21ms between 2 and 8 GB.
+	want := 21 * time.Millisecond * 3 / 4
+	if growth < want-2*time.Millisecond || growth > want+2*time.Millisecond {
+		t.Fatalf("latency growth = %v, want ~%v", growth, want)
+	}
+}
+
+// TestPaperCalibration is the headline regression test: the reproduction
+// must stay within tolerance of the paper's published results. It runs
+// moderate-size campaigns (several CPU-minutes); skipped with -short.
+func TestPaperCalibration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration campaigns are slow; run without -short")
+	}
+	const runs = 250
+	ladderTargets := []struct {
+		rung      int
+		want      float64
+		tolerance float64
+	}{
+		{0, 0.0, 0.001}, // Basic never succeeds (mechanistic)
+		{1, 0.16, 0.06}, // + Clear IRQ count
+		{2, 0.518, 0.07},
+		{3, 0.822, 0.06},
+		{4, 0.950, 0.04},
+		{5, 0.961, 0.035},
+		{6, 0.965, 0.03},
+	}
+	rungs := core.Ladder()
+	for _, tt := range ladderTargets {
+		c := Campaign{
+			Base: RunConfig{
+				Setup:         OneAppVM,
+				Fault:         inject.Failstop,
+				Workload:      guest.UnixBench,
+				Logging:       true,
+				Recovery:      core.Config{Mechanism: core.Microreset, Enhancements: rungs[tt.rung].Enh},
+				BenchDuration: 2 * time.Second,
+			},
+			Runs: runs,
+		}
+		rate, _ := c.Execute().SuccessRate()
+		if math.Abs(rate-tt.want) > tt.tolerance {
+			t.Errorf("Table I rung %q: rate %.3f, want %.3f ± %.3f",
+				rungs[tt.rung].Label, rate, tt.want, tt.tolerance)
+		}
+	}
+}
+
+func TestHVMRunRecovers(t *testing.T) {
+	cfg := fastCfg(inject.Failstop, core.Microreset)
+	cfg.Setup = OneAppVM
+	cfg.HVM = true
+	r := Run(cfg)
+	if r.Outcome != Detected {
+		t.Fatalf("outcome = %v (%s)", r.Outcome, r.FailReason)
+	}
+	if !r.Success {
+		t.Fatalf("HVM run failed: %s vms=%v", r.FailReason, r.VMs)
+	}
+}
+
+func TestHVMvsPVRecoveryRatesSimilar(t *testing.T) {
+	// §VI-A: HVM injection results are very similar to PV.
+	if testing.Short() {
+		t.Skip("campaign comparison is slow; run without -short")
+	}
+	rate := func(hvm bool) float64 {
+		c := Campaign{
+			Base: RunConfig{
+				Setup: OneAppVM, Fault: inject.Failstop, Workload: guest.UnixBench,
+				Logging: true, HVM: hvm, Recovery: core.DefaultConfig(),
+				BenchDuration: 2 * time.Second,
+			},
+			Runs: 250,
+		}
+		r, _ := c.Execute().SuccessRate()
+		return r
+	}
+	pv, hvm := rate(false), rate(true)
+	if diff := math.Abs(pv - hvm); diff > 0.06 {
+		t.Fatalf("PV %.3f vs HVM %.3f differ by %.3f (> 6 points)", pv, hvm, diff)
+	}
+}
+
+// TestPostRecoveryInvariantSoak runs many independent faults and audits
+// the quiescent-system invariants after every successful recovery: no
+// held locks, zero interrupt nesting, consistent scheduler metadata and
+// page-frame descriptors, and live recurring timers.
+func TestPostRecoveryInvariantSoak(t *testing.T) {
+	faults := []inject.FaultType{inject.Failstop, inject.Register, inject.Code}
+	checked := 0
+	for _, ft := range faults {
+		for seed := uint64(1); seed <= 12; seed++ {
+			cfg := fastCfg(ft, core.Microreset)
+			cfg.Seed = seed
+			cfg.CheckInvariants = true
+			r := Run(cfg)
+			if !r.Detected || !r.Recovered || r.FailReason != "" {
+				continue
+			}
+			checked++
+			if len(r.InvariantViolations) != 0 {
+				t.Fatalf("%v seed %d: invariant violations after recovery: %v",
+					ft, seed, r.InvariantViolations)
+			}
+		}
+	}
+	if checked < 10 {
+		t.Fatalf("only %d successful recoveries audited", checked)
+	}
+}
+
+func TestRunTraceTimeline(t *testing.T) {
+	cfg := fastCfg(inject.Failstop, core.Microreset)
+	cfg.TraceCapacity = 512
+	r := Run(cfg)
+	if len(r.Trace) == 0 {
+		t.Fatal("no trace recorded")
+	}
+	var hasPanic, hasDiscard bool
+	for _, line := range r.Trace {
+		if strings.Contains(line, "panic") {
+			hasPanic = true
+		}
+		if strings.Contains(line, "discard") {
+			hasDiscard = true
+		}
+	}
+	if !hasPanic || !hasDiscard {
+		t.Fatalf("timeline missing recovery events: %v", r.Trace)
+	}
+}
+
+func TestSummaryFormatWithFailures(t *testing.T) {
+	s := Summary{
+		Config: RunConfig{
+			Setup: ThreeAppVM, Fault: inject.Register,
+			Recovery: core.Config{Mechanism: core.Microreset},
+		},
+		Runs: 100, NonManifested: 70, SDCCount: 5, DetectedCount: 25,
+		RecoverySuccess: 20, NoVMFCount: 18,
+		FailReasons: map[string]int{
+			"post-recovery hang":       3,
+			"corrupted data structure": 2,
+		},
+	}
+	out := s.Format()
+	for _, want := range []string{"NiLiHype", "Register", "80.0%", "failure causes",
+		"post-recovery hang", "corrupted data structure", "70.0% non-manifested"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Format missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAuditInvariantsReportsViolations(t *testing.T) {
+	// Build a deliberately damaged hypervisor and verify every audit
+	// branch reports.
+	clk := simclock.New()
+	h, err := hv.New(clk, hv.Config{
+		Machine:        hw.Config{CPUs: 2, MemoryMB: 256, BlockSvc: time.Millisecond, NICLat: time.Millisecond},
+		HeapFrames:     2048,
+		LoggingEnabled: true, RecoveryPrep: true, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	if got := auditInvariants(h); len(got) != 0 {
+		t.Fatalf("clean system reported violations: %v", got)
+	}
+	// Damage: held lock, irq count, sched inconsistency, pf descriptor,
+	// inactive recurring timer, wedged CPU.
+	h.Statics.Console.TryAcquire(0)
+	h.PerCPU(1).LocalIRQCount = 2
+	d, _ := h.Domain(0)
+	d.VCPUs[0].RunningOn = sched.NoCPU
+	h.Frames.Frame(100).Type = mm.FramePageTable
+	h.Frames.Frame(100).UseCount = 1
+	h.Timers.PopDue(0, clk.Now()+time.Hour) // pops recurring without rearm
+	got := auditInvariants(h)
+	if len(got) < 5 {
+		t.Fatalf("violations = %v, want >= 5 classes", got)
+	}
+}

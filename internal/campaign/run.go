@@ -1,0 +1,452 @@
+// Package campaign orchestrates fault-injection runs and campaigns
+// (§VI-C): each run boots a fresh target system, starts the benchmarks,
+// injects one fault, runs to completion, and classifies the outcome; a
+// campaign aggregates many runs into recovery-rate statistics with 95%
+// confidence intervals.
+package campaign
+
+import (
+	"fmt"
+	"time"
+
+	"nilihype/internal/core"
+	"nilihype/internal/detect"
+	"nilihype/internal/guest"
+	"nilihype/internal/hv"
+	"nilihype/internal/hw"
+	"nilihype/internal/hypercall"
+	"nilihype/internal/inject"
+	"nilihype/internal/prng"
+	"nilihype/internal/simclock"
+)
+
+// Setup selects the target system configuration (§VI-A).
+type Setup int
+
+// Setups.
+const (
+	// OneAppVM: PrivVM plus one AppVM. Used for the enhancement ladder
+	// (Table I); success means no VM is affected.
+	OneAppVM Setup = iota + 1
+	// ThreeAppVM: PrivVM plus UnixBench and NetBench AppVMs, with a
+	// BlkBench AppVM created after recovery. Used for Figure 2; success
+	// means at most one AppVM affected and the hypervisor still works.
+	ThreeAppVM
+)
+
+// String returns the setup name.
+func (s Setup) String() string {
+	switch s {
+	case OneAppVM:
+		return "1AppVM"
+	case ThreeAppVM:
+		return "3AppVM"
+	default:
+		return fmt.Sprintf("setup(%d)", int(s))
+	}
+}
+
+// RunConfig parameterizes a single fault-injection run.
+type RunConfig struct {
+	Seed     uint64
+	Setup    Setup
+	Fault    inject.FaultType
+	Recovery core.Config
+
+	// Workload is the 1AppVM benchmark (ignored for ThreeAppVM).
+	Workload guest.Kind
+
+	// Logging enables the §IV retry-mitigation logging (NiLiHype vs
+	// NiLiHype*).
+	Logging bool
+
+	// BenchDuration is the benchmark run length. The paper uses ~10 s
+	// (1AppVM) and ~24 s (3AppVM); the default here is scaled down for
+	// campaign throughput — rates do not depend on the duration because
+	// the injection time is uniform within the window.
+	BenchDuration time.Duration
+
+	// MemoryMB sizes the machine (campaigns default to 1 GB: recovery
+	// rates are memory-independent; the latency experiments use 8 GB).
+	MemoryMB int
+
+	// NoInjection runs the workload with no fault (baseline runs for
+	// the overhead experiment).
+	NoInjection bool
+
+	// HVM runs the AppVMs under full hardware virtualization (§VI-A:
+	// injection results for HVM AppVMs are very similar to PV).
+	HVM bool
+
+	// CheckInvariants audits the post-run hypervisor state of successful
+	// recoveries (no held locks, zero IRQ nesting, consistent scheduler
+	// metadata and page-frame descriptors, live recurring timers) and
+	// records breaches in Result.InvariantViolations.
+	CheckInvariants bool
+
+	// TraceCapacity, when positive, records up to that many hypervisor
+	// trace events (dispatches, panics, discards, retries) into
+	// Result.Trace — a per-run timeline for debugging and demos.
+	TraceCapacity int
+}
+
+// Defaults for scaled-down campaign runs.
+const (
+	defaultBenchDuration = 3 * time.Second
+	defaultMemoryMB      = 1024
+	heapFrames           = 32768
+	privVMCPU            = 0
+	unixCPU              = 1
+	netCPU               = 2
+	blkCPU               = 3
+	unixDom              = 1
+	netDom               = 2
+	blkDom               = 3
+)
+
+func (rc RunConfig) withDefaults() RunConfig {
+	if rc.Setup == 0 {
+		rc.Setup = ThreeAppVM
+	}
+	if rc.Workload == 0 {
+		rc.Workload = guest.UnixBench
+	}
+	if rc.BenchDuration == 0 {
+		rc.BenchDuration = defaultBenchDuration
+	}
+	if rc.MemoryMB == 0 {
+		rc.MemoryMB = defaultMemoryMB
+	}
+	if rc.Recovery.Mechanism == 0 {
+		rc.Recovery = core.DefaultConfig()
+	}
+	return rc
+}
+
+// Outcome classifies one run (§VII-A).
+type Outcome int
+
+// Outcomes.
+const (
+	// NonManifested: no abnormal behavior, benchmarks produce correct
+	// output, detectors silent.
+	NonManifested Outcome = iota + 1
+	// SDC: detectors silent but at least one benchmark failed.
+	SDC
+	// Detected: a detector fired (recovery was attempted).
+	Detected
+)
+
+// String returns the outcome name.
+func (o Outcome) String() string {
+	switch o {
+	case NonManifested:
+		return "non-manifested"
+	case SDC:
+		return "SDC"
+	case Detected:
+		return "detected"
+	default:
+		return fmt.Sprintf("outcome(%d)", int(o))
+	}
+}
+
+// VMResult is one AppVM's verdict.
+type VMResult struct {
+	Dom    int
+	Kind   guest.Kind
+	OK     bool
+	Reason string
+}
+
+// Result is one run's outcome.
+type Result struct {
+	Seed    uint64
+	Outcome Outcome
+
+	// Detected/Recovered mirror the engine's state.
+	Detected  bool
+	Recovered bool
+	// FailReason is the recovery-failure reason, if any.
+	FailReason string
+
+	// VMs are the initial AppVMs' verdicts; AppVMsFailed counts those
+	// that failed.
+	VMs          []VMResult
+	AppVMsFailed int
+	// PrivVMFailed reports Dom0 failure (fatal to "operating correctly").
+	PrivVMFailed bool
+	// NewVMOK reports the post-recovery BlkBench creation check
+	// (ThreeAppVM only; true when not applicable).
+	NewVMOK bool
+
+	// Success / NoVMF per the paper's definitions (§VII-A).
+	Success bool
+	NoVMF   bool
+
+	// Injection diagnostics.
+	InjectionFired bool
+	FaultEffect    string
+	InjectionAt    string
+	RecoveryAt     time.Duration
+	Latency        time.Duration
+
+	// InvariantViolations lists post-recovery system-invariant breaches
+	// found when RunConfig.CheckInvariants is set (empty = clean).
+	InvariantViolations []string
+
+	// Trace is the recorded event timeline (RunConfig.TraceCapacity > 0).
+	Trace []string
+}
+
+// Run executes one fault-injection run.
+func Run(rc RunConfig) Result {
+	rc = rc.withDefaults()
+	res := Result{Seed: rc.Seed, NewVMOK: true}
+
+	clk := simclock.New()
+	h, err := hv.New(clk, hv.Config{
+		Machine: hw.Config{
+			CPUs:     8,
+			MemoryMB: rc.MemoryMB,
+			BlockSvc: 200 * time.Microsecond,
+			NICLat:   30 * time.Microsecond,
+		},
+		HeapFrames:     heapFrames,
+		LoggingEnabled: rc.Logging,
+		RecoveryPrep:   true,
+		Seed:           rc.Seed,
+	})
+	if err != nil {
+		res.FailReason = "setup: " + err.Error()
+		return res
+	}
+	if err := h.Boot(); err != nil {
+		res.FailReason = "boot: " + err.Error()
+		return res
+	}
+
+	h.SetSchedFluxProb(hv.DefaultSchedFluxProb)
+
+	var recorder *hv.TraceRecorder
+	if rc.TraceCapacity > 0 {
+		recorder = hv.NewTraceRecorder(rc.TraceCapacity)
+		// Per-request dispatch/complete events arrive at hundreds per
+		// virtual millisecond and would evict the recovery story; record
+		// the fault- and recovery-relevant kinds.
+		h.SetTracer(func(e hv.TraceEvent) {
+			switch e.Kind {
+			case hv.TraceDispatch, hv.TraceComplete:
+				return
+			}
+			recorder.Record(e)
+		})
+	}
+
+	world := guest.NewWorld(h, rc.Seed^0x5eed)
+	world.StartPrivVM()
+
+	engine := core.NewEngine(h, rc.Recovery)
+	det := detect.New(h, engine.OnDetection)
+	engine.Det = det
+	det.Start()
+
+	// Benchmarks.
+	var apps []*guest.AppVM
+	switch rc.Setup {
+	case OneAppVM:
+		vm, err := world.AddAppVM(guest.Config{
+			Kind: rc.Workload, Dom: unixDom, CPU: unixCPU, Duration: rc.BenchDuration, HVM: rc.HVM,
+		})
+		if err != nil {
+			res.FailReason = "setup: " + err.Error()
+			return res
+		}
+		apps = append(apps, vm)
+		if rc.Workload == guest.NetBench {
+			world.Sender.Start(unixDom, rc.BenchDuration)
+		}
+	default:
+		u, err := world.AddAppVM(guest.Config{
+			Kind: guest.UnixBench, Dom: unixDom, CPU: unixCPU, Duration: rc.BenchDuration, HVM: rc.HVM,
+		})
+		if err != nil {
+			res.FailReason = "setup: " + err.Error()
+			return res
+		}
+		n, err := world.AddAppVM(guest.Config{
+			Kind: guest.NetBench, Dom: netDom, CPU: netCPU, Duration: rc.BenchDuration,
+		})
+		if err != nil {
+			res.FailReason = "setup: " + err.Error()
+			return res
+		}
+		apps = append(apps, u, n)
+		world.Sender.Start(netDom, rc.BenchDuration)
+	}
+	world.StartAll()
+
+	// The post-recovery functionality check (ThreeAppVM): create a new
+	// BlkBench AppVM shortly after recovery completes.
+	var blkVM *guest.AppVM
+	engine.OnRecovered = func() {
+		if engine.FirstDetection != nil {
+			world.Sender.ExcludeWindow(engine.FirstDetection.At, clk.Now())
+		}
+		if rc.Setup != ThreeAppVM {
+			return
+		}
+		clk.After(150*time.Millisecond, "create-third-vm", func() {
+			if failed, _ := h.Failed(); failed {
+				return
+			}
+			ok := world.PrivCreateDomain(hypercall.CreateSpec{
+				ID: blkDom, Name: "BlkBench", MemPages: guest.DefaultMemPages, PinCPU: blkCPU,
+			})
+			if failed, _ := h.Failed(); failed || !ok {
+				res.NewVMOK = false
+				return
+			}
+			blkVM = world.AttachAppVM(guest.Config{
+				Kind: guest.BlkBench, Dom: blkDom, CPU: blkCPU,
+				Duration: rc.BenchDuration / 3,
+			})
+			blkVM.Start()
+		})
+	}
+	if rc.Setup == ThreeAppVM {
+		res.NewVMOK = false // must be proven by the check
+	}
+
+	// Fault injection: the first-level trigger window is "well past the
+	// start ... while leaving most of their execution to occur after
+	// recovery" (§VI-C), scaled to the benchmark duration.
+	var injector *inject.Injector
+	if !rc.NoInjection {
+		injRNG := prng.New(rc.Seed, 0xfa17)
+		injector = inject.New(h, world, injRNG, inject.Params{
+			Type:       rc.Fault,
+			WindowLo:   rc.BenchDuration / 10,
+			WindowHi:   rc.BenchDuration / 2,
+			AppDomains: appDomains(rc.Setup),
+		})
+		injector.Schedule()
+	}
+
+	// Run to completion: benchmark duration plus recovery latency slack
+	// plus the post-recovery BlkBench run.
+	horizon := rc.BenchDuration + 2*time.Second
+	clk.RunUntil(horizon)
+
+	// --- classification ---------------------------------------------------
+
+	if injector != nil {
+		res.InjectionFired = injector.Fired
+		res.FaultEffect = injector.FaultEffect.String()
+		if injector.Fired {
+			res.InjectionAt = fmt.Sprintf("%s @%s", injector.Point.Activity, injector.Point.StepName)
+		}
+	}
+	res.Detected = engine.FirstDetection != nil
+	res.Recovered = engine.Recovered()
+	res.FailReason = engine.FailReason
+	if failed, reason := h.Failed(); failed && res.FailReason == "" {
+		res.FailReason = reason
+	}
+	if engine.FirstDetection != nil {
+		res.RecoveryAt = engine.FirstDetection.At
+		res.Latency = engine.Latency
+	}
+	res.PrivVMFailed = world.PrivVMFailed()
+
+	for _, vm := range apps {
+		ok, reason := vm.Verdict()
+		if ok && vm.Cfg.Kind == guest.NetBench && world.Sender.FailedIntervals() > 0 {
+			ok = false
+			reason = fmt.Sprintf("reception rate dropped >10%% in %d interval(s)", world.Sender.FailedIntervals())
+		}
+		res.VMs = append(res.VMs, VMResult{Dom: vm.Cfg.Dom, Kind: vm.Cfg.Kind, OK: ok, Reason: reason})
+		if !ok {
+			res.AppVMsFailed++
+		}
+	}
+
+	if rc.Setup == ThreeAppVM && res.Detected && res.Recovered && blkVM != nil {
+		res.NewVMOK, _ = blkVM.Verdict()
+	}
+
+	if rc.CheckInvariants && res.Detected && res.Recovered && res.FailReason == "" {
+		res.InvariantViolations = auditInvariants(h)
+	}
+	if recorder != nil {
+		for _, e := range recorder.Events() {
+			res.Trace = append(res.Trace, e.String())
+		}
+	}
+
+	switch {
+	case !res.Detected:
+		allOK := !res.PrivVMFailed
+		for _, v := range res.VMs {
+			allOK = allOK && v.OK
+		}
+		if allOK {
+			res.Outcome = NonManifested
+		} else {
+			res.Outcome = SDC
+		}
+	default:
+		res.Outcome = Detected
+		recovered := res.Recovered && res.FailReason == ""
+		switch rc.Setup {
+		case OneAppVM:
+			// 1AppVM: success means no VM affected (§VII-A).
+			res.Success = recovered && !res.PrivVMFailed && res.AppVMsFailed == 0
+			res.NoVMF = res.Success
+		default:
+			// 3AppVM: at most one AppVM affected, PrivVM alive, and the
+			// hypervisor still able to create and run new VMs.
+			res.Success = recovered && !res.PrivVMFailed && res.AppVMsFailed <= 1 && res.NewVMOK
+			res.NoVMF = res.Success && res.AppVMsFailed == 0
+		}
+	}
+	return res
+}
+
+func appDomains(s Setup) []int {
+	if s == OneAppVM {
+		return []int{unixDom}
+	}
+	return []int{unixDom, netDom}
+}
+
+// auditInvariants checks the quiescent-system invariants every successful
+// recovery must restore.
+func auditInvariants(h *hv.Hypervisor) []string {
+	var out []string
+	if held := h.Locks.HeldLocks(); len(held) != 0 {
+		names := make([]string, 0, len(held))
+		for _, l := range held {
+			names = append(names, l.Name())
+		}
+		out = append(out, fmt.Sprintf("locks still held: %v", names))
+	}
+	for cpu := 0; cpu < h.NumCPUs(); cpu++ {
+		if n := h.IRQCount(cpu); n != 0 {
+			out = append(out, fmt.Sprintf("cpu%d local_irq_count=%d", cpu, n))
+		}
+		if h.PerCPU(cpu).Stuck() {
+			out = append(out, fmt.Sprintf("cpu%d stuck", cpu))
+		}
+	}
+	if incs := h.Sched.CheckConsistency(); len(incs) != 0 {
+		out = append(out, fmt.Sprintf("%d scheduler inconsistencies (first: %s)", len(incs), incs[0].Desc))
+	}
+	if bad := h.Frames.InconsistentFrames(); len(bad) != 0 {
+		out = append(out, fmt.Sprintf("%d inconsistent page frame descriptors", len(bad)))
+	}
+	if inact := h.Timers.InactiveRecurring(); len(inact) != 0 {
+		out = append(out, fmt.Sprintf("%d recurring timers inactive", len(inact)))
+	}
+	return out
+}

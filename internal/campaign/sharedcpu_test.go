@@ -1,0 +1,126 @@
+package campaign
+
+import (
+	"testing"
+	"time"
+
+	"nilihype/internal/core"
+	"nilihype/internal/detect"
+	"nilihype/internal/guest"
+	"nilihype/internal/hv"
+	"nilihype/internal/hw"
+	"nilihype/internal/inject"
+	"nilihype/internal/prng"
+	"nilihype/internal/simclock"
+)
+
+// TestFutureWorkMultipleVCPUsPerCPU exercises the configuration the paper
+// leaves as future work (§IX: "evaluation with more complex
+// configurations, that include multiple vCPUs per CPU"): two UnixBench
+// AppVMs pinned to the same physical CPU, sharing it through the credit
+// scheduler's preemption path. Recovery must still work — the scheduler
+// repair reconciles the richer runqueue state.
+func TestFutureWorkMultipleVCPUsPerCPU(t *testing.T) {
+	successes, detected := 0, 0
+	for seed := uint64(1); seed <= 10; seed++ {
+		clk := simclock.New()
+		h, err := hv.New(clk, hv.Config{
+			Machine:        hw.Config{CPUs: 4, MemoryMB: 1024, BlockSvc: 200 * time.Microsecond, NICLat: 30 * time.Microsecond},
+			HeapFrames:     8192,
+			LoggingEnabled: true,
+			RecoveryPrep:   true,
+			Seed:           seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := h.Boot(); err != nil {
+			t.Fatal(err)
+		}
+		h.SetSchedFluxProb(hv.DefaultSchedFluxProb)
+		world := guest.NewWorld(h, seed^0x5eed)
+		world.StartPrivVM()
+
+		// Both AppVMs pinned to CPU 1: two vCPUs share one physical CPU.
+		const benchDur = 2 * time.Second
+		a, err := world.AddAppVM(guest.Config{Kind: guest.UnixBench, Dom: 1, CPU: 1, Duration: benchDur})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := world.AddAppVM(guest.Config{Kind: guest.UnixBench, Dom: 2, CPU: 1, Duration: benchDur})
+		if err != nil {
+			t.Fatal(err)
+		}
+		engine := core.NewEngine(h, core.DefaultConfig())
+		det := detect.New(h, engine.OnDetection)
+		engine.Det = det
+		det.Start()
+		world.StartAll()
+
+		injector := inject.New(h, world, prng.New(seed, 0xfa17), inject.Params{
+			Type:       inject.Failstop,
+			WindowLo:   benchDur / 10,
+			WindowHi:   benchDur / 2,
+			AppDomains: []int{1, 2},
+		})
+		injector.Schedule()
+		clk.RunUntil(benchDur + time.Second)
+
+		if engine.FirstDetection == nil {
+			continue
+		}
+		detected++
+		if engine.Recovered() && engine.FailReason == "" {
+			aOK, _ := a.Verdict()
+			bOK, _ := b.Verdict()
+			if aOK && bOK && !world.PrivVMFailed() {
+				successes++
+			}
+		}
+	}
+	if detected < 8 {
+		t.Fatalf("only %d/10 runs detected", detected)
+	}
+	// The configuration must not collapse: a clear majority of
+	// recoveries succeed with both shared-CPU VMs intact.
+	if successes*2 < detected {
+		t.Fatalf("shared-CPU recoveries: %d/%d succeeded", successes, detected)
+	}
+	t.Logf("shared-CPU (2 vCPUs on 1 CPU): %d/%d recoveries fully successful", successes, detected)
+}
+
+// TestSharedCPUCleanRun: the shared-CPU configuration is stable without
+// faults (both benchmarks complete through preemptive time-sharing).
+func TestSharedCPUCleanRun(t *testing.T) {
+	clk := simclock.New()
+	h, err := hv.New(clk, hv.Config{
+		Machine:        hw.Config{CPUs: 4, MemoryMB: 1024, BlockSvc: 200 * time.Microsecond, NICLat: 30 * time.Microsecond},
+		HeapFrames:     8192,
+		LoggingEnabled: true,
+		RecoveryPrep:   true,
+		Seed:           5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	world := guest.NewWorld(h, 5)
+	a, _ := world.AddAppVM(guest.Config{Kind: guest.UnixBench, Dom: 1, CPU: 1, Duration: 400 * time.Millisecond})
+	b, _ := world.AddAppVM(guest.Config{Kind: guest.UnixBench, Dom: 2, CPU: 1, Duration: 400 * time.Millisecond})
+	world.StartAll()
+	clk.RunUntil(2 * time.Second)
+	if failed, reason := h.Failed(); failed {
+		t.Fatalf("hypervisor failed: %s", reason)
+	}
+	for _, vm := range []*guest.AppVM{a, b} {
+		if ok, reason := vm.Verdict(); !ok {
+			t.Fatalf("dom%d: %s (ops=%d)", vm.Cfg.Dom, reason, vm.OpsCompleted)
+		}
+	}
+	// Preemption actually happened: both vCPUs took turns on CPU 1.
+	if got := h.Sched.CheckConsistency(); len(got) != 0 {
+		t.Fatalf("inconsistencies: %v", got)
+	}
+}

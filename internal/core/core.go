@@ -1,0 +1,274 @@
+// Package core implements the paper's primary contribution: component-
+// level recovery of the hypervisor by microreset (NiLiHype) and, as the
+// baseline, by microreboot (ReHype).
+//
+// Both engines drive the same mechanism surface exposed by internal/hv:
+// discard execution threads, release locks, retry interrupted hypercalls,
+// repair scheduling metadata, scan page-frame descriptors, reprogram the
+// hardware timers, and reactivate recurring timer events. The difference
+// is which operations each mechanism needs (microreboot gets several "for
+// free" from booting a fresh image — at the cost of a >30x longer recovery
+// latency, Tables II/III) and which corruptions each survives (the reboot
+// re-initializes state microreset reuses — ReHype's small recovery-rate
+// edge on non-failstop faults, §VII-A).
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"nilihype/internal/detect"
+	"nilihype/internal/hv"
+)
+
+// Mechanism selects the recovery mechanism.
+type Mechanism int
+
+// Mechanisms.
+const (
+	// Microreset is NiLiHype: reset the hypervisor to a quiescent state
+	// in place, without reboot (§III-C).
+	Microreset Mechanism = iota + 1
+	// Microreboot is ReHype: boot a new hypervisor instance and
+	// re-integrate preserved state (§III-B).
+	Microreboot
+	// CheckpointRestore is the §II-B alternative the paper discusses:
+	// "replacing the reboot with a rollback to a checkpoint saved right
+	// after a previous reboot". The hardware re-initialization largely
+	// disappears, but — as the paper argues — "even in this case, there
+	// would be significant latency for reintegrating state from the
+	// previous instance ... multiple hundreds of milliseconds": the
+	// memory re-integration steps (Table II's 266 ms at 8 GB) remain.
+	// State effects match microreboot (fresh static image, rebuilt
+	// heap/free list) since the checkpoint is a pristine post-boot image.
+	CheckpointRestore
+)
+
+// String returns the mechanism's system name.
+func (m Mechanism) String() string {
+	switch m {
+	case Microreset:
+		return "NiLiHype"
+	case Microreboot:
+		return "ReHype"
+	case CheckpointRestore:
+		return "ReHype-CP"
+	default:
+		return fmt.Sprintf("mechanism(%d)", int(m))
+	}
+}
+
+// Reboots reports whether the mechanism installs a fresh hypervisor image
+// (boot or checkpoint restore) rather than reusing the failed instance's
+// state in place.
+func (m Mechanism) Reboots() bool {
+	return m == Microreboot || m == CheckpointRestore
+}
+
+// Enhancements is the recovery-enhancement bitmask — the rungs of the
+// Table I ladder.
+type Enhancements uint32
+
+// Enhancement bits.
+const (
+	// EnhClearIRQCount zeroes every CPU's local_irq_count (§V-A).
+	EnhClearIRQCount Enhancements = 1 << iota
+	// EnhReHypeMechanisms is the bundle of mechanisms inherited from
+	// ReHype (§III-B, §IV): heap-lock release, hypercall/syscall retry
+	// with undo-log rollback, batched-retry completion logging,
+	// acknowledging pending and in-service interrupts, and saving FS/GS
+	// at detection.
+	EnhReHypeMechanisms
+	// EnhSchedConsistency rewrites the per-vCPU scheduling metadata from
+	// the per-CPU structures (§V-A).
+	EnhSchedConsistency
+	// EnhReprogramTimer re-arms every CPU's APIC one-shot (§V-A).
+	EnhReprogramTimer
+	// EnhUnlockStaticLocks iterates the static-lock segment (§V-A).
+	EnhUnlockStaticLocks
+	// EnhReactivateTimers re-arms popped recurring timer events (§V-A).
+	EnhReactivateTimers
+	// EnhPFScan runs the page-frame-descriptor consistency scan — the
+	// dominant latency component (Table III) whose removal costs ~4% of
+	// recovery rate (§VII-B).
+	EnhPFScan
+)
+
+// AllEnhancements is the full production configuration.
+const AllEnhancements = EnhClearIRQCount | EnhReHypeMechanisms | EnhSchedConsistency |
+	EnhReprogramTimer | EnhUnlockStaticLocks | EnhReactivateTimers | EnhPFScan
+
+// Has reports whether e includes bit b.
+func (e Enhancements) Has(b Enhancements) bool { return e&b != 0 }
+
+// Ladder returns the cumulative enhancement configurations of Table I, in
+// paper order, with display labels.
+func Ladder() []struct {
+	Label string
+	Enh   Enhancements
+} {
+	return []struct {
+		Label string
+		Enh   Enhancements
+	}{
+		{"Basic", 0},
+		{"+ Clear IRQ count", EnhClearIRQCount},
+		{"+ Enhanced with ReHype mechanisms", EnhClearIRQCount | EnhReHypeMechanisms | EnhPFScan},
+		{"+ Ensure consistency within scheduling metadata", EnhClearIRQCount | EnhReHypeMechanisms | EnhPFScan | EnhSchedConsistency},
+		{"+ Reprogram hardware timer", EnhClearIRQCount | EnhReHypeMechanisms | EnhPFScan | EnhSchedConsistency | EnhReprogramTimer},
+		{"+ Unlock static locks", EnhClearIRQCount | EnhReHypeMechanisms | EnhPFScan | EnhSchedConsistency | EnhReprogramTimer | EnhUnlockStaticLocks},
+		{"+ Reactivate recurring timer events", AllEnhancements},
+	}
+}
+
+// DiscardScope selects which execution threads microreset discards — the
+// design-choice ablation of §III-C.
+type DiscardScope int
+
+// Scopes.
+const (
+	// AllThreads discards every CPU's hypervisor execution thread (the
+	// NiLiHype design choice).
+	AllThreads DiscardScope = iota + 1
+	// DetectingOnly discards only the detecting CPU's thread — the
+	// rejected alternative: cross-CPU IPI waits and global-state changes
+	// doom non-discarded threads (§III-C).
+	DetectingOnly
+)
+
+// Config parameterizes a recovery engine.
+type Config struct {
+	Mechanism    Mechanism
+	Enhancements Enhancements
+	Scope        DiscardScope
+
+	// ScanCPUs parallelizes the page-frame consistency scan across that
+	// many cores (0/1 = sequential). This is the mitigation §VII-B
+	// suggests for large-memory hosts, where the scan — proportional to
+	// memory size — dominates NiLiHype's recovery latency: "The problem
+	// could be mitigated by exploiting parallelism. For example, use
+	// multiple cores to perform the operation."
+	ScanCPUs int
+}
+
+// DefaultConfig returns the full NiLiHype configuration.
+func DefaultConfig() Config {
+	return Config{Mechanism: Microreset, Enhancements: AllEnhancements, Scope: AllThreads}
+}
+
+// Status describes the engine's terminal state for one run.
+type Status int
+
+// Statuses.
+const (
+	// StatusIdle: no error was ever detected.
+	StatusIdle Status = iota + 1
+	// StatusRecovered: one recovery completed and the system kept
+	// running to the end of the run.
+	StatusRecovered
+	// StatusFailed: recovery was attempted but the system failed
+	// (either during recovery or afterwards).
+	StatusFailed
+)
+
+// String returns the status name.
+func (s Status) String() string {
+	switch s {
+	case StatusIdle:
+		return "idle"
+	case StatusRecovered:
+		return "recovered"
+	case StatusFailed:
+		return "failed"
+	default:
+		return fmt.Sprintf("status(%d)", int(s))
+	}
+}
+
+// Engine is one run's recovery engine.
+type Engine struct {
+	H   *hv.Hypervisor
+	Det *detect.Detector
+	Cfg Config
+
+	// FirstDetection is the event that triggered recovery (nil if none).
+	FirstDetection *detect.Event
+	// Latency is the modeled recovery latency of the performed steps.
+	Latency time.Duration
+	// Breakdown itemizes the latency (Tables II/III).
+	Breakdown []LatencyStep
+	// FailReason is set when recovery or the post-recovery system fails.
+	FailReason string
+	// PFRepaired counts descriptors fixed by the consistency scan.
+	PFRepaired int
+
+	// OnRecovered, if set, is invoked once when a recovery completes and
+	// the system resumes (the campaign layer uses it to start the
+	// post-recovery VM-creation check and to annotate the NetBench
+	// sender's exclusion window).
+	OnRecovered func()
+
+	recovering bool
+	completing bool
+	recovered  bool
+	used       bool
+}
+
+// NewEngine builds an engine over a booted hypervisor. Wire it to a
+// detector with:
+//
+//	en := core.NewEngine(h, cfg)
+//	det := detect.New(h, en.OnDetection)
+//	en.Det = det
+//	det.Start()
+func NewEngine(h *hv.Hypervisor, cfg Config) *Engine {
+	if cfg.Scope == 0 {
+		cfg.Scope = AllThreads
+	}
+	return &Engine{H: h, Cfg: cfg}
+}
+
+// Status reports the engine's terminal state.
+func (en *Engine) Status() Status {
+	switch {
+	case en.FailReason != "":
+		return StatusFailed
+	case en.recovered:
+		return StatusRecovered
+	case en.used:
+		return StatusFailed
+	default:
+		return StatusIdle
+	}
+}
+
+// Recovered reports whether one recovery completed successfully (system
+// still running).
+func (en *Engine) Recovered() bool { return en.recovered && en.FailReason == "" }
+
+// OnDetection is the detector hook: the first detection triggers recovery;
+// any detection after (or during completion of) a recovery is a recovery
+// failure — the paper's model allows one microreset/microreboot per fault.
+func (en *Engine) OnDetection(e detect.Event) {
+	if en.recovering {
+		// Watchdog noise while VMs are paused for recovery: the soft
+		// tick counters are legitimately frozen.
+		return
+	}
+	if en.used {
+		en.fail("post-recovery failure: " + e.Reason)
+		return
+	}
+	en.used = true
+	ev := e
+	en.FirstDetection = &ev
+	en.recover(e)
+}
+
+// fail records terminal failure.
+func (en *Engine) fail(reason string) {
+	if en.FailReason == "" {
+		en.FailReason = reason
+	}
+	en.H.MarkFailed(reason)
+}

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// LatencyStep is one itemized recovery step (Tables II and III). Group
+// headers have Group set and their Dur is the sum of their members.
+type LatencyStep struct {
+	Name  string
+	Dur   time.Duration
+	Group bool
+}
+
+// framesAt8GB is the page-frame count of the paper's 8 GB testbed; the
+// memory-size-dependent step costs below are the paper's measurements at
+// that size and scale linearly with the frame count (§VII-B: "The latency
+// of the operation described above is proportional to the size of the
+// host memory").
+const framesAt8GB = 8 * 1024 * 1024 * 1024 / 4096
+
+// scaleByFrames scales a cost measured at 8 GB to the actual memory size.
+func scaleByFrames(at8GB time.Duration, frames int) time.Duration {
+	return time.Duration(int64(at8GB) * int64(frames) / framesAt8GB)
+}
+
+// Step costs. The microreset costs itemize Table III's 1 ms "Others"; the
+// page-frame scan is Table III's dominant 21 ms entry (at 8 GB).
+const (
+	pfScanCostAt8GB       = 21 * time.Millisecond
+	microresetDiscardCost = 150 * time.Microsecond
+	heapLockCost          = 120 * time.Microsecond
+	ackIRQCost            = 60 * time.Microsecond
+	clearIRQCost          = 10 * time.Microsecond
+	schedRepairCost       = 280 * time.Microsecond
+	staticLockCost        = 40 * time.Microsecond
+	resumeSetupCost       = 340 * time.Microsecond
+	// parallelScanCoordCost is the fixed IPI/merge overhead of sharding
+	// the page-frame scan across cores (the §VII-B mitigation).
+	parallelScanCoordCost = 400 * time.Microsecond
+)
+
+// ReHype (microreboot) step costs from Table II, measured at 8 GB / 8
+// CPUs. Memory-initialization entries scale with memory size.
+const (
+	rbEarlyBootCPU = 12 * time.Millisecond
+	rbCPUsOnline   = 150 * time.Millisecond
+	rbAPICSetup    = 200 * time.Millisecond
+	rbTSCCalibrate = 50 * time.Millisecond
+	rbRecordAlloc  = 21 * time.Millisecond  // scales with memory
+	rbPFRestore    = 21 * time.Millisecond  // scales with memory (the shared scan)
+	rbReinitDescs  = 13 * time.Millisecond  // scales with memory
+	rbRecreateHeap = 211 * time.Millisecond // scales with memory
+	rbSMPInit      = 20 * time.Millisecond
+	rbRelocateMods = 2 * time.Millisecond
+	rbMiscOthers   = 13 * time.Millisecond
+)
+
+// beginLatency resets the breakdown.
+func (en *Engine) beginLatency() {
+	en.Breakdown = nil
+	en.Latency = 0
+}
+
+// charge appends one itemized step.
+func (en *Engine) charge(name string, d time.Duration) {
+	en.Breakdown = append(en.Breakdown, LatencyStep{Name: name, Dur: d})
+}
+
+// chargeGroup appends a group header followed by its members.
+func (en *Engine) chargeGroup(name string, members ...LatencyStep) {
+	var sum time.Duration
+	for _, m := range members {
+		sum += m.Dur
+	}
+	en.Breakdown = append(en.Breakdown, LatencyStep{Name: name, Dur: sum, Group: true})
+	en.Breakdown = append(en.Breakdown, members...)
+}
+
+// chargeRebootTable charges the microreboot steps of Table II. The
+// page-frame scan row is included in the memory-initialization group when
+// the engine performs it (EnhPFScan); the scan itself runs in the shared
+// path.
+func (en *Engine) chargeRebootTable(includeScan bool) {
+	frames := en.H.Machine.PageFrames()
+	en.chargeGroup("Hardware initialization",
+		LatencyStep{Name: "Early initialize of the boot CPU", Dur: rbEarlyBootCPU},
+		LatencyStep{Name: "Initialize and wait for other CPUs to come online", Dur: rbCPUsOnline},
+		LatencyStep{Name: "Verify, connect and setup local APIC and setup IO APIC", Dur: rbAPICSetup},
+		LatencyStep{Name: "Initialize and calibrate TSC timer", Dur: rbTSCCalibrate},
+	)
+	memSteps := []LatencyStep{
+		{Name: "Record allocated pages of old heap", Dur: scaleByFrames(rbRecordAlloc, frames)},
+	}
+	if includeScan {
+		memSteps = append(memSteps, LatencyStep{
+			Name: "Restore and check consistency of page frame entries",
+			Dur:  scaleByFrames(rbPFRestore, frames),
+		})
+	}
+	memSteps = append(memSteps,
+		LatencyStep{Name: "Re-initialize the page frame descriptor for un-preserved pages", Dur: scaleByFrames(rbReinitDescs, frames)},
+		LatencyStep{Name: "Recreate the new heap", Dur: scaleByFrames(rbRecreateHeap, frames)},
+	)
+	en.chargeGroup("Memory initialization", memSteps...)
+	en.chargeGroup("Misc",
+		LatencyStep{Name: "SMP initialization", Dur: rbSMPInit},
+		LatencyStep{Name: "Identify valid page frame, relocate boot up modules", Dur: rbRelocateMods},
+		LatencyStep{Name: "Others", Dur: rbMiscOthers},
+	)
+}
+
+// Checkpoint-restore costs (§II-B alternative): restoring the post-boot
+// memory image replaces the hardware initialization, but the state
+// re-integration (Table II's memory-initialization block) remains.
+const (
+	cpImageRestore = 55 * time.Millisecond // copy-in the post-boot image
+	cpAPICRevive   = 18 * time.Millisecond // re-arm local APICs / IO-APIC state
+	cpMisc         = 12 * time.Millisecond
+)
+
+// chargeCheckpointTable charges the checkpoint-rollback variant: no boot,
+// but the full memory re-integration of microreboot.
+func (en *Engine) chargeCheckpointTable(includeScan bool) {
+	frames := en.H.Machine.PageFrames()
+	en.chargeGroup("Checkpoint restore (replaces hardware init)",
+		LatencyStep{Name: "Restore post-boot memory image", Dur: cpImageRestore},
+		LatencyStep{Name: "Revive local APICs and IO-APIC state", Dur: cpAPICRevive},
+		LatencyStep{Name: "Misc", Dur: cpMisc},
+	)
+	memSteps := []LatencyStep{
+		{Name: "Record allocated pages of old heap", Dur: scaleByFrames(rbRecordAlloc, frames)},
+	}
+	if includeScan {
+		memSteps = append(memSteps, LatencyStep{
+			Name: "Restore and check consistency of page frame entries",
+			Dur:  scaleByFrames(rbPFRestore, frames),
+		})
+	}
+	memSteps = append(memSteps,
+		LatencyStep{Name: "Re-initialize the page frame descriptor for un-preserved pages", Dur: scaleByFrames(rbReinitDescs, frames)},
+		LatencyStep{Name: "Recreate the new heap", Dur: scaleByFrames(rbRecreateHeap, frames)},
+	)
+	en.chargeGroup("State re-integration (as in microreboot)", memSteps...)
+}
+
+// totalLatency sums the non-group steps.
+func (en *Engine) totalLatency() time.Duration {
+	var sum time.Duration
+	for _, s := range en.Breakdown {
+		if !s.Group {
+			sum += s.Dur
+		}
+	}
+	return sum
+}
+
+// FormatBreakdown renders the latency breakdown as a Table II/III-style
+// listing.
+func (en *Engine) FormatBreakdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s recovery latency breakdown:\n", en.Cfg.Mechanism)
+	for _, s := range en.Breakdown {
+		if s.Group {
+			fmt.Fprintf(&b, "  %-62s %8.1fms\n", s.Name+":", ms(s.Dur))
+			continue
+		}
+		fmt.Fprintf(&b, "    - %-58s %8.1fms\n", s.Name, ms(s.Dur))
+	}
+	fmt.Fprintf(&b, "  %-62s %8.1fms\n", "Total:", ms(en.totalLatency()))
+	return b.String()
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

@@ -1,0 +1,282 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"nilihype/internal/detect"
+	"nilihype/internal/hv"
+)
+
+// Probabilities for the DetectingOnly discard-scope ablation (§III-C).
+// These model the paper's qualitative argument for discarding all threads:
+// a non-discarded thread may be blocked forever on an IPI response from
+// the discarded CPU, or may fail when it encounters global state the
+// recovery process changed.
+const (
+	ipiWaitProb     = 0.10
+	globalClashProb = 0.18
+)
+
+// recover runs the recovery protocol for the detection event.
+func (en *Engine) recover(e detect.Event) {
+	h := en.H
+	if h.CorruptRecoveryPath {
+		// Failure cause 1 of §VII-A: the corrupted state prevents the
+		// recovery routine from even being invoked.
+		en.fail("recovery routine failed to be invoked (corrupted hypervisor state)")
+		return
+	}
+	en.recovering = true
+
+	// Initial steps (§III-B / §III-C): stop the world. All CPUs disable
+	// interrupts; guest activity and device delivery are deferred.
+	h.Pause()
+
+	// Discard execution threads per the configured scope.
+	var pending []*hv.PendingCall
+	switch en.Cfg.Scope {
+	case DetectingOnly:
+		if p := h.DiscardThread(e.CPU); p != nil {
+			pending = append(pending, p)
+		}
+		en.synthesizeSingleDiscardHazards(e.CPU)
+	default:
+		pending = h.DiscardAllThreads()
+		h.ClearCrossCPUWaits()
+	}
+
+	enh := en.Cfg.Enhancements
+	reboot := en.Cfg.Mechanism.Reboots()
+
+	// --- state repair, charged to the latency breakdown ------------------
+
+	en.beginLatency()
+
+	if reboot {
+		en.rebootStateReinit()
+	} else {
+		en.charge("Interrupt all CPUs and discard hypervisor stacks", microresetDiscardCost)
+	}
+
+	if enh.Has(EnhReHypeMechanisms) {
+		// Release locks embedded in heap objects (ReHype's mechanism,
+		// reused by NiLiHype; §III-B, §V-A).
+		h.Locks.UnlockHeapLocks()
+		if !reboot {
+			en.charge("Release heap locks", heapLockCost)
+		}
+		// Acknowledge all pending and in-service interrupts (§III-B).
+		h.Machine.IOAPIC().AckAll()
+		for _, cpu := range h.Machine.CPUs() {
+			cpu.ClearPending()
+		}
+		if !reboot {
+			en.charge("Acknowledge pending/in-service interrupts", ackIRQCost)
+		}
+		// Save FS/GS at detection (§IV). Only the reboot path actually
+		// clobbers them; the save makes the restore possible.
+		h.SaveFSGS()
+	}
+
+	if enh.Has(EnhPFScan) {
+		en.PFRepaired = h.Frames.ScanAndRepair()
+		if !reboot {
+			cost := scaleByFrames(pfScanCostAt8GB, h.Machine.PageFrames())
+			label := "Restore and check consistency of page frame entries"
+			if n := en.Cfg.ScanCPUs; n > 1 {
+				// §VII-B mitigation: shard the descriptor walk across
+				// cores. The recovery CPU coordinates; near-linear
+				// speedup since the walk is embarrassingly parallel.
+				cost = cost/time.Duration(n) + parallelScanCoordCost
+				label = fmt.Sprintf("%s (%d cores)", label, n)
+			}
+			en.charge(label, cost)
+		}
+	}
+
+	if enh.Has(EnhClearIRQCount) || reboot {
+		// Reboot re-initializes the per-CPU area, so ReHype gets this
+		// inherently.
+		h.ClearIRQCounts()
+		if !reboot {
+			en.charge("Clear IRQ counts", clearIRQCost)
+		}
+	}
+
+	if enh.Has(EnhSchedConsistency) || reboot {
+		// Reboot rebuilds scheduler structures while re-integrating
+		// vCPUs, giving ReHype the equivalent repair.
+		h.Sched.RepairFromPerCPU()
+		if !reboot {
+			en.charge("Ensure consistency within scheduling metadata", schedRepairCost)
+		}
+	}
+
+	if enh.Has(EnhUnlockStaticLocks) && !reboot {
+		h.Locks.UnlockStaticSegment()
+		en.charge("Unlock static locks (iterate lock segment)", staticLockCost)
+	}
+	if reboot {
+		// Boot initializes static locks to their unlocked state (§V-A).
+		h.Locks.ReinitStatic()
+	}
+
+	if !reboot {
+		en.charge("Retry bookkeeping and resume setup", resumeSetupCost)
+	}
+
+	en.Latency = en.totalLatency()
+
+	// The repair operations above execute while the virtual clock is
+	// frozen at the detection instant; the recovery completes — and the
+	// system resumes — after the modeled latency. The NetBench sender,
+	// being on another host, keeps running and observes the gap.
+	h.Clock.After(en.Latency, "recovery-complete", func() { en.complete(pending) })
+}
+
+// synthesizeSingleDiscardHazards draws the §III-C failure modes that only
+// arise when non-detecting CPUs keep their execution threads.
+func (en *Engine) synthesizeSingleDiscardHazards(detectCPU int) {
+	h := en.H
+	if h.NumCPUs() < 2 {
+		return
+	}
+	other := (detectCPU + 1 + h.RNG.IntN(h.NumCPUs()-1)) % h.NumCPUs()
+	if h.RNG.Float64() < ipiWaitProb {
+		h.AddCrossCPUWait(hv.CrossCPUWait{
+			Requester: other,
+			Responder: detectCPU,
+			Desc:      "remote TLB flush awaiting discarded responder",
+		})
+	}
+	if h.RNG.Float64() < globalClashProb {
+		h.PanicAtNextStep(other, "non-discarded thread hit state changed by recovery")
+	}
+}
+
+// rebootStateReinit applies the state effects of booting a new hypervisor
+// instance and re-integrating preserved state (§III-B): a fresh heap free
+// list, a relinked domain list, re-initialized static scratch state, and
+// re-initialized hardware. This is exactly the state microreset reuses in
+// place — and the reason microreboot survives some corruptions microreset
+// does not (§VII-A).
+func (en *Engine) rebootStateReinit() {
+	h := en.H
+	if en.Cfg.Mechanism == CheckpointRestore {
+		en.chargeCheckpointTable(en.Cfg.Enhancements.Has(EnhPFScan))
+	} else {
+		en.chargeRebootTable(en.Cfg.Enhancements.Has(EnhPFScan))
+	}
+	h.Heap.Rebuild()
+	h.Domains.Rebuild()
+	h.CorruptStaticScratch = false
+}
+
+// complete finishes recovery after the latency elapses: hardware is
+// re-armed, invariants are enforced, interrupted hypercalls are retried or
+// dropped, and the system resumes. Any panic from here on is a recovery
+// failure.
+func (en *Engine) complete(pending []*hv.PendingCall) {
+	h := en.H
+	en.recovering = false
+	en.completing = true
+	enh := en.Cfg.Enhancements
+	reboot := en.Cfg.Mechanism.Reboots()
+	now := h.Clock.Now()
+
+	// Corruption of state both mechanisms reuse (live heap objects) is
+	// fatal regardless of mechanism — §VII-A failure cause 3.
+	if h.CorruptAllocatedObject {
+		en.fail("post-recovery failure: reused heap object corrupted")
+		return
+	}
+	// Static scratch corruption: the reboot re-initialized it; the
+	// microreset reuses it and fails.
+	if h.CorruptStaticScratch && !reboot {
+		en.fail("post-recovery failure: corrupted static state reused by microreset")
+		return
+	}
+
+	// FS/GS: the reboot clobbered them; without the detection-time save
+	// the affected vCPUs lose their register state (§IV).
+	if reboot && !enh.Has(EnhReHypeMechanisms) {
+		h.ApplyFSGSLoss()
+	}
+
+	// Recurring timer events: reboot re-creates them during hypervisor
+	// initialization; microreset reactivates them explicitly (§V-A).
+	// Reactivation reprograms the APICs of the CPUs it touches (normal
+	// timer-add path).
+	if enh.Has(EnhReactivateTimers) || reboot {
+		h.Timers.ReactivateRecurring(now)
+	}
+	// Timer hardware: reboot re-initializes the APICs; microreset must
+	// reprogram them explicitly (§V-A).
+	if enh.Has(EnhReprogramTimer) || reboot {
+		h.ReprogramAllAPICs()
+	}
+
+	h.ReenableCPUs()
+
+	// Post-resume invariants; each violated invariant panics or fails
+	// the affected VM (handled inside hv; panics arrive at OnDetection
+	// as post-recovery failures).
+	if !h.EnforceIRQInvariant() {
+		return
+	}
+	if !h.EnforceSchedInvariants() {
+		return
+	}
+	if !h.EnforceCrossCPUWaits() {
+		return
+	}
+
+	// Interrupted requests: retry (with undo-log rollback) or drop.
+	if enh.Has(EnhReHypeMechanisms) {
+		h.RetryPendingCalls(pending)
+	} else {
+		h.DropPendingCalls(pending)
+	}
+
+	if en.Det != nil {
+		en.Det.ResetProgress()
+	}
+	en.recovered = true
+	h.ResumeRunnable()
+
+	// Page-frame descriptors left inconsistent (the scan skipped, or
+	// error propagation the repairs missed) confuse the memory-management
+	// paths once the system is running again: "This can cause the
+	// hypervisor to hang following recovery" (§VII-B). The retried
+	// hypercalls above may have healed their own frames; whatever remains
+	// is latent damage.
+	if failed, _ := h.Failed(); !failed {
+		if len(h.Frames.InconsistentFrames()) > 0 && h.RNG.Float64() < pfInconsistencyHangProb {
+			en.fail("post-recovery hang: inconsistent page frame descriptors hit by mm path")
+			return
+		}
+	}
+	if failed, _ := h.Failed(); !failed && en.OnRecovered != nil {
+		en.OnRecovered()
+	}
+}
+
+// pfInconsistencyHangProb is the chance that a surviving descriptor
+// inconsistency is exercised (and hangs the hypervisor) before the run
+// ends. Calibrated against the §VII-B claim that skipping the scan costs
+// ~4% of recovery rate.
+const pfInconsistencyHangProb = 0.5
+
+// Summary formats the engine's outcome for reports.
+func (en *Engine) Summary() string {
+	switch en.Status() {
+	case StatusIdle:
+		return "no detection"
+	case StatusRecovered:
+		return fmt.Sprintf("%v recovered in %v (detected: %v)",
+			en.Cfg.Mechanism, en.Latency, en.FirstDetection)
+	default:
+		return fmt.Sprintf("%v failed: %s", en.Cfg.Mechanism, en.FailReason)
+	}
+}

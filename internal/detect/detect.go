@@ -1,0 +1,136 @@
+// Package detect implements the error-detection mechanisms the paper
+// relies on (§VI-B): Xen's built-in panic detector (fatal exceptions and
+// failed assertions) and the hang detector — a watchdog built from a
+// per-CPU performance-counter NMI every 100 ms of unhalted cycles plus a
+// recurring 100 ms software timer event that increments a counter. If the
+// NMI handler sees the counter unchanged for three consecutive checks, a
+// hang is detected.
+package detect
+
+import (
+	"fmt"
+	"time"
+
+	"nilihype/internal/hv"
+)
+
+// Kind is the detection type.
+type Kind int
+
+// Detection kinds.
+const (
+	Panic Kind = iota + 1
+	Hang
+)
+
+// String returns the kind name.
+func (k Kind) String() string {
+	switch k {
+	case Panic:
+		return "panic"
+	case Hang:
+		return "hang"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Event is one detection.
+type Event struct {
+	CPU    int
+	Kind   Kind
+	Reason string
+	At     time.Duration
+}
+
+// String formats the event.
+func (e Event) String() string {
+	return fmt.Sprintf("%v on cpu%d at %v: %s", e.Kind, e.CPU, e.At, e.Reason)
+}
+
+// Period is the watchdog period (both the NMI and the soft tick).
+const Period = 100 * time.Millisecond
+
+// StaleChecks is the number of consecutive unchanged-counter NMI checks
+// that declare a hang.
+const StaleChecks = 3
+
+// Detector wires the panic and hang detectors into a hypervisor and
+// reports detections through a single hook.
+type Detector struct {
+	h    *hv.Hypervisor
+	hook func(Event)
+
+	softCount []uint64 // incremented by the 100ms software timer event
+	lastSeen  []uint64
+	stale     []int
+
+	// Detections counts all events reported (including post-recovery
+	// re-detections).
+	Detections int
+}
+
+// New builds a detector for h. Call Start to arm it.
+func New(h *hv.Hypervisor, hook func(Event)) *Detector {
+	n := h.NumCPUs()
+	return &Detector{
+		h:         h,
+		hook:      hook,
+		softCount: make([]uint64, n),
+		lastSeen:  make([]uint64, n),
+		stale:     make([]int, n),
+	}
+}
+
+// Start arms both detectors: the panic hook, the per-CPU watchdog soft
+// timers, and the per-CPU performance-counter NMIs.
+func (d *Detector) Start() {
+	d.h.SetPanicHook(func(cpu int, reason string) {
+		d.fire(Event{CPU: cpu, Kind: Panic, Reason: reason, At: d.h.Clock.Now()})
+	})
+	d.h.SetNMIHook(d.checkHang)
+	now := d.h.Clock.Now()
+	for cpu := 0; cpu < d.h.NumCPUs(); cpu++ {
+		cpu := cpu
+		d.h.Timers.AddTimer(cpu, fmt.Sprintf("watchdog_tick.cpu%d", cpu),
+			now+Period, Period, func() { d.softCount[cpu]++ })
+		d.h.Timers.ProgramAPIC(cpu)
+		d.h.Machine.CPU(cpu).StartPerfNMI(Period)
+	}
+}
+
+// checkHang is the NMI handler body: compare the CPU's soft counter with
+// the last observation.
+func (d *Detector) checkHang(cpu int) {
+	if d.softCount[cpu] != d.lastSeen[cpu] {
+		d.lastSeen[cpu] = d.softCount[cpu]
+		d.stale[cpu] = 0
+		return
+	}
+	d.stale[cpu]++
+	if d.stale[cpu] >= StaleChecks {
+		d.stale[cpu] = 0
+		reason := "watchdog: no progress"
+		if pc := d.h.PerCPU(cpu); pc.Spinning != nil {
+			reason = fmt.Sprintf("watchdog: spinning on lock %q", pc.Spinning.Name())
+		} else if pc.Wedged {
+			reason = "watchdog: CPU wedged"
+		}
+		d.fire(Event{CPU: cpu, Kind: Hang, Reason: reason, At: d.h.Clock.Now()})
+	}
+}
+
+// ResetProgress clears staleness tracking (recovery resumes fresh).
+func (d *Detector) ResetProgress() {
+	for cpu := range d.stale {
+		d.stale[cpu] = 0
+		d.lastSeen[cpu] = d.softCount[cpu]
+	}
+}
+
+func (d *Detector) fire(e Event) {
+	d.Detections++
+	if d.hook != nil {
+		d.hook(e)
+	}
+}

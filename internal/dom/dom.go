@@ -1,0 +1,158 @@
+// Package dom models guest domains as the hypervisor sees them: the
+// per-domain structure (Xen's struct domain, heap-allocated with embedded
+// spinlocks), the global domain list (a linked list — one of the paper's
+// top corruption targets, §VII-A), and per-domain event-channel state.
+package dom
+
+import (
+	"errors"
+	"fmt"
+
+	"nilihype/internal/evtchn"
+	"nilihype/internal/grant"
+	"nilihype/internal/locking"
+	"nilihype/internal/mm"
+	"nilihype/internal/sched"
+	"nilihype/internal/xentime"
+)
+
+// Well-known domain IDs.
+const (
+	PrivVMID = 0 // the privileged VM (Dom0)
+)
+
+// ErrListCorrupted is returned when a domain-list traversal hits corrupted
+// links. The hypervisor treats it as a fatal error (panic).
+var ErrListCorrupted = errors.New("dom: domain list corrupted")
+
+// Domain is the hypervisor's per-domain structure. It is backed by a heap
+// object so that its embedded locks participate in the heap-lock release
+// mechanism.
+type Domain struct {
+	ID   int
+	Name string
+
+	// IsPriv marks the privileged VM (Dom0).
+	IsPriv bool
+
+	// VCPUs are the domain's virtual CPUs (one per domain in the paper's
+	// setups, §VI-A).
+	VCPUs []*sched.VCPU
+
+	// MemStart/MemCount delimit the domain's physical frame range.
+	MemStart, MemCount int
+
+	// TotPages is the accounting counter hypercalls adjust (a critical
+	// variable in the paper's sense — logged for undo).
+	TotPages int
+
+	// Obj is the backing heap allocation.
+	Obj *mm.Object
+
+	// PageAllocLock and GrantLock are the embedded heap spinlocks
+	// hypercall handlers take.
+	PageAllocLock *locking.Lock
+	GrantLock     *locking.Lock
+
+	// Events is the domain's event-channel port table.
+	Events *evtchn.Table
+
+	// RingPort is the inter-domain event channel to the PrivVM backend
+	// (I/O ring notifications).
+	RingPort int
+
+	// GrantTab is the domain's guest-visible grant table; Maptrack is
+	// the hypervisor-side bookkeeping of its active mappings.
+	GrantTab *grant.Table
+	Maptrack *grant.Maptrack
+
+	// WakeupTimer is the domain's singleton set_timer_op timer (Xen
+	// keeps one per vCPU; setting it replaces the previous deadline).
+	WakeupTimer *xentime.Timer
+
+	// Failed marks the domain as crashed (its guest kernel died). The
+	// campaign layer reads this to classify outcomes.
+	Failed bool
+	// FailReason records why, for reports.
+	FailReason string
+}
+
+// Fail marks the domain failed with a reason (first reason wins).
+func (d *Domain) Fail(reason string) {
+	if d.Failed {
+		return
+	}
+	d.Failed = true
+	d.FailReason = reason
+}
+
+// UpcallVCPU returns the vCPU that handles event upcalls (vCPU 0; the
+// paper's domains are single-vCPU), or nil.
+func (d *Domain) UpcallVCPU() *sched.VCPU {
+	if len(d.VCPUs) > 0 {
+		return d.VCPUs[0]
+	}
+	return nil
+}
+
+// List is the hypervisor's global domain list. Xen chains struct domain
+// into a singly linked list; error propagation that corrupts a link makes
+// every traversal fatal. Corrupted models that state; a reboot rebuilds
+// the list from preserved domain structures (ReHype re-integration),
+// clearing it.
+type List struct {
+	domains []*Domain
+
+	// Corrupted marks broken links; traversals fail until a rebuild.
+	Corrupted bool
+}
+
+// NewList returns an empty domain list.
+func NewList() *List { return &List{} }
+
+// Insert appends a domain to the list.
+func (l *List) Insert(d *Domain) { l.domains = append(l.domains, d) }
+
+// Remove unlinks a domain.
+func (l *List) Remove(d *Domain) {
+	for i, dd := range l.domains {
+		if dd == d {
+			l.domains = append(l.domains[:i], l.domains[i+1:]...)
+			return
+		}
+	}
+}
+
+// ByID walks the list for a domain. Traversal of a corrupted list returns
+// ErrListCorrupted (fatal to the caller).
+func (l *List) ByID(id int) (*Domain, error) {
+	if l.Corrupted {
+		return nil, ErrListCorrupted
+	}
+	for _, d := range l.domains {
+		if d.ID == id {
+			return d, nil
+		}
+	}
+	return nil, fmt.Errorf("dom: no domain %d", id)
+}
+
+// All returns the domains in insertion order, or ErrListCorrupted.
+func (l *List) All() ([]*Domain, error) {
+	if l.Corrupted {
+		return nil, ErrListCorrupted
+	}
+	out := make([]*Domain, len(l.domains))
+	copy(out, l.domains)
+	return out, nil
+}
+
+// Len returns the number of domains (valid even when corrupted; the count
+// is separate bookkeeping).
+func (l *List) Len() int { return len(l.domains) }
+
+// Rebuild relinks the list from the preserved domain structures, clearing
+// corruption. Microreboot performs this as part of state re-integration;
+// microreset has no equivalent (it reuses the links in place), which is one
+// source of ReHype's small recovery-rate edge (§VII-A).
+func (l *List) Rebuild() { l.Corrupted = false }

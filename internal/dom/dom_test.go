@@ -1,0 +1,78 @@
+package dom
+
+import (
+	"errors"
+	"testing"
+
+	"nilihype/internal/locking"
+	"nilihype/internal/sched"
+)
+
+func TestFailFirstReasonWins(t *testing.T) {
+	d := &Domain{ID: 1}
+	d.Fail("first")
+	d.Fail("second")
+	if !d.Failed || d.FailReason != "first" {
+		t.Fatalf("failed=%v reason=%q", d.Failed, d.FailReason)
+	}
+}
+
+func TestUpcallVCPU(t *testing.T) {
+	reg := locking.NewRegistry()
+	s := sched.NewScheduler(1, reg)
+	v := s.AddVCPU(1, 0, 0)
+	d := &Domain{ID: 1, VCPUs: []*sched.VCPU{v}}
+	if got := d.UpcallVCPU(); got != v {
+		t.Fatalf("UpcallVCPU = %v, want vcpu", got)
+	}
+	empty := &Domain{ID: 2}
+	if got := empty.UpcallVCPU(); got != nil {
+		t.Fatal("UpcallVCPU with no vCPUs returned a vCPU")
+	}
+}
+
+func TestListInsertRemoveByID(t *testing.T) {
+	l := NewList()
+	a := &Domain{ID: 0, IsPriv: true}
+	b := &Domain{ID: 1}
+	l.Insert(a)
+	l.Insert(b)
+	if l.Len() != 2 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	got, err := l.ByID(1)
+	if err != nil || got != b {
+		t.Fatalf("ByID(1) = %v, %v", got, err)
+	}
+	if _, err := l.ByID(9); err == nil {
+		t.Fatal("ByID(9) succeeded")
+	}
+	l.Remove(a)
+	if l.Len() != 1 {
+		t.Fatalf("Len after remove = %d", l.Len())
+	}
+	l.Remove(a) // idempotent
+	all, err := l.All()
+	if err != nil || len(all) != 1 || all[0] != b {
+		t.Fatalf("All = %v, %v", all, err)
+	}
+}
+
+func TestListCorruptionFailsTraversals(t *testing.T) {
+	l := NewList()
+	l.Insert(&Domain{ID: 0})
+	l.Corrupted = true
+	if _, err := l.ByID(0); !errors.Is(err, ErrListCorrupted) {
+		t.Fatalf("ByID err = %v, want ErrListCorrupted", err)
+	}
+	if _, err := l.All(); !errors.Is(err, ErrListCorrupted) {
+		t.Fatalf("All err = %v, want ErrListCorrupted", err)
+	}
+	if l.Len() != 1 {
+		t.Fatal("Len must work on corrupted list (separate bookkeeping)")
+	}
+	l.Rebuild()
+	if _, err := l.ByID(0); err != nil {
+		t.Fatalf("ByID after rebuild: %v", err)
+	}
+}

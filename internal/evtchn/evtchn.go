@@ -1,0 +1,269 @@
+// Package evtchn implements Xen-style event channels: the asynchronous
+// notification primitive connecting domains to each other and to the
+// hypervisor (device interrupts, ring notifications).
+//
+// Each domain owns a port table. Ports are allocated unbound (waiting for
+// a peer), bound inter-domain (send on one side sets pending on the
+// other), or bound to a virtual IRQ source (device completions). Pending
+// bits survive recovery in place — event channels are part of the state
+// microreset reuses and microreboot re-integrates; their delivery
+// semantics (set-pending is idempotent) are what makes the event path
+// safely retryable.
+package evtchn
+
+import (
+	"errors"
+	"fmt"
+)
+
+// State is a port's binding state.
+type State int
+
+// Port states.
+const (
+	// Free: unallocated.
+	Free State = iota
+	// Unbound: allocated, waiting for a remote domain to bind.
+	Unbound
+	// Interdomain: connected to a (domain, port) peer.
+	Interdomain
+	// VIRQBound: bound to a virtual interrupt source (device class).
+	VIRQBound
+)
+
+// String returns the state name.
+func (s State) String() string {
+	switch s {
+	case Free:
+		return "free"
+	case Unbound:
+		return "unbound"
+	case Interdomain:
+		return "interdomain"
+	case VIRQBound:
+		return "virq"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// Errors.
+var (
+	ErrNoFreePorts = errors.New("evtchn: no free ports")
+	ErrBadPort     = errors.New("evtchn: invalid port")
+	ErrBadState    = errors.New("evtchn: port in wrong state")
+)
+
+// Port is one event channel endpoint.
+type Port struct {
+	State      State
+	RemoteDom  int // Interdomain: the peer domain
+	RemotePort int // Interdomain: the peer port
+	VIRQ       int // VIRQBound: the virtual IRQ number
+	Pending    bool
+	Masked     bool
+}
+
+// Table is a domain's event channel table.
+type Table struct {
+	owner int
+	ports []Port
+}
+
+// DefaultPorts is the per-domain port table size.
+const DefaultPorts = 64
+
+// NewTable builds a port table for a domain.
+func NewTable(owner, size int) *Table {
+	if size <= 0 {
+		size = DefaultPorts
+	}
+	return &Table{owner: owner, ports: make([]Port, size)}
+}
+
+// Owner returns the owning domain ID.
+func (t *Table) Owner() int { return t.owner }
+
+// Len returns the table size.
+func (t *Table) Len() int { return len(t.ports) }
+
+// Port returns port p for inspection.
+func (t *Table) Port(p int) (*Port, error) {
+	if p < 0 || p >= len(t.ports) {
+		return nil, fmt.Errorf("%w: %d", ErrBadPort, p)
+	}
+	return &t.ports[p], nil
+}
+
+// allocFree finds the lowest free port (port 0 is reserved, as in Xen).
+func (t *Table) allocFree() (int, error) {
+	for p := 1; p < len(t.ports); p++ {
+		if t.ports[p].State == Free {
+			return p, nil
+		}
+	}
+	return 0, ErrNoFreePorts
+}
+
+// AllocUnbound allocates a port awaiting a bind from remoteDom.
+func (t *Table) AllocUnbound(remoteDom int) (int, error) {
+	p, err := t.allocFree()
+	if err != nil {
+		return 0, err
+	}
+	t.ports[p] = Port{State: Unbound, RemoteDom: remoteDom}
+	return p, nil
+}
+
+// BindVIRQ allocates a port bound to a virtual IRQ source.
+func (t *Table) BindVIRQ(virq int) (int, error) {
+	p, err := t.allocFree()
+	if err != nil {
+		return 0, err
+	}
+	t.ports[p] = Port{State: VIRQBound, VIRQ: virq}
+	return p, nil
+}
+
+// Close frees a port, clearing any pending state.
+func (t *Table) Close(p int) error {
+	port, err := t.Port(p)
+	if err != nil {
+		return err
+	}
+	*port = Port{}
+	return nil
+}
+
+// PendingPorts returns the pending, unmasked ports in order.
+func (t *Table) PendingPorts() []int {
+	var out []int
+	for p := 1; p < len(t.ports); p++ {
+		if t.ports[p].Pending && !t.ports[p].Masked {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// TakePending clears and returns the pending, unmasked ports (the guest's
+// upcall handler consuming its pending bitmap).
+func (t *Table) TakePending() []int {
+	out := t.PendingPorts()
+	for _, p := range out {
+		t.ports[p].Pending = false
+	}
+	return out
+}
+
+// setPending marks a port pending; idempotent (a level-style bit, which is
+// why retried sends are harmless).
+func (t *Table) setPending(p int) error {
+	port, err := t.Port(p)
+	if err != nil {
+		return err
+	}
+	if port.State == Free {
+		return fmt.Errorf("%w: port %d free", ErrBadState, p)
+	}
+	port.Pending = true
+	return nil
+}
+
+// Broker connects domains' tables and routes sends. The hypervisor owns
+// one broker; its routing state is part of the reused recovery state.
+type Broker struct {
+	tables map[int]*Table
+}
+
+// NewBroker returns an empty broker.
+func NewBroker() *Broker {
+	return &Broker{tables: make(map[int]*Table)}
+}
+
+// Register adds a domain's table.
+func (b *Broker) Register(t *Table) { b.tables[t.owner] = t }
+
+// Unregister removes a domain's table (domain destruction).
+func (b *Broker) Unregister(owner int) { delete(b.tables, owner) }
+
+// Table returns a domain's table, or nil.
+func (b *Broker) Table(owner int) *Table { return b.tables[owner] }
+
+// BindInterdomain connects localDom's new port to remoteDom's unbound
+// port remotePort. Both ends become Interdomain.
+func (b *Broker) BindInterdomain(localDom, remoteDom, remotePort int) (int, error) {
+	lt, rt := b.tables[localDom], b.tables[remoteDom]
+	if lt == nil || rt == nil {
+		return 0, fmt.Errorf("%w: domain table missing", ErrBadState)
+	}
+	rp, err := rt.Port(remotePort)
+	if err != nil {
+		return 0, err
+	}
+	if rp.State != Unbound || rp.RemoteDom != localDom {
+		return 0, fmt.Errorf("%w: remote port %d not unbound for d%d", ErrBadState, remotePort, localDom)
+	}
+	lp, err := lt.allocFree()
+	if err != nil {
+		return 0, err
+	}
+	lt.ports[lp] = Port{State: Interdomain, RemoteDom: remoteDom, RemotePort: remotePort}
+	rp.State = Interdomain
+	rp.RemotePort = lp
+	return lp, nil
+}
+
+// Send delivers a notification from (dom, port): for an inter-domain
+// port, the peer's pending bit is set and the peer domain ID returned;
+// for a VIRQ port, the local pending bit is set.
+func (b *Broker) Send(dom, port int) (notifiedDom int, err error) {
+	t := b.tables[dom]
+	if t == nil {
+		return -1, fmt.Errorf("%w: no table for d%d", ErrBadState, dom)
+	}
+	p, err := t.Port(port)
+	if err != nil {
+		return -1, err
+	}
+	switch p.State {
+	case Interdomain:
+		rt := b.tables[p.RemoteDom]
+		if rt == nil {
+			return -1, fmt.Errorf("%w: peer d%d gone", ErrBadState, p.RemoteDom)
+		}
+		if err := rt.setPending(p.RemotePort); err != nil {
+			return -1, err
+		}
+		return p.RemoteDom, nil
+	case VIRQBound:
+		if err := t.setPending(port); err != nil {
+			return -1, err
+		}
+		return dom, nil
+	default:
+		return -1, fmt.Errorf("%w: port %d is %v", ErrBadState, port, p.State)
+	}
+}
+
+// RaiseVIRQ sets pending on dom's port bound to virq (device completion
+// delivery). Returns the port, or an error if none is bound.
+func (b *Broker) RaiseVIRQ(dom, virq int) (int, error) {
+	t := b.tables[dom]
+	if t == nil {
+		return -1, fmt.Errorf("%w: no table for d%d", ErrBadState, dom)
+	}
+	for p := 1; p < len(t.ports); p++ {
+		if t.ports[p].State == VIRQBound && t.ports[p].VIRQ == virq {
+			t.ports[p].Pending = true
+			return p, nil
+		}
+	}
+	return -1, fmt.Errorf("%w: d%d has no port for virq %d", ErrBadState, dom, virq)
+}
+
+// Well-known virtual IRQ numbers.
+const (
+	VIRQBlock = 1 // block device completions
+	VIRQNet   = 2 // network RX
+)

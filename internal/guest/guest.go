@@ -1,0 +1,222 @@
+// Package guest models the virtual machines and the synthetic benchmarks
+// of the paper's evaluation (§VI-A): BlkBench (block-interface stress),
+// UnixBench (hypercall/VM-management stress), and NetBench (a 1 ms UDP
+// request/reply service whose sender runs on a separate physical host).
+//
+// Guests drive the hypervisor exactly the way real PV guests do: through
+// hypercalls, forwarded syscalls, grant/event-channel I/O paths, and
+// timer-based blocking. Their request mixes are what determine the
+// hypervisor-activity occupancy fractions that the recovery experiments
+// depend on.
+package guest
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"time"
+
+	"nilihype/internal/evtchn"
+	"nilihype/internal/hv"
+	"nilihype/internal/hw"
+	"nilihype/internal/hypercall"
+	"nilihype/internal/prng"
+)
+
+// Kind selects a benchmark.
+type Kind int
+
+// Benchmarks.
+const (
+	BlkBench Kind = iota + 1
+	UnixBench
+	NetBench
+)
+
+// String returns the benchmark name.
+func (k Kind) String() string {
+	switch k {
+	case BlkBench:
+		return "BlkBench"
+	case UnixBench:
+		return "UnixBench"
+	case NetBench:
+		return "NetBench"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Config describes one AppVM and its benchmark.
+type Config struct {
+	Kind     Kind
+	Dom      int
+	CPU      int
+	MemPages int
+	// HVM runs the guest under full hardware virtualization: kernel
+	// memory management reaches the hypervisor as EPT-violation VM
+	// exits and device accesses as emulated I/O, instead of PV
+	// hypercalls and forwarded syscalls. I/O rings (grants, event
+	// channels) remain PV, as with Xen PVHVM guests. The paper reports
+	// injection results for HVM AppVMs "very similar" to PV (§VI-A).
+	HVM bool
+	// Duration is the benchmark run length (paper: ~10 s for 1AppVM,
+	// ~24 s for 3AppVM; scaled down by default for campaign speed).
+	Duration time.Duration
+	// IterPeriod is the workload pacing (time between iterations).
+	IterPeriod time.Duration
+}
+
+// DefaultMemPages is the AppVM memory size (64 MB at 4 KiB pages).
+const DefaultMemPages = 16384
+
+// World wires guests, the external host, and the hypervisor together.
+type World struct {
+	H *hv.Hypervisor
+
+	apps   map[int]*AppVM
+	Sender *NetSender
+
+	rng *rand.Rand
+}
+
+// NewWorld builds the guest world over a booted hypervisor and registers
+// the event and NIC hooks.
+func NewWorld(h *hv.Hypervisor, seed uint64) *World {
+	w := &World{
+		H:    h,
+		apps: make(map[int]*AppVM),
+		rng:  prng.New(seed, 0x60e57),
+	}
+	h.SetEventHook(w.onEvent)
+	h.SetNICRxHook(w.onPacket)
+	w.Sender = newNetSender(w)
+	return w
+}
+
+// AddAppVM creates the domain and its workload. Call Start (or StartAll)
+// to begin the benchmark.
+func (w *World) AddAppVM(cfg Config) (*AppVM, error) {
+	if cfg.MemPages == 0 {
+		cfg.MemPages = DefaultMemPages
+	}
+	if cfg.IterPeriod == 0 {
+		cfg.IterPeriod = defaultIterPeriod(cfg.Kind)
+	}
+	if err := w.H.CreateDomain(cfg.Dom, cfg.Kind.String(), cfg.MemPages, cfg.CPU, false); err != nil {
+		return nil, fmt.Errorf("guest: %w", err)
+	}
+	vm := &AppVM{
+		W:   w,
+		Cfg: cfg,
+		rng: prng.New(w.rng.Uint64(), uint64(cfg.Dom)),
+	}
+	if cfg.Kind == BlkBench {
+		vm.Files = NewFileStore(w.rng.Uint64())
+	}
+	w.apps[cfg.Dom] = vm
+	return vm, nil
+}
+
+// AttachAppVM wraps an already-created domain (e.g. one built by a PrivVM
+// domctl hypercall after recovery) with a workload.
+func (w *World) AttachAppVM(cfg Config) *AppVM {
+	if cfg.IterPeriod == 0 {
+		cfg.IterPeriod = defaultIterPeriod(cfg.Kind)
+	}
+	vm := &AppVM{
+		W:   w,
+		Cfg: cfg,
+		rng: prng.New(w.rng.Uint64(), uint64(cfg.Dom)),
+	}
+	if cfg.Kind == BlkBench {
+		vm.Files = NewFileStore(w.rng.Uint64())
+	}
+	w.apps[cfg.Dom] = vm
+	return vm
+}
+
+// App returns the AppVM for a domain, or nil.
+func (w *World) App(dom int) *AppVM { return w.apps[dom] }
+
+// Apps returns all AppVMs in domain-ID order.
+func (w *World) Apps() []*AppVM {
+	var out []*AppVM
+	for id := 0; id < 1024; id++ {
+		if vm, ok := w.apps[id]; ok {
+			out = append(out, vm)
+		}
+	}
+	return out
+}
+
+// StartAll starts every attached benchmark.
+func (w *World) StartAll() {
+	for _, vm := range w.Apps() {
+		vm.Start()
+	}
+}
+
+// CorruptGuestData models silent data corruption reaching a guest: its
+// benchmark output no longer matches the golden copy (§VI-A failure
+// criterion 1). For BlkBench the corruption lands in an actual stored
+// file, caught mechanically by the golden comparison; for the other
+// benchmarks (whose outputs are syscall logs) the corrupted-output flag
+// stands in.
+func (w *World) CorruptGuestData(dom int) {
+	vm := w.apps[dom]
+	if vm == nil {
+		return
+	}
+	if vm.Files != nil {
+		vm.Files.Corrupt(w.rng.Uint64())
+		return
+	}
+	vm.OutputCorrupted = true
+}
+
+// onEvent routes event-channel notifications to workloads by the port's
+// binding: block-completion VIRQ ports drive the BlkBench completion
+// path; ring-notification acks are absorbed.
+func (w *World) onEvent(domID, port int) {
+	vm := w.apps[domID]
+	if vm == nil {
+		return
+	}
+	d, err := w.H.Domain(domID)
+	if err != nil {
+		return
+	}
+	p, err := d.Events.Port(port)
+	if err != nil {
+		return
+	}
+	d.Events.TakePending()
+	if p.State == evtchn.VIRQBound && p.VIRQ == evtchn.VIRQBlock {
+		vm.onBlockComplete()
+	}
+}
+
+// onPacket routes NIC receive interrupts to the NetBench receiver.
+func (w *World) onPacket(p hw.Packet) {
+	vm := w.apps[p.Flow]
+	if vm == nil || vm.Cfg.Kind != NetBench {
+		return
+	}
+	vm.onNetPacket(p)
+}
+
+func defaultIterPeriod(k Kind) time.Duration {
+	switch k {
+	case BlkBench:
+		return 1500 * time.Microsecond
+	case UnixBench:
+		return 1200 * time.Microsecond
+	default:
+		return time.Millisecond
+	}
+}
+
+// dispatch issues a hypercall from the VM's vCPU.
+func (w *World) dispatch(cpu int, call *hypercall.Call) {
+	w.H.Dispatch(cpu, call)
+}

@@ -1,0 +1,69 @@
+package guest
+
+import (
+	"time"
+
+	"nilihype/internal/hypercall"
+)
+
+// StartPrivVM begins the PrivVM's background management activity: light
+// periodic housekeeping hypercalls from Dom0 (vCPU state polls, occasional
+// console output). The PrivVM's vCPU is pinned to CPU 0 (§VI-A).
+func (w *World) StartPrivVM() {
+	w.schedulePrivTick()
+}
+
+const privTickPeriod = 5 * time.Millisecond
+
+func (w *World) schedulePrivTick() {
+	w.H.Clock.After(privTickPeriod, "privvm-tick", func() {
+		if failed, _ := w.H.Failed(); failed {
+			return
+		}
+		w.H.WhenRunnable(func() {
+			d, err := w.H.Domain(0)
+			if err != nil || d.Failed {
+				return
+			}
+			w.dispatch(0, &hypercall.Call{Op: hypercall.OpVCPUOp, Dom: 0})
+			if failed, _ := w.H.Failed(); failed {
+				return
+			}
+			// The console daemon drains the hypervisor ring.
+			w.H.Cons.Drain()
+			if w.rng.IntN(20) == 0 {
+				w.dispatch(0, &hypercall.Call{Op: hypercall.OpConsoleIO, Dom: 0})
+			}
+			if failed, _ := w.H.Failed(); failed {
+				return
+			}
+			w.schedulePrivTick()
+		})
+	})
+}
+
+// PrivCreateDomain issues a domctl domain-creation hypercall from the
+// PrivVM — the post-recovery functionality check of the 3AppVM setup ("a
+// third AppVM is created and it runs BlkBench", §VI-A). It returns false
+// if the PrivVM is unable to issue the request.
+func (w *World) PrivCreateDomain(spec hypercall.CreateSpec) bool {
+	d, err := w.H.Domain(0)
+	if err != nil || d.Failed {
+		return false
+	}
+	w.dispatch(0, &hypercall.Call{
+		Op:     hypercall.OpDomctl,
+		Dom:    0,
+		Args:   [4]uint64{hypercall.DomctlCreate},
+		Create: &spec,
+	})
+	_, err = w.H.Domain(spec.ID)
+	return err == nil
+}
+
+// PrivVMFailed reports whether Dom0 has failed — one of the paper's top
+// three recovery-failure causes (§VII-A).
+func (w *World) PrivVMFailed() bool {
+	d, err := w.H.Domain(0)
+	return err != nil || d.Failed
+}

@@ -1,0 +1,55 @@
+package guest
+
+// Process models one user process inside a UnixBench guest kernel. Its
+// lifecycle is what drives the hypervisor's virtual-memory management
+// load (§VI-A: programs "selected for their ability to stress the
+// hypervisor's handling of hypercalls, especially those related to
+// virtual memory management"): fork pins the new page tables, the running
+// process issues system calls, and exit unpins everything.
+type Process struct {
+	PID int
+	// PageTables are the frames pinned (PV) or EPT-mapped (HVM) for this
+	// process's address space.
+	PageTables []int
+}
+
+// procTable is the guest kernel's process accounting.
+type procTable struct {
+	procs   []*Process
+	nextPID int
+}
+
+// fork registers a new process with its pinned page-table frames.
+func (pt *procTable) fork(frames []int) *Process {
+	p := &Process{PID: pt.nextPID, PageTables: frames}
+	pt.nextPID++
+	pt.procs = append(pt.procs, p)
+	return p
+}
+
+// oldest returns the longest-lived process, or nil.
+func (pt *procTable) oldest() *Process {
+	if len(pt.procs) == 0 {
+		return nil
+	}
+	return pt.procs[0]
+}
+
+// reap removes the oldest process (after its page tables were unpinned).
+func (pt *procTable) reap() {
+	if len(pt.procs) > 0 {
+		pt.procs = pt.procs[1:]
+	}
+}
+
+// count returns the live process count.
+func (pt *procTable) count() int { return len(pt.procs) }
+
+// livePageTables returns all pinned frames across live processes.
+func (pt *procTable) livePageTables() []int {
+	var out []int
+	for _, p := range pt.procs {
+		out = append(out, p.PageTables...)
+	}
+	return out
+}

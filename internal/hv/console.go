@@ -1,0 +1,53 @@
+package hv
+
+// Console is the hypervisor console: a bounded ring of messages guarded
+// by the static console lock (the structure console_io writes under). The
+// PrivVM drains it during normal operation; recovery diagnostics land
+// here too, which is why a held console lock after a failed recovery is
+// so deadly — even the panic path wants it.
+type Console struct {
+	ring  []string
+	cap   int
+	start int
+
+	// Written counts all messages ever accepted; Dropped counts ring
+	// overwrites (oldest-first overwrite, as in Xen's conring).
+	Written uint64
+	Dropped uint64
+}
+
+// NewConsole builds a console ring with the given capacity.
+func NewConsole(capacity int) *Console {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	return &Console{cap: capacity}
+}
+
+// Write appends a message, overwriting the oldest once full. Callers must
+// hold the console lock (hypercall handlers acquire it; the model does not
+// enforce it here because panic paths write lock-free by design).
+func (c *Console) Write(msg string) {
+	c.Written++
+	if len(c.ring) < c.cap {
+		c.ring = append(c.ring, msg)
+		return
+	}
+	c.ring[c.start] = msg
+	c.start = (c.start + 1) % c.cap
+	c.Dropped++
+}
+
+// Drain returns and clears the buffered messages in write order (the
+// PrivVM's console daemon).
+func (c *Console) Drain() []string {
+	out := make([]string, 0, len(c.ring))
+	out = append(out, c.ring[c.start:]...)
+	out = append(out, c.ring[:c.start]...)
+	c.ring = c.ring[:0]
+	c.start = 0
+	return out
+}
+
+// Len returns the number of buffered messages.
+func (c *Console) Len() int { return len(c.ring) }

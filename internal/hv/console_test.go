@@ -1,0 +1,71 @@
+package hv
+
+import (
+	"strings"
+	"testing"
+
+	"nilihype/internal/hypercall"
+)
+
+func TestConsoleRingBasics(t *testing.T) {
+	c := NewConsole(3)
+	c.Write("a")
+	c.Write("b")
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	got := c.Drain()
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("Drain = %v", got)
+	}
+	if c.Len() != 0 {
+		t.Fatal("ring not cleared")
+	}
+}
+
+func TestConsoleRingOverwritesOldest(t *testing.T) {
+	c := NewConsole(3)
+	for _, m := range []string{"1", "2", "3", "4", "5"} {
+		c.Write(m)
+	}
+	got := c.Drain()
+	if len(got) != 3 || got[0] != "3" || got[2] != "5" {
+		t.Fatalf("Drain = %v, want oldest overwritten", got)
+	}
+	if c.Written != 5 || c.Dropped != 2 {
+		t.Fatalf("written=%d dropped=%d", c.Written, c.Dropped)
+	}
+}
+
+func TestConsoleDefaultCapacity(t *testing.T) {
+	c := NewConsole(0)
+	if c.cap != 256 {
+		t.Fatalf("cap = %d", c.cap)
+	}
+}
+
+func TestConsoleIOLandsInRing(t *testing.T) {
+	h, _ := newBooted(t)
+	addAppVM(t, h, 1, 1)
+	h.Dispatch(1, &hypercall.Call{Op: hypercall.OpConsoleIO, Dom: 1})
+	msgs := h.Cons.Drain()
+	if len(msgs) != 1 || !strings.Contains(msgs[0], "d1") {
+		t.Fatalf("console = %v", msgs)
+	}
+}
+
+func TestPanicLogsToConsole(t *testing.T) {
+	h, _ := newBooted(t)
+	h.SetPanicHook(func(int, string) {})
+	h.Panic(2, "something broke")
+	msgs := h.Cons.Drain()
+	found := false
+	for _, m := range msgs {
+		if strings.Contains(m, "cpu2 panic: something broke") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("panic not logged: %v", msgs)
+	}
+}

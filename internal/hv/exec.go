@@ -1,0 +1,311 @@
+package hv
+
+import (
+	"errors"
+	"fmt"
+
+	"nilihype/internal/hypercall"
+	"nilihype/internal/locking"
+)
+
+// InjectionPoint describes where in hypervisor execution a fault landed.
+// It is handed to the armed InjectFunc, which decides the fault's effect.
+type InjectionPoint struct {
+	CPU       int
+	Activity  string // "hypercall:mmu_update", "irq:timer", ...
+	Call      *hypercall.Call
+	StepName  string
+	StepIndex int
+	InIRQ     bool
+	// Unmitigated marks a §IV residual window at the injection point.
+	Unmitigated bool
+	HeldLocks   []*locking.Lock
+}
+
+// InjectAction is the immediate architectural effect of an injected fault.
+type InjectAction int
+
+// Injection actions.
+const (
+	// ActionContinue resumes execution: the fault was masked or only
+	// corrupted state silently (the injector mutates state itself).
+	ActionContinue InjectAction = iota + 1
+	// ActionPanic raises an immediate fatal exception at the injection
+	// point (detection fires now; the in-flight program is abandoned).
+	ActionPanic
+	// ActionWedge leaves the CPU executing garbage: no progress, IRQs
+	// effectively off, until the watchdog detects the hang.
+	ActionWedge
+)
+
+// InjectFunc decides a fault's effect at an injection point.
+type InjectFunc func(pt InjectionPoint) (InjectAction, string)
+
+// ArmInjection arms the instruction-count trigger: after budget further
+// hypervisor instructions (across all CPUs — the injector targets the
+// hypervisor, not a CPU), fn is invoked at the step where the budget ran
+// out. This is Gigan's second-level trigger (§VI-C).
+func (h *Hypervisor) ArmInjection(budget int64, fn InjectFunc) {
+	h.injectArmed = true
+	h.injectBudget = budget
+	h.injectFn = fn
+}
+
+// DisarmInjection cancels a pending trigger.
+func (h *Hypervisor) DisarmInjection() { h.injectArmed = false }
+
+// InjectionArmed reports whether the trigger is still pending.
+func (h *Hypervisor) InjectionArmed() bool { return h.injectArmed }
+
+// RetrySetupCycles is the per-hypercall bookkeeping cost of the retry
+// machinery (recording the request so it can be retried after recovery).
+const RetrySetupCycles = 12
+
+// Dispatch runs a hypercall (or forwarded syscall) on cpu. Execution is
+// synchronous within the current clock event unless a fault injection, a
+// panic, or a spin interrupts it. While the hypervisor is paused for
+// recovery, dispatches are deferred to resume.
+func (h *Hypervisor) Dispatch(cpu int, call *hypercall.Call) {
+	if h.failed {
+		return
+	}
+	if h.paused {
+		h.afterResume = append(h.afterResume, func() { h.Dispatch(cpu, call) })
+		return
+	}
+	pc := h.percpu[cpu]
+	if pc.Stuck() {
+		return // the CPU is gone; the guest makes no progress
+	}
+	if pc.Busy() {
+		// Cannot happen in the event-atomic model; guard for misuse.
+		h.Panic(cpu, fmt.Sprintf("re-entrant dispatch of %v", call))
+		return
+	}
+	call.Seq = h.callSeq
+	h.callSeq++
+	h.Stats.Hypercalls++
+
+	pc.Env.Call = call
+	pc.Env.ResetProgramState()
+	prog, err := hypercall.Build(pc.Env, call)
+	if err != nil {
+		h.Panic(cpu, err.Error())
+		return
+	}
+	if pc.Env.RecoveryPrep {
+		h.Machine.CPU(cpu).ChargeHypervisor(RetrySetupCycles, RetrySetupCycles)
+	}
+	pc.Current = call
+	pc.CurrentProg = prog
+	pc.CurrentStep = 0
+	pc.abandonedUnmitigated = false
+	h.trace(cpu, TraceDispatch, call.String())
+	h.runProgram(cpu)
+}
+
+// runProgram executes the in-flight program on cpu from its current step.
+func (h *Hypervisor) runProgram(cpu int) {
+	pc := h.percpu[cpu]
+	for pc.CurrentStep < len(pc.CurrentProg) {
+		step := &pc.CurrentProg[pc.CurrentStep]
+
+		if pc.PendingPanic != "" {
+			reason := pc.PendingPanic
+			pc.PendingPanic = ""
+			h.abandonAt(pc, step.Unmitigated)
+			h.Panic(cpu, reason)
+			return
+		}
+
+		if h.injectArmed {
+			if h.injectBudget < int64(step.Instrs) {
+				h.injectArmed = false
+				h.Stats.InjectionFired = true
+				action, reason := h.injectFn(h.injectionPoint(pc, step))
+				switch action {
+				case ActionPanic:
+					h.abandonAt(pc, step.Unmitigated)
+					h.Panic(cpu, reason)
+					return
+				case ActionWedge:
+					h.abandonAt(pc, step.Unmitigated)
+					h.wedge(cpu)
+					return
+				}
+				// ActionContinue: fall through and execute the step.
+			} else {
+				h.injectBudget -= int64(step.Instrs)
+			}
+		}
+
+		h.Machine.CPU(cpu).ChargeHypervisor(step.Instrs, step.Instrs)
+		err := step.Do()
+		if extra := pc.Env.ExtraCycles; extra > 0 {
+			h.Machine.CPU(cpu).ChargeHypervisor(extra, 0)
+			pc.Env.ExtraCycles = 0
+		}
+		if err != nil {
+			var spin *hypercall.SpinError
+			if errors.As(err, &spin) {
+				h.spin(cpu, spin.Lock)
+				return
+			}
+			h.abandonAt(pc, step.Unmitigated)
+			h.Panic(cpu, err.Error())
+			return
+		}
+		pc.CurrentStep++
+	}
+	if pc.InIRQProgram {
+		h.completeIRQ(cpu)
+		return
+	}
+	h.completeCall(cpu)
+}
+
+// completeIRQ finishes an interrupt handler program cleanly.
+func (h *Hypervisor) completeIRQ(cpu int) {
+	pc := h.percpu[cpu]
+	pc.Env.ResetProgramState()
+	pc.InIRQProgram = false
+	pc.IRQActivity = ""
+	pc.CurrentProg = nil
+	pc.CurrentStep = 0
+	h.drainCPU(cpu)
+}
+
+// drainCPU re-delivers interrupts that arrived while the CPU was inside a
+// handler (the hardware holds them until iret).
+func (h *Hypervisor) drainCPU(cpu int) {
+	if h.failed || h.paused {
+		return
+	}
+	c := h.Machine.CPU(cpu)
+	if c.IntrDisabled || h.percpu[cpu].Stuck() {
+		return
+	}
+	c.DrainPending()
+}
+
+// injectionPoint snapshots the current execution context for the injector.
+func (h *Hypervisor) injectionPoint(pc *PerCPU, step *hypercall.Step) InjectionPoint {
+	activity := "irq"
+	if pc.Current != nil {
+		activity = "hypercall:" + pc.Current.Op.String()
+	} else if pc.IRQActivity != "" {
+		activity = "irq:" + pc.IRQActivity
+	}
+	return InjectionPoint{
+		CPU:         pc.ID,
+		Activity:    activity,
+		Call:        pc.Current,
+		StepName:    step.Name,
+		StepIndex:   pc.CurrentStep,
+		InIRQ:       pc.LocalIRQCount > 0 || pc.InIRQProgram,
+		Unmitigated: step.Unmitigated,
+		HeldLocks:   pc.Env.HeldLocks(),
+	}
+}
+
+// abandonAt records that the in-flight program stops at the current step.
+func (h *Hypervisor) abandonAt(pc *PerCPU, unmitigated bool) {
+	if pc.Current != nil && unmitigated {
+		pc.abandonedUnmitigated = true
+	}
+}
+
+// completeCall finishes the in-flight hypercall cleanly.
+func (h *Hypervisor) completeCall(cpu int) {
+	pc := h.percpu[cpu]
+	call := pc.Current
+	pc.Env.Undo.Clear()
+	pc.Env.ResetProgramState()
+	pc.Current = nil
+	pc.CurrentProg = nil
+	pc.CurrentStep = 0
+	h.clearCrossWaitsRequestedBy(cpu)
+	if call != nil {
+		h.trace(cpu, TraceComplete, call.String())
+		if h.callDoneHook != nil {
+			h.callDoneHook(call, nil)
+		}
+	}
+	h.drainCPU(cpu)
+}
+
+// spin wedges cpu spinning on a held lock. Spinlocks are taken with
+// interrupts disabled (spin_lock_irqsave), so the CPU's software timers
+// stall; only the perf-counter NMI still fires, which is how the watchdog
+// detects the hang.
+func (h *Hypervisor) spin(cpu int, l *locking.Lock) {
+	pc := h.percpu[cpu]
+	pc.Spinning = l
+	h.Machine.CPU(cpu).IntrDisabled = true
+	h.Stats.Spins++
+	h.trace(cpu, TraceSpin, l.Name())
+}
+
+// wedge marks cpu as executing garbage (wild jump): no progress, no
+// interrupt handling, until the watchdog notices.
+func (h *Hypervisor) wedge(cpu int) {
+	pc := h.percpu[cpu]
+	pc.Wedged = true
+	h.Machine.CPU(cpu).IntrDisabled = true
+	h.trace(cpu, TraceWedge, "no further progress")
+}
+
+// Panic models a hypervisor panic: a fatal exception or failed assertion.
+// Exception entry raises the interrupt nesting level — which is why the
+// detecting CPU always has a nonzero local_irq_count at recovery time
+// (the mechanistic root of the "Clear IRQ count" enhancement, §V-A).
+func (h *Hypervisor) Panic(cpu int, reason string) {
+	if h.failed {
+		return
+	}
+	h.Stats.Panics++
+	h.percpu[cpu].LocalIRQCount++
+	h.Cons.Write(fmt.Sprintf("(XEN) cpu%d panic: %s", cpu, reason))
+	h.trace(cpu, TracePanic, reason)
+	if h.panicHook != nil {
+		h.panicHook(cpu, reason)
+		return
+	}
+	h.MarkFailed("panic: " + reason)
+}
+
+// PanicAtNextStep arranges for a panic to fire when cpu next executes a
+// program step — used by the injector to model detections that land inside
+// subsequent hypervisor activity (error propagation with latency).
+func (h *Hypervisor) PanicAtNextStep(cpu int, reason string) {
+	h.percpu[cpu].PendingPanic = reason
+}
+
+// --- cross-CPU synchronous operations --------------------------------------
+
+// AddCrossCPUWait records an in-flight synchronous cross-CPU operation
+// (e.g. a remote TLB-flush IPI the requester is spinning on).
+func (h *Hypervisor) AddCrossCPUWait(w CrossCPUWait) {
+	h.crossCPUWaits = append(h.crossCPUWaits, w)
+}
+
+// CrossCPUWaits returns the in-flight waits.
+func (h *Hypervisor) CrossCPUWaits() []CrossCPUWait {
+	out := make([]CrossCPUWait, len(h.crossCPUWaits))
+	copy(out, h.crossCPUWaits)
+	return out
+}
+
+// ClearCrossCPUWaits drops all waits (all requester threads discarded).
+func (h *Hypervisor) ClearCrossCPUWaits() { h.crossCPUWaits = nil }
+
+// clearCrossWaitsRequestedBy drops waits whose requester completed.
+func (h *Hypervisor) clearCrossWaitsRequestedBy(cpu int) {
+	var keep []CrossCPUWait
+	for _, w := range h.crossCPUWaits {
+		if w.Requester != cpu {
+			keep = append(keep, w)
+		}
+	}
+	h.crossCPUWaits = keep
+}

@@ -1,0 +1,416 @@
+// Package hv is the hypervisor core: it owns every subsystem (memory,
+// locks, timers, scheduler, domains), executes handler programs step by
+// step with instruction accounting, dispatches interrupts, and exposes the
+// state-inspection and state-repair surface the recovery engines
+// (internal/core) operate on.
+//
+// Execution model: the simulation is event-driven; a handler program runs
+// to completion within one clock event unless a fault injection or a
+// spinlock spin interrupts it. Because programs are decomposed into steps
+// with instruction costs, the fault injector's instruction-count trigger
+// lands between two specific steps — leaving exactly the partial state
+// (held locks, half-updated refcounts, un-reprogrammed APIC, inconsistent
+// scheduler metadata) that drives the paper's recovery-rate results.
+package hv
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"time"
+
+	"nilihype/internal/dom"
+	"nilihype/internal/evtchn"
+	"nilihype/internal/grant"
+	"nilihype/internal/hw"
+	"nilihype/internal/hypercall"
+	"nilihype/internal/locking"
+	"nilihype/internal/mm"
+	"nilihype/internal/prng"
+	"nilihype/internal/sched"
+	"nilihype/internal/simclock"
+	"nilihype/internal/xentime"
+)
+
+// Config parameterizes the hypervisor.
+type Config struct {
+	Machine hw.Config
+
+	// HeapFrames is the number of page frames reserved for the
+	// hypervisor heap (Xen's xenheap/domheap).
+	HeapFrames int
+
+	// LoggingEnabled selects the §IV retry-mitigation logging. Disabling
+	// it is the NiLiHype* configuration of Figure 3.
+	LoggingEnabled bool
+
+	// RecoveryPrep enables the always-on recovery bookkeeping shared by
+	// NiLiHype and ReHype (retry setup, multicall completion logging).
+	// Disabled only for the stock-Xen overhead baseline.
+	RecoveryPrep bool
+
+	// Seed drives all randomness in the run.
+	Seed uint64
+}
+
+// DefaultConfig returns the paper's testbed configuration.
+func DefaultConfig() Config {
+	return Config{
+		Machine:        hw.DefaultConfig(),
+		HeapFrames:     32768, // 128 MB hypervisor heap
+		LoggingEnabled: true,
+		RecoveryPrep:   true,
+		Seed:           1,
+	}
+}
+
+// Hypervisor is the simulated Xen-like hypervisor.
+type Hypervisor struct {
+	Clock   *simclock.Clock
+	Machine *hw.Machine
+	Locks   *locking.Registry
+	Frames  *mm.FrameTable
+	Heap    *mm.Heap
+	Sched   *sched.Scheduler
+	Timers  *xentime.Subsystem
+	Domains *dom.List
+	Statics *hypercall.Statics
+	RNG     *rand.Rand
+
+	percpu []*PerCPU
+
+	// Broker routes event-channel notifications between domains.
+	Broker *evtchn.Broker
+
+	// Cons is the hypervisor console ring (guarded by the console static
+	// lock on the hypercall path).
+	Cons *Console
+
+	// nextGuestFrame is the bump allocator for guest memory regions.
+	nextGuestFrame int
+
+	// schedTicks marks the standing per-CPU scheduler-tick timers, whose
+	// expiry expands into preemption steps inside the timer IRQ program.
+	schedTicks map[*xentime.Timer]bool
+
+	// crossCPUWaits tracks in-flight synchronous cross-CPU operations
+	// (remote TLB-flush IPIs). See §III-C: with single-thread discard, a
+	// requester waiting on a discarded responder blocks forever.
+	crossCPUWaits []CrossCPUWait
+
+	// injection
+	injectArmed  bool
+	injectBudget int64
+	injectFn     InjectFunc
+
+	// failure state
+	failed       bool
+	failReason   string
+	panicHook    func(cpu int, reason string)
+	nmiHook      func(cpu int)
+	callDoneHook func(*hypercall.Call, error)
+	eventHook    func(domID, port int)
+	nicRxHook    func(hw.Packet)
+
+	// recoveryEpoch increments whenever execution contexts are
+	// discarded, letting interrupted entry/exit paths detect that their
+	// context is gone.
+	recoveryEpoch uint64
+
+	// schedFluxProb is the discard-time metadata-flux probability (see
+	// SetSchedFluxProb).
+	schedFluxProb float64
+
+	// tracer, when non-nil, receives hypervisor trace events.
+	tracer func(TraceEvent)
+
+	// paused is set while recovery is in progress: guest activity defers
+	// and device interrupts stay pending.
+	paused      bool
+	afterResume []func()
+
+	callSeq uint64
+
+	// Corruption flags set by error propagation (fault injection) and
+	// consumed by the recovery engines. Each corresponds to one of the
+	// paper's recovery-failure causes (§VII-A):
+	//
+	// CorruptRecoveryPath: state needed to even invoke the recovery
+	// routine is damaged — "the recovery routine fails to be invoked due
+	// to the corrupted hypervisor state" (failure cause 1, fatal to both
+	// mechanisms).
+	//
+	// CorruptAllocatedObject: a live heap object (reused by both
+	// mechanisms — microreboot preserves non-free heap pages) is
+	// damaged (failure cause 3, fatal to both).
+	//
+	// CorruptStaticScratch: static-segment state that microreboot
+	// re-initializes during boot but microreset keeps in place — the
+	// source of ReHype's small recovery-rate edge on non-failstop
+	// faults (§VII-A).
+	CorruptRecoveryPath    bool
+	CorruptAllocatedObject bool
+	CorruptStaticScratch   bool
+
+	// Stats accumulates counters for reports and tests.
+	Stats Stats
+}
+
+// Stats holds run counters.
+type Stats struct {
+	Hypercalls     uint64
+	Interrupts     uint64
+	Panics         uint64
+	Spins          uint64
+	RetriedCalls   uint64
+	DroppedCalls   uint64
+	TimerIRQs      uint64
+	DeviceIRQs     uint64
+	InjectionFired bool
+}
+
+// CrossCPUWait is one in-flight synchronous cross-CPU operation.
+type CrossCPUWait struct {
+	Requester int
+	Responder int
+	Desc      string
+}
+
+// New constructs a hypervisor on a fresh machine and boots nothing yet;
+// call Boot to bring up the platform and the PrivVM.
+func New(clock *simclock.Clock, cfg Config) (*Hypervisor, error) {
+	machine, err := hw.NewMachine(clock, cfg.Machine)
+	if err != nil {
+		return nil, fmt.Errorf("hv: %w", err)
+	}
+	if cfg.HeapFrames <= 0 || cfg.HeapFrames > machine.PageFrames() {
+		return nil, fmt.Errorf("hv: invalid heap size %d frames", cfg.HeapFrames)
+	}
+	h := &Hypervisor{
+		Clock:          clock,
+		Machine:        machine,
+		Locks:          locking.NewRegistry(),
+		Domains:        dom.NewList(),
+		RNG:            prng.New(cfg.Seed, 0xce11),
+		schedTicks:     make(map[*xentime.Timer]bool),
+		nextGuestFrame: cfg.HeapFrames,
+	}
+	h.Broker = evtchn.NewBroker()
+	h.Cons = NewConsole(256)
+	h.Frames = mm.NewFrameTable(machine.PageFrames())
+	h.Heap = mm.NewHeap(h.Frames, h.Locks, 0, cfg.HeapFrames)
+	h.Sched = sched.NewScheduler(machine.NumCPUs(), h.Locks)
+	h.Timers = xentime.NewSubsystem(machine.NumCPUs(), apicAdapter{machine})
+	h.Statics = hypercall.NewStatics(h.Locks)
+
+	for i := 0; i < machine.NumCPUs(); i++ {
+		pc := &PerCPU{ID: i}
+		pc.Env = &hypercall.Env{
+			CPU:            i,
+			Frames:         h.Frames,
+			Heap:           h.Heap,
+			Sched:          h.Sched,
+			Timers:         h.Timers,
+			Domains:        h.Domains,
+			Broker:         h.Broker,
+			Statics:        h.Statics,
+			RNG:            h.RNG,
+			Now:            clock.Now,
+			Wake:           h.WakeVCPU,
+			CreateDomain:   h.createDomainFromSpec,
+			DestroyDomain:  h.DestroyDomain,
+			Undo:           hypercall.NewUndoLog(),
+			LoggingEnabled: cfg.LoggingEnabled,
+			RecoveryPrep:   cfg.RecoveryPrep,
+		}
+		pc.Env.Notify = func(domID, port int) {
+			if h.eventHook != nil {
+				h.eventHook(domID, port)
+			}
+		}
+		pc.Env.ConsoleWrite = h.Cons.Write
+		pc.Env.SwitchContext = h.switchRegisterContext
+		h.percpu = append(h.percpu, pc)
+	}
+	machine.SetSink(h)
+	return h, nil
+}
+
+// apicAdapter adapts hw CPUs to xentime.Programmer.
+type apicAdapter struct{ m *hw.Machine }
+
+func (a apicAdapter) ArmTimer(cpu int, d time.Duration) { a.m.CPU(cpu).ArmTimer(d) }
+func (a apicAdapter) DisarmTimer(cpu int)               { a.m.CPU(cpu).DisarmTimer() }
+
+// Boot brings up the platform: IO-APIC routing, standing timers (scheduler
+// ticks, time sync), and the PrivVM (Dom0).
+func (h *Hypervisor) Boot() error {
+	h.Machine.IOAPIC().Route(hw.IRQBlock, 0, hw.VecBlock)
+	h.Machine.IOAPIC().Route(hw.IRQNIC, 0, hw.VecNIC)
+
+	for cpu := 0; cpu < h.Machine.NumCPUs(); cpu++ {
+		t := h.Timers.AddTimer(cpu, fmt.Sprintf("sched_tick.cpu%d", cpu),
+			h.Clock.Now()+schedTickPeriod, schedTickPeriod, nil)
+		h.schedTicks[t] = true
+		h.Timers.ProgramAPIC(cpu)
+	}
+	// Global time-calibration event (Xen's recurring time sync).
+	h.Timers.AddTimer(0, "time_sync", h.Clock.Now()+timeSyncPeriod, timeSyncPeriod, func() {})
+	h.Timers.ProgramAPIC(0)
+
+	// PrivVM: Dom0 with one vCPU pinned to CPU 0.
+	if err := h.CreateDomain(dom.PrivVMID, "Domain-0", privVMPages, 0, true); err != nil {
+		return fmt.Errorf("hv: booting PrivVM: %w", err)
+	}
+	return nil
+}
+
+// Timing constants.
+const (
+	schedTickPeriod = 10 * time.Millisecond
+	timeSyncPeriod  = time.Second
+	privVMPages     = 16384 // 64 MB
+)
+
+// CreateDomain builds a domain: heap-backed struct with embedded locks, a
+// guest memory region, and one vCPU pinned to pinCPU.
+func (h *Hypervisor) CreateDomain(id int, name string, memPages, pinCPU int, priv bool) error {
+	if h.Domains.Corrupted {
+		return dom.ErrListCorrupted
+	}
+	if _, err := h.Domains.ByID(id); err == nil {
+		return fmt.Errorf("hv: domain %d already exists", id)
+	}
+	if pinCPU < 0 || pinCPU >= h.Machine.NumCPUs() {
+		return fmt.Errorf("hv: bad pin CPU %d", pinCPU)
+	}
+	if h.nextGuestFrame+memPages > h.Frames.Len() {
+		return fmt.Errorf("hv: out of guest memory for domain %d", id)
+	}
+	obj := h.Heap.Alloc(domStructPages, fmt.Sprintf("domain%d", id))
+	if obj == nil {
+		return fmt.Errorf("hv: heap allocation failed for domain %d", id)
+	}
+	d := &dom.Domain{
+		ID:       id,
+		Name:     name,
+		IsPriv:   priv,
+		MemStart: h.nextGuestFrame,
+		MemCount: memPages,
+		TotPages: memPages / 2,
+		Obj:      obj,
+		Events:   evtchn.NewTable(id, evtchn.DefaultPorts),
+		GrantTab: grant.NewTable(id, grant.DefaultRefs),
+		Maptrack: grant.NewMaptrack(id),
+	}
+	h.Broker.Register(d.Events)
+	// Every domain binds a port for block-device completions.
+	if _, err := d.Events.BindVIRQ(evtchn.VIRQBlock); err != nil {
+		h.Broker.Unregister(id)
+		h.Heap.Free(obj)
+		return fmt.Errorf("hv: domain %d evtchn: %w", id, err)
+	}
+	// Non-privileged domains get an I/O ring channel to the PrivVM
+	// backend (allocated unbound on the PrivVM side, bound here).
+	if !priv {
+		if priv0 := h.Broker.Table(dom.PrivVMID); priv0 != nil {
+			back, err := priv0.AllocUnbound(id)
+			if err != nil {
+				h.Broker.Unregister(id)
+				h.Heap.Free(obj)
+				return fmt.Errorf("hv: domain %d ring: %w", id, err)
+			}
+			front, err := h.Broker.BindInterdomain(id, dom.PrivVMID, back)
+			if err != nil {
+				h.Broker.Unregister(id)
+				h.Heap.Free(obj)
+				return fmt.Errorf("hv: domain %d ring: %w", id, err)
+			}
+			d.RingPort = front
+		}
+	}
+	d.PageAllocLock = h.Heap.AddLock(obj, "page_alloc_lock")
+	d.GrantLock = h.Heap.AddLock(obj, "grant_lock")
+	if err := h.Frames.AssignRange(d.MemStart, d.MemCount, id, mm.FrameGuest); err != nil {
+		h.Heap.Free(obj)
+		return fmt.Errorf("hv: domain %d memory: %w", id, err)
+	}
+	h.nextGuestFrame += memPages
+	d.VCPUs = append(d.VCPUs, h.Sched.AddVCPU(id, 0, pinCPU))
+	h.Domains.Insert(d)
+	// If the pinned CPU is idle, run the new vCPU immediately (the
+	// paper's configurations pin one vCPU per physical CPU).
+	if h.Sched.Curr(pinCPU) == nil {
+		if op := h.Sched.BeginSwitch(pinCPU); op != nil {
+			op.Complete()
+		}
+		h.Machine.CPU(pinCPU).Halted = false
+	}
+	return nil
+}
+
+const domStructPages = 2
+
+// createDomainFromSpec adapts CreateDomain for domctl.
+func (h *Hypervisor) createDomainFromSpec(spec hypercall.CreateSpec) error {
+	return h.CreateDomain(spec.ID, spec.Name, spec.MemPages, spec.PinCPU, false)
+}
+
+// DestroyDomain tears a domain down: vCPU removal, heap free, list unlink.
+// Guest frames are left assigned (scrubbing is lazy in Xen too).
+func (h *Hypervisor) DestroyDomain(id int) error {
+	d, err := h.Domains.ByID(id)
+	if err != nil {
+		return err
+	}
+	for _, v := range d.VCPUs {
+		h.Sched.RemoveVCPU(v)
+	}
+	if d.Obj != nil {
+		h.Heap.Free(d.Obj)
+	}
+	h.Broker.Unregister(id)
+	h.Domains.Remove(d)
+	return nil
+}
+
+// Domain returns a domain by ID (hard lookup for internal wiring; does not
+// model a hypervisor code path).
+func (h *Hypervisor) Domain(id int) (*dom.Domain, error) { return h.Domains.ByID(id) }
+
+// WakeVCPU makes a vCPU runnable and un-halts its CPU.
+func (h *Hypervisor) WakeVCPU(v *sched.VCPU) {
+	h.Sched.Wake(v)
+	if v.Processor >= 0 && v.Processor < len(h.percpu) {
+		h.Machine.CPU(v.Processor).Halted = false
+	}
+}
+
+// Failed reports whether the hypervisor has failed terminally (a panic
+// with no recovery hook, or a declared unrecoverable state).
+func (h *Hypervisor) Failed() (bool, string) { return h.failed, h.failReason }
+
+// MarkFailed records terminal hypervisor failure and halts the simulation.
+func (h *Hypervisor) MarkFailed(reason string) {
+	if h.failed {
+		return
+	}
+	h.failed = true
+	h.failReason = reason
+	h.Clock.Halt()
+}
+
+// SetPanicHook installs the detection callback invoked on hypervisor
+// panic (assertion failure / fatal exception).
+func (h *Hypervisor) SetPanicHook(fn func(cpu int, reason string)) { h.panicHook = fn }
+
+// SetNMIHook installs the watchdog NMI callback.
+func (h *Hypervisor) SetNMIHook(fn func(cpu int)) { h.nmiHook = fn }
+
+// SetCallDoneHook installs the guest-completion callback.
+func (h *Hypervisor) SetCallDoneHook(fn func(*hypercall.Call, error)) { h.callDoneHook = fn }
+
+// PerCPU returns CPU i's hypervisor-private state.
+func (h *Hypervisor) PerCPU(i int) *PerCPU { return h.percpu[i] }
+
+// NumCPUs returns the physical CPU count.
+func (h *Hypervisor) NumCPUs() int { return len(h.percpu) }

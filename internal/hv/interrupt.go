@@ -1,0 +1,338 @@
+package hv
+
+import (
+	"nilihype/internal/dom"
+	"nilihype/internal/evtchn"
+	"nilihype/internal/hw"
+	"nilihype/internal/hypercall"
+	"nilihype/internal/sched"
+)
+
+// DeliverInterrupt implements hw.InterruptSink. NMIs are always taken
+// (that is how hangs with interrupts disabled get detected); everything
+// else is refused — and therefore held pending by the hardware — while the
+// CPU has interrupts disabled, the hypervisor is paused for recovery, or
+// the hypervisor has failed.
+func (h *Hypervisor) DeliverInterrupt(cpu int, vec hw.Vector) bool {
+	if vec == hw.VecNMI {
+		h.handleNMI(cpu)
+		return true
+	}
+	if h.failed || h.paused {
+		return false
+	}
+	pc := h.percpu[cpu]
+	if h.Machine.CPU(cpu).IntrDisabled || pc.Stuck() {
+		return false
+	}
+	if pc.Busy() {
+		// Event-atomicity means a CPU is never observed mid-program at
+		// interrupt time; keep the interrupt pending if it happens.
+		return false
+	}
+	h.Machine.CPU(cpu).Halted = false
+	h.Stats.Interrupts++
+	switch vec {
+	case hw.VecTimer:
+		h.Stats.TimerIRQs++
+		h.startIRQProgram(cpu, "timer", h.buildTimerIRQ(cpu))
+	case hw.VecBlock:
+		h.Stats.DeviceIRQs++
+		h.startIRQProgram(cpu, "block", h.buildDeviceIRQ(cpu, hw.IRQBlock))
+	case hw.VecNIC:
+		h.Stats.DeviceIRQs++
+		h.startIRQProgram(cpu, "nic", h.buildDeviceIRQ(cpu, hw.IRQNIC))
+	case hw.VecIPI:
+		h.startIRQProgram(cpu, "ipi", h.buildIPIProgram(cpu))
+	default:
+		return false
+	}
+	return true
+}
+
+// handleNMI runs the performance-counter NMI path: entry raises the IRQ
+// nesting level, the watchdog hook runs, and — unless recovery was
+// triggered inside the hook and discarded this context — the level drops
+// again on exit.
+func (h *Hypervisor) handleNMI(cpu int) {
+	if h.failed {
+		return
+	}
+	pc := h.percpu[cpu]
+	pc.LocalIRQCount++
+	h.Machine.CPU(cpu).ChargeHypervisor(nmiHandlerInstrs, nmiHandlerInstrs)
+	epoch := h.recoveryEpoch
+	if h.nmiHook != nil {
+		h.nmiHook(cpu)
+	}
+	if h.recoveryEpoch == epoch && !h.failed {
+		pc.LocalIRQCount--
+	}
+}
+
+const nmiHandlerInstrs = 120
+
+// startIRQProgram begins executing an interrupt handler program on cpu.
+func (h *Hypervisor) startIRQProgram(cpu int, activity string, prog hypercall.Program) {
+	pc := h.percpu[cpu]
+	pc.Env.Call = nil
+	pc.Env.ResetProgramState()
+	pc.InIRQProgram = true
+	pc.IRQActivity = activity
+	pc.CurrentProg = prog
+	pc.CurrentStep = 0
+	h.runProgram(cpu)
+}
+
+// buildTimerIRQ constructs the timer interrupt handler for cpu, following
+// Xen's structure: the interrupt handler itself pops due software timers,
+// re-arms the recurring ones, and reprograms the APIC one-shot; the bulk
+// of the follow-on work (the credit scheduler, RCU and time-calibration
+// housekeeping) runs afterwards in softirq context. The window between
+// entry and the reprogram step is the §V-A "Reprogram hardware timer"
+// hazard; the windows between a timer's run and re-arm steps are the
+// "Reactivate recurring timer events" hazard.
+func (h *Hypervisor) buildTimerIRQ(cpu int) hypercall.Program {
+	pc := h.percpu[cpu]
+	now := h.Clock.Now()
+	due := h.Timers.PopDue(cpu, now)
+	prog := hypercall.Program{
+		{Name: "enter_irq", Instrs: 100, Do: func() error {
+			pc.LocalIRQCount++
+			return nil
+		}},
+		// Walking the software timer heap and reading the hardware
+		// clock dominate the handler body; the APIC stays unarmed
+		// throughout (the §V-A window).
+		{Name: "scan_timer_heap", Instrs: 1500, Do: func() error { return nil }},
+	}
+	runSched := false
+	for _, t := range due {
+		t := t
+		if h.schedTicks[t] {
+			runSched = true
+			prog = append(prog, hypercall.Step{
+				Name: "rearm:" + t.Name, Instrs: 30,
+				Do: func() error { h.Timers.FinishTimer(t, now); return nil },
+			})
+			continue
+		}
+		prog = append(prog,
+			hypercall.Step{Name: "run_timer:" + t.Name, Instrs: 30, Do: func() error {
+				if t.Fn != nil {
+					t.Fn()
+				}
+				return nil
+			}},
+			hypercall.Step{Name: "rearm:" + t.Name, Instrs: 18, Do: func() error {
+				h.Timers.FinishTimer(t, now)
+				return nil
+			}},
+		)
+	}
+	prog = append(prog,
+		hypercall.Step{Name: "ack_lapic", Instrs: 260, Do: func() error { return nil }},
+		hypercall.Step{Name: "reprogram_apic", Instrs: 160, Do: func() error {
+			h.Timers.ProgramAPIC(cpu)
+			return nil
+		}},
+	)
+	// Softirq context: the APIC is re-armed from here on.
+	if runSched {
+		prog = append(prog, h.buildSchedSoftirq(cpu)...)
+	}
+	prog = append(prog,
+		// RCU, time calibration, accounting audits: substantial
+		// hypervisor work that holds no locks and leaves no partial
+		// state — faults landing here are the recoverable-with-few-
+		// enhancements cases of the Table I ladder.
+		hypercall.Step{Name: "softirq_timer_accounting", Instrs: 1850, Do: func() error { return nil }},
+		hypercall.Step{Name: "softirq_rcu", Instrs: 1850, Do: func() error { return nil }},
+		hypercall.Step{Name: "softirq_time_calibration", Instrs: 1750, Do: func() error { return nil }},
+		hypercall.Step{Name: "exit_irq", Instrs: 30, Do: func() error {
+			pc.LocalIRQCount--
+			return nil
+		}},
+	)
+	return prog
+}
+
+// buildSchedSoftirq constructs the scheduler softirq: credit accounting
+// and, when another vCPU is waiting, a context switch decomposed into the
+// metadata steps of §V-A. The runqueue lock is held throughout.
+func (h *Hypervisor) buildSchedSoftirq(cpu int) []hypercall.Step {
+	pc := h.percpu[cpu]
+	var op *sched.SwitchOp
+	steps := []hypercall.Step{
+		{Name: "lock_runq", Instrs: 30, Do: func() error {
+			return pc.Env.Acquire(h.Sched.RunqueueLock(cpu))
+		}},
+		{Name: "credit_tick", Instrs: 40, Do: func() error {
+			if v := h.Sched.Curr(cpu); v != nil {
+				v.Credit -= 10
+			}
+			return nil
+		}},
+	}
+	if h.Sched.RunqueueLen(cpu) > 0 {
+		steps = append(steps,
+			hypercall.Step{Name: "pick_next", Instrs: 90, Do: func() error {
+				op = h.Sched.BeginSwitch(cpu)
+				return nil
+			}},
+			hypercall.Step{Name: "dequeue_next", Instrs: 50, Do: func() error {
+				if op != nil {
+					op.StepDequeueNext()
+				}
+				return nil
+			}},
+			hypercall.Step{Name: "requeue_prev", Instrs: 50, Do: func() error {
+				if op != nil {
+					op.StepRequeuePrev()
+				}
+				return nil
+			}},
+			hypercall.Step{Name: "set_curr", Instrs: 40, Do: func() error {
+				if op != nil {
+					op.StepSetCurr()
+				}
+				return nil
+			}},
+			hypercall.Step{Name: "set_vcpu_state", Instrs: 70, Do: func() error {
+				if op != nil {
+					op.StepSetVCPU()
+				}
+				return nil
+			}},
+			hypercall.Step{Name: "context_switch", Instrs: 90, Do: func() error {
+				if op != nil {
+					h.switchRegisterContext(cpu, op.Prev(), op.Next())
+				}
+				return nil
+			}},
+		)
+	}
+	steps = append(steps, hypercall.Step{Name: "unlock_runq", Instrs: 30, Do: func() error {
+		pc.Env.Release(h.Sched.RunqueueLock(cpu))
+		return nil
+	}})
+	return steps
+}
+
+// switchRegisterContext saves the outgoing vCPU's architectural registers
+// from the physical CPU and loads the incoming vCPU's saved context. When
+// scheduling metadata is inconsistent, this is the step that literally
+// "restore[s] the register context of one vCPU when another is scheduled"
+// (§V-A).
+func (h *Hypervisor) switchRegisterContext(cpu int, prev, next *sched.VCPU) {
+	c := h.Machine.CPU(cpu)
+	if prev != nil {
+		prev.Context = c.Regs
+	}
+	if next != nil {
+		c.Regs = next.Context
+	}
+}
+
+// buildDeviceIRQ constructs the device interrupt handler: read the device,
+// post event channels to the owning domains, and acknowledge the IO-APIC.
+// A fault between reading and the EOI leaves the line in service — the
+// reason recovery must acknowledge all pending and in-service interrupts
+// (§III-B).
+func (h *Hypervisor) buildDeviceIRQ(cpu int, line hw.IRQLine) hypercall.Program {
+	pc := h.percpu[cpu]
+	prog := hypercall.Program{
+		{Name: "enter_irq", Instrs: 40, Do: func() error {
+			pc.LocalIRQCount++
+			return nil
+		}},
+	}
+	switch line {
+	case hw.IRQBlock:
+		comps := h.Machine.Block().DrainCompletions()
+		for _, c := range comps {
+			c := c
+			prog = append(prog, hypercall.Step{
+				Name: "post_blk_event", Instrs: 60,
+				Do: func() error {
+					d, err := h.Domains.ByID(c.Req.Owner)
+					if err != nil {
+						return err
+					}
+					return h.RaiseVIRQ(d, evtchn.VIRQBlock)
+				},
+			})
+		}
+	case hw.IRQNIC:
+		pkts := h.Machine.NIC().DrainRx()
+		for _, p := range pkts {
+			p := p
+			prog = append(prog, hypercall.Step{
+				Name: "post_nic_event", Instrs: 60,
+				Do: func() error {
+					if h.nicRxHook != nil {
+						h.nicRxHook(p)
+					}
+					return nil
+				},
+			})
+		}
+	}
+	prog = append(prog,
+		hypercall.Step{Name: "eoi", Instrs: 30, Do: func() error {
+			h.Machine.IOAPIC().EOI(line)
+			return nil
+		}},
+		hypercall.Step{Name: "exit_irq", Instrs: 30, Do: func() error {
+			pc.LocalIRQCount--
+			return nil
+		}},
+	)
+	return prog
+}
+
+// buildIPIProgram acknowledges an inter-processor interrupt.
+func (h *Hypervisor) buildIPIProgram(cpu int) hypercall.Program {
+	pc := h.percpu[cpu]
+	return hypercall.Program{
+		{Name: "enter_irq", Instrs: 40, Do: func() error {
+			pc.LocalIRQCount++
+			return nil
+		}},
+		{Name: "ack_ipi", Instrs: 50, Do: func() error { return nil }},
+		{Name: "exit_irq", Instrs: 30, Do: func() error {
+			pc.LocalIRQCount--
+			return nil
+		}},
+	}
+}
+
+// RaiseVIRQ posts a virtual-IRQ event to the domain's bound port, wakes
+// its upcall vCPU, and informs the guest layer.
+func (h *Hypervisor) RaiseVIRQ(d *dom.Domain, virq int) error {
+	port, err := h.Broker.RaiseVIRQ(d.ID, virq)
+	if err != nil {
+		return err
+	}
+	h.NotifyEvent(d.ID, port)
+	return nil
+}
+
+// NotifyEvent wakes the target domain's upcall vCPU and informs the guest
+// layer that port went pending on domID.
+func (h *Hypervisor) NotifyEvent(domID, port int) {
+	if d, err := h.Domains.ByID(domID); err == nil {
+		if v := d.UpcallVCPU(); v != nil {
+			h.WakeVCPU(v)
+		}
+	}
+	if h.eventHook != nil {
+		h.eventHook(domID, port)
+	}
+}
+
+// SetEventHook installs the guest-layer event notification callback.
+func (h *Hypervisor) SetEventHook(fn func(domID, port int)) { h.eventHook = fn }
+
+// SetNICRxHook installs the guest-layer packet receive callback.
+func (h *Hypervisor) SetNICRxHook(fn func(hw.Packet)) { h.nicRxHook = fn }

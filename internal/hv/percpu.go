@@ -1,0 +1,68 @@
+package hv
+
+import (
+	"nilihype/internal/hypercall"
+	"nilihype/internal/locking"
+)
+
+// PerCPU is the hypervisor's per-CPU private area — the analogue of Xen's
+// per-CPU data, including the local_irq_count variable the "Clear IRQ
+// count" enhancement exists for (§V-A).
+type PerCPU struct {
+	ID int
+
+	// LocalIRQCount is the interrupt nesting level. Incremented on every
+	// interrupt/exception entry, decremented on exit. Because error
+	// detection always happens in an exception or NMI context, the
+	// detecting CPU's count is nonzero at recovery time; if recovery
+	// does not clear it, post-recovery assertions (!in_irq()) fail.
+	LocalIRQCount int
+
+	// Env is this CPU's handler execution environment.
+	Env *hypercall.Env
+
+	// Current is the in-flight call, nil between requests. A call still
+	// present at recovery time was interrupted and needs retry.
+	Current *hypercall.Call
+	// CurrentProg/CurrentStep locate execution within the program.
+	CurrentProg hypercall.Program
+	CurrentStep int
+
+	// InIRQProgram marks execution inside an interrupt handler program
+	// (as opposed to a hypercall); IRQActivity names it ("timer", ...).
+	InIRQProgram bool
+	IRQActivity  string
+
+	// PendingPanic, when non-empty, fires a panic at the next program
+	// step (injector-scheduled delayed detection).
+	PendingPanic string
+
+	// Wedged marks a CPU stuck making no progress (wild jump / infinite
+	// loop after a fault). Interrupts are implicitly disabled.
+	Wedged bool
+
+	// Spinning, when non-nil, is the held lock this CPU is spinning on.
+	// A spinning CPU has interrupts disabled (spin_lock_irqsave), so its
+	// software timers stall and the watchdog eventually fires.
+	Spinning *locking.Lock
+
+	// FSGSSaved marks that the recovery path captured the guest FS/GS
+	// base registers at detection time (§IV "Save FS/GS"). Without it,
+	// a vCPU whose CPU was in hypervisor context loses those registers.
+	FSGSSaved bool
+
+	// WasBusyAtDiscard records whether the CPU was inside hypervisor
+	// execution when its thread was discarded (recovery bookkeeping).
+	WasBusyAtDiscard bool
+
+	// abandonedUnmitigated records that the call abandoned on this CPU
+	// was interrupted inside an unmitigated window (§IV residual): its
+	// retry is poisoned — the undo log cannot be trusted.
+	abandonedUnmitigated bool
+}
+
+// Busy reports whether the CPU is currently inside hypervisor execution.
+func (pc *PerCPU) Busy() bool { return pc.Current != nil || pc.InIRQProgram }
+
+// Stuck reports whether the CPU is making no progress (wedged or spinning).
+func (pc *PerCPU) Stuck() bool { return pc.Wedged || pc.Spinning != nil }

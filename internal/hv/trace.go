@@ -1,0 +1,122 @@
+package hv
+
+import (
+	"fmt"
+	"time"
+)
+
+// TraceKind classifies hypervisor trace events.
+type TraceKind int
+
+// Trace kinds.
+const (
+	// TraceDispatch: a hypercall/VM exit entered the hypervisor.
+	TraceDispatch TraceKind = iota + 1
+	// TraceComplete: the in-flight request finished.
+	TraceComplete
+	// TracePanic: a fatal exception / failed assertion.
+	TracePanic
+	// TraceSpin: a CPU started spinning on a held lock.
+	TraceSpin
+	// TraceWedge: a CPU wedged executing garbage.
+	TraceWedge
+	// TraceDiscard: an execution thread was discarded by recovery.
+	TraceDiscard
+	// TraceRetry: an interrupted request was re-dispatched.
+	TraceRetry
+	// TraceDrop: an interrupted request was abandoned (no retry).
+	TraceDrop
+)
+
+// String returns the kind name.
+func (k TraceKind) String() string {
+	switch k {
+	case TraceDispatch:
+		return "dispatch"
+	case TraceComplete:
+		return "complete"
+	case TracePanic:
+		return "panic"
+	case TraceSpin:
+		return "spin"
+	case TraceWedge:
+		return "wedge"
+	case TraceDiscard:
+		return "discard"
+	case TraceRetry:
+		return "retry"
+	case TraceDrop:
+		return "drop"
+	default:
+		return fmt.Sprintf("trace(%d)", int(k))
+	}
+}
+
+// TraceEvent is one hypervisor-level event.
+type TraceEvent struct {
+	At     time.Duration
+	CPU    int
+	Kind   TraceKind
+	Detail string
+}
+
+// String formats the event as a timeline line.
+func (e TraceEvent) String() string {
+	return fmt.Sprintf("[%10.3fms] cpu%d %-8s %s",
+		float64(e.At)/float64(time.Millisecond), e.CPU, e.Kind, e.Detail)
+}
+
+// SetTracer installs a trace sink. Nil disables tracing (the default; the
+// emit sites cost one nil check each).
+func (h *Hypervisor) SetTracer(fn func(TraceEvent)) { h.tracer = fn }
+
+// trace emits an event if a tracer is installed.
+func (h *Hypervisor) trace(cpu int, kind TraceKind, detail string) {
+	if h.tracer == nil {
+		return
+	}
+	h.tracer(TraceEvent{At: h.Clock.Now(), CPU: cpu, Kind: kind, Detail: detail})
+}
+
+// TraceRecorder is a bounded in-memory trace sink.
+type TraceRecorder struct {
+	cap    int
+	events []TraceEvent
+	// Dropped counts events discarded after the buffer filled.
+	Dropped int
+}
+
+// NewTraceRecorder returns a recorder holding up to capacity events.
+func NewTraceRecorder(capacity int) *TraceRecorder {
+	return &TraceRecorder{cap: capacity}
+}
+
+// Record is the sink function (pass to SetTracer).
+func (r *TraceRecorder) Record(e TraceEvent) {
+	if len(r.events) >= r.cap {
+		r.Dropped++
+		return
+	}
+	r.events = append(r.events, e)
+}
+
+// Events returns the recorded events in order.
+func (r *TraceRecorder) Events() []TraceEvent {
+	out := make([]TraceEvent, len(r.events))
+	copy(out, r.events)
+	return out
+}
+
+// Filter returns the recorded events of the given kinds.
+func (r *TraceRecorder) Filter(kinds ...TraceKind) []TraceEvent {
+	var out []TraceEvent
+	for _, e := range r.events {
+		for _, k := range kinds {
+			if e.Kind == k {
+				out = append(out, e)
+				break
+			}
+		}
+	}
+	return out
+}

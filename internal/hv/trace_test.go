@@ -1,0 +1,99 @@
+package hv
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"nilihype/internal/hypercall"
+)
+
+func TestTraceKindStrings(t *testing.T) {
+	for _, tt := range []struct {
+		k    TraceKind
+		want string
+	}{
+		{TraceDispatch, "dispatch"}, {TraceComplete, "complete"},
+		{TracePanic, "panic"}, {TraceSpin, "spin"}, {TraceWedge, "wedge"},
+		{TraceDiscard, "discard"}, {TraceRetry, "retry"}, {TraceDrop, "drop"},
+		{TraceKind(99), "trace(99)"},
+	} {
+		if got := tt.k.String(); got != tt.want {
+			t.Fatalf("String() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestTraceRecordsFullRecoveryTimeline(t *testing.T) {
+	h, _ := newBooted(t)
+	addAppVM(t, h, 1, 1)
+	rec := NewTraceRecorder(256)
+	h.SetTracer(rec.Record)
+	h.SetPanicHook(func(int, string) {})
+
+	d, _ := h.Domain(1)
+	h.ArmInjection(250, func(InjectionPoint) (InjectAction, string) {
+		return ActionPanic, "failstop"
+	})
+	h.Dispatch(1, &hypercall.Call{Op: hypercall.OpMMUUpdate, Dom: 1,
+		Args: [4]uint64{hypercall.MMUPin, uint64(d.MemStart + 7)}})
+	pending := h.DiscardAllThreads()
+	h.Locks.UnlockHeapLocks()
+	h.ClearIRQCounts()
+	h.ReenableCPUs()
+	h.RetryPendingCalls(pending)
+
+	wantOrder := []TraceKind{TraceDispatch, TracePanic, TraceDiscard, TraceRetry, TraceDispatch, TraceComplete}
+	events := rec.Events()
+	if len(events) < len(wantOrder) {
+		t.Fatalf("recorded %d events, want >= %d: %v", len(events), len(wantOrder), events)
+	}
+	for i, k := range wantOrder {
+		if events[i].Kind != k {
+			t.Fatalf("event %d = %v, want %v (timeline: %v)", i, events[i].Kind, k, events)
+		}
+	}
+	if got := rec.Filter(TracePanic); len(got) != 1 || !strings.Contains(got[0].Detail, "failstop") {
+		t.Fatalf("Filter(panic) = %v", got)
+	}
+	if !strings.Contains(events[0].String(), "cpu1") {
+		t.Fatalf("String() = %q", events[0].String())
+	}
+}
+
+func TestTraceRecorderBounded(t *testing.T) {
+	rec := NewTraceRecorder(2)
+	for i := 0; i < 5; i++ {
+		rec.Record(TraceEvent{At: time.Duration(i), Kind: TraceDispatch})
+	}
+	if len(rec.Events()) != 2 || rec.Dropped != 3 {
+		t.Fatalf("events=%d dropped=%d", len(rec.Events()), rec.Dropped)
+	}
+}
+
+func TestTraceDropAndSpinEvents(t *testing.T) {
+	h, _ := newBooted(t)
+	addAppVM(t, h, 1, 1)
+	rec := NewTraceRecorder(64)
+	h.SetTracer(rec.Record)
+	h.SetPanicHook(func(int, string) {})
+
+	// Spin event.
+	h.Statics.Console.TryAcquire(3)
+	h.Dispatch(1, &hypercall.Call{Op: hypercall.OpConsoleIO, Dom: 1})
+	if got := rec.Filter(TraceSpin); len(got) != 1 || got[0].Detail != "console_lock" {
+		t.Fatalf("Filter(spin) = %v", got)
+	}
+	// Drop event.
+	pending := h.DiscardAllThreads()
+	h.DropPendingCalls(pending)
+	if got := rec.Filter(TraceDrop); len(got) != 1 {
+		t.Fatalf("Filter(drop) = %v", got)
+	}
+}
+
+func TestTracingDisabledByDefault(t *testing.T) {
+	h, clk := newBooted(t)
+	addAppVM(t, h, 1, 1)
+	clk.RunUntil(50 * time.Millisecond) // must not panic with nil tracer
+}

@@ -1,0 +1,162 @@
+package hw
+
+import (
+	"fmt"
+	"time"
+)
+
+// BlockRequest is one I/O request submitted to the block device.
+type BlockRequest struct {
+	// Owner identifies the requesting domain; the completion callback
+	// receives it back so the hypervisor can post the right event.
+	Owner int
+	// Sectors is the request size in 512-byte sectors; service time
+	// scales mildly with it.
+	Sectors int
+	// Write distinguishes writes from reads (same timing model; recorded
+	// for workload statistics).
+	Write bool
+	// Cookie is an opaque request tag returned on completion.
+	Cookie uint64
+}
+
+// BlockCompletion is passed to the completion callback registered with
+// SetCompleter.
+type BlockCompletion struct {
+	Req BlockRequest
+	OK  bool
+}
+
+// BlockDevice models a single-queue disk: requests are serviced in FIFO
+// order, each taking the configured service time (plus a per-sector
+// component), and completion raises IRQBlock through the IO-APIC.
+type BlockDevice struct {
+	machine *Machine
+	svc     time.Duration
+
+	queue     []BlockRequest
+	busy      bool
+	completed []BlockCompletion
+
+	// Stats
+	Submitted uint64
+	Completed uint64
+}
+
+func newBlockDevice(m *Machine, svc time.Duration) *BlockDevice {
+	return &BlockDevice{machine: m, svc: svc}
+}
+
+// Submit enqueues a request. The device starts servicing immediately if
+// idle.
+func (b *BlockDevice) Submit(req BlockRequest) {
+	b.Submitted++
+	b.queue = append(b.queue, req)
+	if !b.busy {
+		b.startNext()
+	}
+}
+
+func (b *BlockDevice) startNext() {
+	if len(b.queue) == 0 {
+		b.busy = false
+		return
+	}
+	b.busy = true
+	req := b.queue[0]
+	b.queue = b.queue[1:]
+	cost := b.svc + time.Duration(req.Sectors)*500*time.Nanosecond
+	b.machine.Clock.After(cost, fmt.Sprintf("blk-complete dom%d", req.Owner), func() {
+		b.Completed++
+		b.completed = append(b.completed, BlockCompletion{Req: req, OK: true})
+		b.machine.ioapic.Raise(IRQBlock)
+		b.startNext()
+	})
+}
+
+// DrainCompletions returns and clears the completion ring. The hypervisor's
+// block interrupt handler calls this.
+func (b *BlockDevice) DrainCompletions() []BlockCompletion {
+	out := b.completed
+	b.completed = nil
+	return out
+}
+
+// QueueDepth returns the number of queued (not yet serviced) requests.
+func (b *BlockDevice) QueueDepth() int { return len(b.queue) }
+
+// Packet is a network frame arriving at or leaving the NIC.
+type Packet struct {
+	// Flow identifies the logical flow (e.g. the NetBench session).
+	Flow int
+	// Seq is the sender's sequence number.
+	Seq uint64
+	// SentAt is the virtual send timestamp at the origin host; the
+	// NetBench sender uses it to measure service interruption.
+	SentAt time.Duration
+}
+
+// RxRingSlots is the NIC receive ring capacity. While the hypervisor is
+// paused (or a CPU is stuck) the ring fills; further packets are dropped —
+// which is what makes long outages visible to the NetBench sender as lost
+// packets, while a short (NiLiHype-scale) recovery pause fits in the ring.
+const RxRingSlots = 64
+
+// NIC models the network interface. Inbound packets (from the external
+// sender host) arrive via Inject and raise IRQNIC after the delivery
+// latency; outbound packets are handed to the registered transmit sink
+// after the same latency.
+type NIC struct {
+	machine *Machine
+	lat     time.Duration
+
+	rxRing []Packet
+	txSink func(Packet)
+
+	// Stats
+	RxCount   uint64
+	RxDropped uint64
+	TxCount   uint64
+}
+
+func newNIC(m *Machine, lat time.Duration) *NIC {
+	return &NIC{machine: m, lat: lat}
+}
+
+// SetTxSink registers the callback that receives transmitted packets (the
+// simulated external host).
+func (n *NIC) SetTxSink(sink func(Packet)) { n.txSink = sink }
+
+// Inject delivers pkt from the wire: after the NIC latency it lands in the
+// RX ring and IRQNIC is raised.
+func (n *NIC) Inject(pkt Packet) {
+	n.machine.Clock.After(n.lat, "nic-rx", func() {
+		if len(n.rxRing) >= RxRingSlots {
+			n.RxDropped++
+			return
+		}
+		n.RxCount++
+		n.rxRing = append(n.rxRing, pkt)
+		n.machine.ioapic.Raise(IRQNIC)
+	})
+}
+
+// DrainRx returns and clears the RX ring.
+func (n *NIC) DrainRx() []Packet {
+	out := n.rxRing
+	n.rxRing = nil
+	return out
+}
+
+// Transmit sends pkt to the wire; the TX sink sees it after the NIC
+// latency.
+func (n *NIC) Transmit(pkt Packet) {
+	n.TxCount++
+	if n.txSink == nil {
+		return
+	}
+	n.machine.Clock.After(n.lat, "nic-tx", func() { n.txSink(pkt) })
+}
+
+// RxDepth returns the number of undrained RX packets.
+func (n *NIC) RxDepth() int { return len(n.rxRing) }

@@ -1,0 +1,123 @@
+package hw
+
+import "fmt"
+
+// IRQLine identifies a hardware interrupt line routed through the IO-APIC.
+type IRQLine int
+
+// Device interrupt lines.
+const (
+	IRQBlock IRQLine = iota + 1
+	IRQNIC
+
+	numIRQLines = int(IRQNIC) + 1
+)
+
+// String returns a short name for the line.
+func (l IRQLine) String() string {
+	switch l {
+	case IRQBlock:
+		return "irq-block"
+	case IRQNIC:
+		return "irq-nic"
+	default:
+		return fmt.Sprintf("irq(%d)", int(l))
+	}
+}
+
+// lineState tracks the per-line delivery state machine. A line with an
+// un-acknowledged in-service interrupt cannot deliver again: if recovery
+// fails to acknowledge in-service interrupts (§III-B "all pending and
+// in-service interrupts are acknowledged"), the device behind the line goes
+// silent and the corresponding VM eventually fails.
+type lineState struct {
+	cpu       int    // routed destination CPU
+	vec       Vector // delivered vector
+	enabled   bool
+	inService bool
+	pending   bool
+}
+
+// IOAPIC routes device interrupt lines to CPUs. Writes to its redirection
+// table during normal operation are what ReHype must log and replay across
+// reboot (Table IV discussion); NiLiHype keeps the table in place.
+type IOAPIC struct {
+	machine *Machine
+	lines   [numIRQLines + 1]lineState
+
+	// RedirWrites counts redirection-table writes since boot; ReHype's
+	// IO-APIC logging during normal operation mirrors these.
+	RedirWrites uint64
+}
+
+func newIOAPIC(m *Machine) *IOAPIC {
+	io := &IOAPIC{machine: m}
+	return io
+}
+
+// Route programs line to deliver vec to cpu and enables it.
+func (io *IOAPIC) Route(line IRQLine, cpu int, vec Vector) {
+	io.lines[line] = lineState{cpu: cpu, vec: vec, enabled: true}
+	io.RedirWrites++
+}
+
+// Mask disables delivery on line.
+func (io *IOAPIC) Mask(line IRQLine) {
+	io.lines[line].enabled = false
+	io.RedirWrites++
+}
+
+// Raise asserts line. If the line is enabled and has no in-service
+// interrupt, the interrupt is delivered (or queued pending at the CPU);
+// otherwise the assertion is latched pending at the line.
+func (io *IOAPIC) Raise(line IRQLine) {
+	st := &io.lines[line]
+	if !st.enabled {
+		return
+	}
+	if st.inService {
+		st.pending = true
+		return
+	}
+	st.inService = true
+	io.machine.cpus[st.cpu].raise(st.vec)
+}
+
+// EOI acknowledges the in-service interrupt on line. If another assertion
+// was latched while in service, it is delivered immediately.
+func (io *IOAPIC) EOI(line IRQLine) {
+	st := &io.lines[line]
+	if !st.inService {
+		return
+	}
+	st.inService = false
+	if st.pending {
+		st.pending = false
+		st.inService = true
+		io.machine.cpus[st.cpu].raise(st.vec)
+	}
+}
+
+// InService reports whether line has an unacknowledged in-service
+// interrupt.
+func (io *IOAPIC) InService(line IRQLine) bool { return io.lines[line].inService }
+
+// AckAll acknowledges every pending and in-service interrupt on every
+// line. This is the recovery-time "acknowledge all pending and in-service
+// interrupts" operation shared by ReHype and NiLiHype.
+func (io *IOAPIC) AckAll() {
+	for i := range io.lines {
+		io.lines[i].inService = false
+		io.lines[i].pending = false
+	}
+}
+
+// LineFor returns the line that delivers vec, or -1 if none does.
+func (io *IOAPIC) LineFor(vec Vector) IRQLine {
+	for i := 1; i < len(io.lines); i++ {
+		if io.lines[i].enabled && io.lines[i].vec == vec {
+			return IRQLine(i)
+		}
+	}
+	return -1
+}

@@ -1,0 +1,716 @@
+package hypercall
+
+import (
+	"fmt"
+	"time"
+
+	"nilihype/internal/evtchn"
+	"nilihype/internal/mm"
+	"nilihype/internal/sched"
+)
+
+// Build constructs the handler program for a call. Programs are built at
+// dispatch time (and again at retry time), so a retried multicall skips
+// already-completed components via the completion log.
+//
+// Step instruction weights are calibrated: together with the workload mix
+// they determine what fraction of hypervisor execution holds locks, is
+// mid-non-idempotent-update, is inside the scheduler, etc. — the occupancy
+// fractions that the paper's Table I recovery ladder reflects.
+func Build(env *Env, call *Call) (Program, error) {
+	switch call.Op {
+	case OpMMUUpdate:
+		return buildMMUUpdate(env, call), nil
+	case OpMemoryOp:
+		return buildMemoryOp(env, call), nil
+	case OpGrantTableOp:
+		return buildGrantTableOp(env, call), nil
+	case OpEventChannelOp:
+		return buildEventChannel(env, call), nil
+	case OpSchedOp:
+		return buildSchedOp(env, call), nil
+	case OpSetTimerOp:
+		return buildSetTimer(env, call), nil
+	case OpConsoleIO:
+		return buildConsoleIO(env, call), nil
+	case OpVCPUOp:
+		return buildVCPUOp(env, call), nil
+	case OpMulticall:
+		return buildMulticall(env, call)
+	case OpDomctl:
+		return buildDomctl(env, call), nil
+	case OpSyscallForward:
+		return buildSyscallForward(env, call), nil
+	case OpEPTViolation:
+		return buildEPTViolation(env, call), nil
+	case OpIOEmulation:
+		return buildIOEmulation(env, call), nil
+	default:
+		return nil, fmt.Errorf("hypercall: unknown op %v", call.Op)
+	}
+}
+
+// assertf returns an assertion-failure error (hypervisor ASSERT).
+func assertf(format string, args ...any) error {
+	return fmt.Errorf("ASSERT: "+format, args...)
+}
+
+// buildMMUUpdate models page-table pin/unpin: the canonical non-idempotent
+// hypercall. The reference count and the validation bit are updated in
+// separate steps; re-executing the count update after a partial run trips
+// the validation assertion — exactly the paper's §IV example.
+func buildMMUUpdate(env *Env, call *Call) Program {
+	frame := int(call.Args[1])
+	pin := call.Args[SubOpArg] == MMUPin
+	var d = func() (*mm.PageFrame, error) {
+		if frame < 0 || frame >= env.Frames.Len() {
+			return nil, assertf("mmu_update: bad frame %d", frame)
+		}
+		return env.Frames.Frame(frame), nil
+	}
+	domLock := func() error {
+		dm, err := env.targetDomain(call.Dom)
+		if err != nil {
+			return err
+		}
+		return env.Acquire(dm.PageAllocLock)
+	}
+	domUnlock := func() error {
+		dm, err := env.targetDomain(call.Dom)
+		if err != nil {
+			return err
+		}
+		env.Release(dm.PageAllocLock)
+		return nil
+	}
+	if pin {
+		return Program{
+			{Name: "entry", Instrs: 150, Do: func() error { return nil }},
+			{Name: "lock_page_alloc", Instrs: 40, Do: domLock},
+			{Name: "inc_refcount", Instrs: 60, Do: func() error {
+				f, err := d()
+				if err != nil {
+					return err
+				}
+				env.LogWrite("mmu_pin: undo inc_refcount", LogCostMMU, func() { f.UseCount-- })
+				f.Type = mm.FramePageTable
+				f.IncUse()
+				return nil
+			}},
+			{Name: "write_pte", Instrs: 120, Do: func() error { return nil }},
+			{Name: "validate", Instrs: 80, Do: func() error {
+				f, err := d()
+				if err != nil {
+					return err
+				}
+				if f.UseCount != 1 {
+					return assertf("mmu_pin: refcount %d on validate (retry of partial hypercall?)", f.UseCount)
+				}
+				// The validation bit itself is not logged: a rollback
+				// that leaves it stale is exactly the inconsistency the
+				// recovery-time page-frame scan repairs.
+				f.Validated = true
+				return nil
+			}},
+			{Name: "window", Instrs: 38, Unmitigated: true, Do: func() error { return nil }},
+			{Name: "unlock_page_alloc", Instrs: 30, Do: domUnlock},
+			{Name: "complete", Instrs: 20, Do: func() error { return nil }},
+		}
+	}
+	return Program{
+		{Name: "entry", Instrs: 150, Do: func() error { return nil }},
+		{Name: "lock_page_alloc", Instrs: 40, Do: domLock},
+		{Name: "clear_validated", Instrs: 50, Do: func() error {
+			f, err := d()
+			if err != nil {
+				return err
+			}
+			if !f.Validated {
+				return assertf("mmu_unpin: frame %d not validated (retry of partial hypercall?)", frame)
+			}
+			env.LogWrite("mmu_unpin: undo clear_validated", LogCostMMU, func() { f.Validated = true })
+			f.Validated = false
+			return nil
+		}},
+		{Name: "dec_refcount", Instrs: 60, Do: func() error {
+			f, err := d()
+			if err != nil {
+				return err
+			}
+			env.LogWrite("mmu_unpin: undo dec_refcount", LogCostMMU, func() { f.UseCount++ })
+			if err := f.DecUse(); err != nil {
+				return assertf("mmu_unpin: %v", err)
+			}
+			if f.UseCount == 0 {
+				f.Type = mm.FrameGuest
+			}
+			return nil
+		}},
+		{Name: "window", Instrs: 38, Unmitigated: true, Do: func() error { return nil }},
+		{Name: "unlock_page_alloc", Instrs: 30, Do: domUnlock},
+		{Name: "complete", Instrs: 20, Do: func() error { return nil }},
+	}
+}
+
+// buildMemoryOp models increase/decrease reservation: adjusts the domain's
+// page accounting under the static heap lock. Non-idempotent via TotPages.
+func buildMemoryOp(env *Env, call *Call) Program {
+	delta := int(int64(call.Args[1]))
+	if call.Args[SubOpArg] == MemRelease {
+		delta = -delta
+	}
+	return Program{
+		{Name: "entry", Instrs: 120, Do: func() error { return nil }},
+		{Name: "lock_heap", Instrs: 40, Do: func() error { return env.Acquire(env.Statics.HeapLock) }},
+		{Name: "adjust_tot_pages", Instrs: 110, Do: func() error {
+			dm, err := env.targetDomain(call.Dom)
+			if err != nil {
+				return err
+			}
+			env.LogWrite("memory_op: undo tot_pages", LogCostMemory, func() { dm.TotPages -= delta })
+			dm.TotPages += delta
+			if dm.TotPages < 0 || dm.TotPages > dm.MemCount {
+				return assertf("memory_op: tot_pages %d out of [0,%d] for d%d (retry of partial hypercall?)",
+					dm.TotPages, dm.MemCount, dm.ID)
+			}
+			return nil
+		}},
+		{Name: "update_heap", Instrs: 260, Do: func() error { return env.Heap.Check() }},
+		{Name: "window", Instrs: 32, Unmitigated: true, Do: func() error { return nil }},
+		{Name: "unlock_heap", Instrs: 30, Do: func() error { env.Release(env.Statics.HeapLock); return nil }},
+		{Name: "complete", Instrs: 20, Do: func() error { return nil }},
+	}
+}
+
+// buildGrantTableOp models grant map/unmap: the block I/O path's mechanism
+// for sharing pages, again with a non-idempotent map count.
+func buildGrantTableOp(env *Env, call *Call) Program {
+	ref := int(call.Args[1])
+	frame := int(call.Args[2])
+	mapOp := call.Args[SubOpArg] == GrantMap
+	if mapOp {
+		return Program{
+			{Name: "entry", Instrs: 130, Do: func() error { return nil }},
+			{Name: "lock_grant", Instrs: 40, Do: func() error {
+				dm, err := env.targetDomain(call.Dom)
+				if err != nil {
+					return err
+				}
+				return env.Acquire(dm.GrantLock)
+			}},
+			{Name: "map_track", Instrs: 50, Do: func() error {
+				dm, err := env.targetDomain(call.Dom)
+				if err != nil {
+					return err
+				}
+				e, err := dm.GrantTab.Entry(ref)
+				if err != nil {
+					return assertf("grant_map: %v", err)
+				}
+				if !e.InUse || e.Frame != frame {
+					return assertf("grant_map: ref %d not granted for frame %d in d%d", ref, frame, dm.ID)
+				}
+				// The I/O rings map each granted buffer exactly once;
+				// a second mapping is the §IV signature of a retried
+				// partial hypercall.
+				if e.MapCount != 0 {
+					return assertf("grant_map: ref %d already mapped in d%d (retry of partial hypercall?)", ref, dm.ID)
+				}
+				h, _, err := dm.Maptrack.Map(dm.GrantTab, ref)
+				if err != nil {
+					return assertf("grant_map: %v", err)
+				}
+				env.LogWrite("grant_map: undo map_track", LogCostGrant, func() {
+					dm.Maptrack.Unmap(h, dm.GrantTab)
+				})
+				return nil
+			}},
+			{Name: "inc_mapcount", Instrs: 50, Do: func() error {
+				if frame < 0 || frame >= env.Frames.Len() {
+					return assertf("grant_map: bad frame %d", frame)
+				}
+				f := env.Frames.Frame(frame)
+				env.LogWrite("grant_map: undo inc_mapcount", LogCostGrant, func() { f.UseCount-- })
+				f.IncUse()
+				return nil
+			}},
+			{Name: "unlock_grant", Instrs: 30, Do: func() error {
+				dm, err := env.targetDomain(call.Dom)
+				if err != nil {
+					return err
+				}
+				env.Release(dm.GrantLock)
+				return nil
+			}},
+			{Name: "complete", Instrs: 20, Do: func() error { return nil }},
+		}
+	}
+	return Program{
+		{Name: "entry", Instrs: 130, Do: func() error { return nil }},
+		{Name: "lock_grant", Instrs: 40, Do: func() error {
+			dm, err := env.targetDomain(call.Dom)
+			if err != nil {
+				return err
+			}
+			return env.Acquire(dm.GrantLock)
+		}},
+		{Name: "unmap_track", Instrs: 50, Do: func() error {
+			dm, err := env.targetDomain(call.Dom)
+			if err != nil {
+				return err
+			}
+			h := dm.Maptrack.HandleForRef(dm.ID, ref)
+			if h < 0 {
+				return assertf("grant_unmap: ref %d not mapped in d%d (retry of partial hypercall?)", ref, dm.ID)
+			}
+			mp, err := dm.Maptrack.Unmap(h, dm.GrantTab)
+			if err != nil {
+				return assertf("grant_unmap: %v", err)
+			}
+			env.LogWrite("grant_unmap: undo unmap_track", LogCostGrant, func() {
+				dm.Maptrack.Map(dm.GrantTab, mp.Ref)
+			})
+			return nil
+		}},
+		{Name: "dec_mapcount", Instrs: 50, Do: func() error {
+			if frame < 0 || frame >= env.Frames.Len() {
+				return assertf("grant_unmap: bad frame %d", frame)
+			}
+			f := env.Frames.Frame(frame)
+			env.LogWrite("grant_unmap: undo dec_mapcount", LogCostGrant, func() { f.UseCount++ })
+			if err := f.DecUse(); err != nil {
+				return assertf("grant_unmap: %v", err)
+			}
+			return nil
+		}},
+		{Name: "window", Instrs: 44, Unmitigated: true, Do: func() error { return nil }},
+		{Name: "unlock_grant", Instrs: 30, Do: func() error {
+			dm, err := env.targetDomain(call.Dom)
+			if err != nil {
+				return err
+			}
+			env.Release(dm.GrantLock)
+			return nil
+		}},
+		{Name: "complete", Instrs: 20, Do: func() error { return nil }},
+	}
+}
+
+// buildEventChannel models event-channel send: idempotent (the pending
+// bit is level-triggered), so retry is always safe. Setting the peer's
+// pending bit and delivering the upcall are separate steps (an abandoned
+// upcall leaves a pending-but-sleeping vCPU; the scheduling-metadata
+// repair re-enqueues it).
+func buildEventChannel(env *Env, call *Call) Program {
+	port := int(call.Args[2])
+	notified := -1
+	notifiedPort := -1
+	bad := false // invalid port: -EINVAL to the guest, not a panic
+	return Program{
+		{Name: "entry", Instrs: 100, Do: func() error { return nil }},
+		{Name: "lookup_port", Instrs: 60, Do: func() error {
+			// The send path walks the caller's domain structure.
+			dm, err := env.targetDomain(call.Dom)
+			if err != nil {
+				return err
+			}
+			if p, err := dm.Events.Port(port); err != nil || p.State == evtchn.Free || p.State == evtchn.Unbound {
+				bad = true
+			}
+			return nil
+		}},
+		{Name: "set_pending", Instrs: 40, Do: func() error {
+			if bad {
+				return nil
+			}
+			who, err := env.Broker.Send(call.Dom, port)
+			if err != nil {
+				return assertf("evtchn_send: %v", err)
+			}
+			notified = who
+			dm, err := env.targetDomain(who)
+			if err != nil {
+				return err
+			}
+			if ports := dm.Events.PendingPorts(); len(ports) > 0 {
+				notifiedPort = ports[len(ports)-1]
+			}
+			return nil
+		}},
+		{Name: "upcall", Instrs: 50, Do: func() error {
+			if notified < 0 {
+				return nil
+			}
+			dm, err := env.targetDomain(notified)
+			if err != nil {
+				return err
+			}
+			if v := dm.UpcallVCPU(); v != nil {
+				env.Wake(v)
+			}
+			if env.Notify != nil && notifiedPort >= 0 {
+				env.Notify(notified, notifiedPort)
+			}
+			return nil
+		}},
+		{Name: "complete", Instrs: 20, Do: func() error { return nil }},
+	}
+}
+
+// buildSchedOp models yield/block: the guest gives up the CPU and the
+// scheduler context-switches. The switch is decomposed into the metadata
+// steps whose windows produce the paper's scheduling inconsistencies.
+func buildSchedOp(env *Env, call *Call) Program {
+	blockOp := call.Args[SubOpArg] == SchedBlock
+	var op *sched.SwitchOp
+	cpu := env.CPU
+	return Program{
+		{Name: "entry", Instrs: 100, Do: func() error { return nil }},
+		{Name: "lock_runq", Instrs: 30, Do: func() error {
+			return env.Acquire(env.Sched.RunqueueLock(cpu))
+		}},
+		{Name: "update_runstate", Instrs: 60, Do: func() error {
+			if blockOp {
+				env.Sched.Block(cpu)
+			}
+			return nil
+		}},
+		{Name: "pick_next", Instrs: 90, Do: func() error {
+			op = env.Sched.BeginSwitch(cpu)
+			return nil
+		}},
+		{Name: "dequeue_next", Instrs: 50, Do: func() error {
+			if op != nil {
+				op.StepDequeueNext()
+			}
+			return nil
+		}},
+		{Name: "requeue_prev", Instrs: 50, Do: func() error {
+			if op != nil && !blockOp {
+				op.StepRequeuePrev()
+			}
+			return nil
+		}},
+		{Name: "set_curr", Instrs: 40, Do: func() error {
+			if op != nil {
+				op.StepSetCurr()
+			}
+			return nil
+		}},
+		{Name: "set_vcpu_state", Instrs: 70, Do: func() error {
+			if op != nil {
+				op.StepSetVCPU()
+			}
+			return nil
+		}},
+		{Name: "unlock_runq", Instrs: 30, Do: func() error {
+			env.Release(env.Sched.RunqueueLock(cpu))
+			return nil
+		}},
+		{Name: "context_restore", Instrs: 110, Do: func() error {
+			if op != nil && env.SwitchContext != nil {
+				env.SwitchContext(cpu, op.Prev(), op.Next())
+			}
+			return nil
+		}},
+		{Name: "complete", Instrs: 20, Do: func() error { return nil }},
+	}
+}
+
+// buildSetTimer models set_timer_op: replace the vCPU's wakeup timer and
+// reprogram the APIC (separate steps — the add/reprogram window).
+func buildSetTimer(env *Env, call *Call) Program {
+	delta := time.Duration(call.Args[1])
+	cpu := env.CPU
+	return Program{
+		{Name: "entry", Instrs: 100, Do: func() error { return nil }},
+		{Name: "stop_old_timer", Instrs: 30, Do: func() error {
+			dm, err := env.targetDomain(call.Dom)
+			if err != nil {
+				return err
+			}
+			if dm.WakeupTimer != nil {
+				env.Timers.StopTimer(dm.WakeupTimer)
+				dm.WakeupTimer = nil
+			}
+			return nil
+		}},
+		{Name: "add_timer", Instrs: 60, Do: func() error {
+			dm, err := env.targetDomain(call.Dom)
+			if err != nil {
+				return err
+			}
+			var v *sched.VCPU
+			if len(dm.VCPUs) > 0 {
+				v = dm.VCPUs[0]
+			}
+			dm.WakeupTimer = env.Timers.AddTimer(cpu, fmt.Sprintf("d%d-wakeup", call.Dom),
+				env.Now()+delta, 0, func() {
+					if v != nil {
+						env.Wake(v)
+					}
+				})
+			return nil
+		}},
+		{Name: "reprogram_apic", Instrs: 40, Do: func() error {
+			env.Timers.ProgramAPIC(cpu)
+			return nil
+		}},
+		{Name: "complete", Instrs: 20, Do: func() error { return nil }},
+	}
+}
+
+// buildConsoleIO models console output: the message lands in the
+// hypervisor console ring under the console static lock.
+func buildConsoleIO(env *Env, call *Call) Program {
+	return Program{
+		{Name: "entry", Instrs: 80, Do: func() error { return nil }},
+		{Name: "lock_console", Instrs: 30, Do: func() error { return env.Acquire(env.Statics.Console) }},
+		{Name: "emit", Instrs: 100, Do: func() error {
+			if env.ConsoleWrite != nil {
+				env.ConsoleWrite(fmt.Sprintf("d%d: console output (call %d)", call.Dom, call.Seq))
+			}
+			return nil
+		}},
+		{Name: "unlock_console", Instrs: 30, Do: func() error { env.Release(env.Statics.Console); return nil }},
+		{Name: "complete", Instrs: 10, Do: func() error { return nil }},
+	}
+}
+
+// buildVCPUOp models lightweight vCPU state queries (idempotent).
+func buildVCPUOp(env *Env, call *Call) Program {
+	return Program{
+		{Name: "entry", Instrs: 80, Do: func() error { return nil }},
+		{Name: "read_state", Instrs: 60, Do: func() error {
+			_, err := env.targetDomain(call.Dom)
+			return err
+		}},
+		{Name: "complete", Instrs: 20, Do: func() error { return nil }},
+	}
+}
+
+// buildMulticall flattens the batch's component programs, inserting a
+// completion-log step after each component. Components already marked
+// complete (retry of a partial batch) are skipped — the fine-granularity
+// batched-retry enhancement of §IV.
+func buildMulticall(env *Env, call *Call) (Program, error) {
+	prog := Program{
+		{Name: "multicall_entry", Instrs: 60, Do: func() error { return nil }},
+	}
+	for i := call.Completed; i < len(call.Batch); i++ {
+		comp := call.Batch[i]
+		sub, err := Build(env, comp)
+		if err != nil {
+			return nil, err
+		}
+		prog = append(prog, sub...)
+		if env.RecoveryPrep {
+			// Completion logging is recovery machinery (§IV): stock Xen
+			// does not track per-component completion.
+			prog = append(prog, Step{
+				Name:   fmt.Sprintf("log_completion[%d]", i),
+				Instrs: 15,
+				Do: func() error {
+					call.Completed++
+					// Commit: a completed component is never rolled
+					// back or re-executed, so its undo records are
+					// discarded here, not at batch completion.
+					env.Undo.Clear()
+					return nil
+				},
+			})
+		}
+	}
+	prog = append(prog, Step{Name: "multicall_exit", Instrs: 30, Do: func() error { return nil }})
+	return prog, nil
+}
+
+// buildDomctl models PrivVM management operations: domain creation and
+// destruction. Creation inserts into the global domain list — a logged
+// critical write, since a retried partial create would double-insert.
+func buildDomctl(env *Env, call *Call) Program {
+	sub := call.Args[SubOpArg]
+	if sub == DomctlCreate {
+		spec := call.Create
+		created := false
+		return Program{
+			{Name: "entry", Instrs: 200, Do: func() error {
+				if spec == nil {
+					return assertf("domctl_create: nil spec")
+				}
+				return nil
+			}},
+			{Name: "lock_domlist", Instrs: 40, Do: func() error { return env.Acquire(env.Statics.DomList) }},
+			{Name: "check_exists", Instrs: 60, Do: func() error {
+				if env.Domains.Corrupted {
+					return assertf("domctl_create: %v", "domain list corrupted")
+				}
+				if _, err := env.Domains.ByID(spec.ID); err == nil {
+					if created {
+						return nil // our own retry already created it
+					}
+					return assertf("domctl_create: domain %d already exists", spec.ID)
+				}
+				return nil
+			}},
+			{Name: "alloc_and_insert", Instrs: 350, Do: func() error {
+				if created {
+					return nil
+				}
+				env.LogWrite("domctl_create: undo insert", LogCostDomctl, func() {
+					if d, err := env.Domains.ByID(spec.ID); err == nil {
+						_ = env.DestroyDomain(d.ID)
+					}
+					created = false
+				})
+				if err := env.CreateDomain(*spec); err != nil {
+					return assertf("domctl_create: %v", err)
+				}
+				created = true
+				return nil
+			}},
+			{Name: "window", Instrs: 30, Unmitigated: true, Do: func() error { return nil }},
+			{Name: "unlock_domlist", Instrs: 30, Do: func() error { env.Release(env.Statics.DomList); return nil }},
+			{Name: "complete", Instrs: 40, Do: func() error { return nil }},
+		}
+	}
+	target := int(call.Args[1])
+	return Program{
+		{Name: "entry", Instrs: 150, Do: func() error { return nil }},
+		{Name: "lock_domlist", Instrs: 40, Do: func() error { return env.Acquire(env.Statics.DomList) }},
+		{Name: "unlink_and_free", Instrs: 300, Do: func() error {
+			if _, err := env.Domains.ByID(target); err != nil {
+				return assertf("domctl_destroy: %v", err)
+			}
+			return env.DestroyDomain(target)
+		}},
+		{Name: "unlock_domlist", Instrs: 30, Do: func() error { env.Release(env.Statics.DomList); return nil }},
+		{Name: "complete", Instrs: 40, Do: func() error { return nil }},
+	}
+}
+
+// buildSyscallForward models the x86-64 syscall path: system calls from
+// guest processes trap into the hypervisor, which forwards them to the
+// guest kernel (§IV "Syscall retry"). No locks, no critical writes —
+// but a fault mid-forward loses the syscall unless it is retried.
+func buildSyscallForward(env *Env, call *Call) Program {
+	return Program{
+		{Name: "entry", Instrs: 90, Do: func() error { return nil }},
+		{Name: "forward", Instrs: 120, Do: func() error {
+			_, err := env.targetDomain(call.Dom)
+			return err
+		}},
+		{Name: "complete", Instrs: 20, Do: func() error { return nil }},
+	}
+}
+
+// buildEPTViolation models an HVM nested-paging fault (§VI-A): populate
+// or tear down an EPT mapping. Structurally the pin/unpin twin of
+// mmu_update — a mapping count plus a present bit updated in separate
+// steps — which is why the paper found HVM and PV injection results "very
+// similar": the hazards are the same.
+func buildEPTViolation(env *Env, call *Call) Program {
+	frame := int(call.Args[1])
+	populate := call.Args[SubOpArg] == EPTPopulate
+	fr := func() (*mm.PageFrame, error) {
+		if frame < 0 || frame >= env.Frames.Len() {
+			return nil, assertf("ept_violation: bad frame %d", frame)
+		}
+		return env.Frames.Frame(frame), nil
+	}
+	lock := func() error {
+		dm, err := env.targetDomain(call.Dom)
+		if err != nil {
+			return err
+		}
+		return env.Acquire(dm.PageAllocLock)
+	}
+	unlock := func() error {
+		dm, err := env.targetDomain(call.Dom)
+		if err != nil {
+			return err
+		}
+		env.Release(dm.PageAllocLock)
+		return nil
+	}
+	if populate {
+		return Program{
+			{Name: "vmexit_entry", Instrs: 180, Do: func() error { return nil }},
+			{Name: "lock_p2m", Instrs: 40, Do: lock},
+			{Name: "inc_mapcount", Instrs: 60, Do: func() error {
+				f, err := fr()
+				if err != nil {
+					return err
+				}
+				env.LogWrite("ept_populate: undo inc_mapcount", LogCostMMU, func() { f.UseCount-- })
+				f.Type = mm.FramePageTable
+				f.IncUse()
+				return nil
+			}},
+			{Name: "write_ept_entry", Instrs: 110, Do: func() error { return nil }},
+			{Name: "set_present", Instrs: 70, Do: func() error {
+				f, err := fr()
+				if err != nil {
+					return err
+				}
+				if f.UseCount != 1 {
+					return assertf("ept_populate: mapcount %d on set_present (retry of partial exit?)", f.UseCount)
+				}
+				f.Validated = true
+				return nil
+			}},
+			{Name: "window", Instrs: 34, Unmitigated: true, Do: func() error { return nil }},
+			{Name: "unlock_p2m", Instrs: 30, Do: unlock},
+			{Name: "vmenter", Instrs: 120, Do: func() error { return nil }},
+		}
+	}
+	return Program{
+		{Name: "vmexit_entry", Instrs: 180, Do: func() error { return nil }},
+		{Name: "lock_p2m", Instrs: 40, Do: lock},
+		{Name: "clear_present", Instrs: 50, Do: func() error {
+			f, err := fr()
+			if err != nil {
+				return err
+			}
+			if !f.Validated {
+				return assertf("ept_unmap: frame %d not present (retry of partial exit?)", frame)
+			}
+			env.LogWrite("ept_unmap: undo clear_present", LogCostMMU, func() { f.Validated = true })
+			f.Validated = false
+			return nil
+		}},
+		{Name: "dec_mapcount", Instrs: 60, Do: func() error {
+			f, err := fr()
+			if err != nil {
+				return err
+			}
+			env.LogWrite("ept_unmap: undo dec_mapcount", LogCostMMU, func() { f.UseCount++ })
+			if err := f.DecUse(); err != nil {
+				return assertf("ept_unmap: %v", err)
+			}
+			if f.UseCount == 0 {
+				f.Type = mm.FrameGuest
+			}
+			return nil
+		}},
+		{Name: "window", Instrs: 34, Unmitigated: true, Do: func() error { return nil }},
+		{Name: "unlock_p2m", Instrs: 30, Do: unlock},
+		{Name: "vmenter", Instrs: 120, Do: func() error { return nil }},
+	}
+}
+
+// buildIOEmulation models an emulated device access by an HVM guest:
+// decode the instruction, emulate the device register, re-enter. No
+// locks, no critical writes — the exit is simply re-executed after
+// recovery.
+func buildIOEmulation(env *Env, call *Call) Program {
+	return Program{
+		{Name: "vmexit_entry", Instrs: 180, Do: func() error { return nil }},
+		{Name: "decode", Instrs: 140, Do: func() error {
+			_, err := env.targetDomain(call.Dom)
+			return err
+		}},
+		{Name: "emulate", Instrs: 160, Do: func() error { return nil }},
+		{Name: "vmenter", Instrs: 120, Do: func() error { return nil }},
+	}
+}

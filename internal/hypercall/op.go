@@ -1,0 +1,152 @@
+// Package hypercall models the hypervisor's request-handling machinery:
+// hypercall dispatch, handler programs decomposed into injectable steps,
+// the undo log used to mitigate non-idempotent hypercall retry (§IV), and
+// multicall batching with per-component completion logging.
+//
+// Every handler is a Program — an ordered list of Steps, each with an
+// instruction cost and a state mutation. The hypervisor core executes
+// programs step by step, charging instructions to the CPU; the fault
+// injector's second-level trigger fires between steps, so a fault lands at
+// a specific point *inside* a handler with exactly the partial state a real
+// mid-handler fault would leave. That decomposition is what makes
+// hypercall retry, undo logging, and the paper's non-idempotence hazards
+// mechanistic rather than statistical.
+package hypercall
+
+import "fmt"
+
+// Op identifies a hypercall (or forwarded request) type.
+type Op int
+
+// Hypercall operations. SyscallForward is not a hypercall in Xen terms but
+// flows through the same entry/retry machinery on x86-64 (§IV "Syscall
+// retry"), so it shares the dispatch table.
+const (
+	OpMMUUpdate Op = iota + 1
+	OpMemoryOp
+	OpGrantTableOp
+	OpEventChannelOp
+	OpSchedOp
+	OpSetTimerOp
+	OpConsoleIO
+	OpVCPUOp
+	OpMulticall
+	OpDomctl
+	OpSyscallForward
+
+	// HVM guests (full hardware virtualization, §VI-A) enter the
+	// hypervisor through VM exits instead of PV hypercalls. The request
+	// machinery — dispatch, instruction accounting, retry — is shared:
+	// a VM exit is naturally retryable by re-executing the faulting
+	// guest instruction.
+
+	// OpEPTViolation is a nested-paging fault: the hypervisor populates
+	// (or tears down) an EPT mapping, updating the frame's mapping
+	// count — non-idempotent like mmu_update.
+	OpEPTViolation
+	// OpIOEmulation is an emulated device access: decode and emulate
+	// the instruction (idempotent).
+	OpIOEmulation
+
+	numOps = int(OpIOEmulation)
+)
+
+// String returns the Xen-style name of the op.
+func (o Op) String() string {
+	switch o {
+	case OpMMUUpdate:
+		return "mmu_update"
+	case OpMemoryOp:
+		return "memory_op"
+	case OpGrantTableOp:
+		return "grant_table_op"
+	case OpEventChannelOp:
+		return "event_channel_op"
+	case OpSchedOp:
+		return "sched_op"
+	case OpSetTimerOp:
+		return "set_timer_op"
+	case OpConsoleIO:
+		return "console_io"
+	case OpVCPUOp:
+		return "vcpu_op"
+	case OpMulticall:
+		return "multicall"
+	case OpDomctl:
+		return "domctl"
+	case OpSyscallForward:
+		return "syscall_forward"
+	case OpEPTViolation:
+		return "ept_violation"
+	case OpIOEmulation:
+		return "io_emulation"
+	default:
+		return fmt.Sprintf("op(%d)", int(o))
+	}
+}
+
+// Sub-operation argument values (Args[SubOpArg]).
+const (
+	// mmu_update
+	MMUPin   = 1
+	MMUUnpin = 2
+	// memory_op
+	MemPopulate = 1
+	MemRelease  = 2
+	// grant_table_op
+	GrantMap   = 1
+	GrantUnmap = 2
+	// sched_op
+	SchedYield = 1
+	SchedBlock = 2
+	// domctl
+	DomctlCreate  = 1
+	DomctlDestroy = 2
+	// ept_violation
+	EPTPopulate = 1
+	EPTUnmap    = 2
+)
+
+// SubOpArg is the Args index conventionally holding the sub-operation.
+const SubOpArg = 0
+
+// CreateSpec carries domain-creation parameters for OpDomctl/DomctlCreate.
+type CreateSpec struct {
+	ID       int
+	Name     string
+	MemPages int
+	PinCPU   int
+}
+
+// Call is one request from a guest to the hypervisor.
+type Call struct {
+	Op   Op
+	Dom  int // issuing domain
+	VCPU int // issuing vCPU index within the domain
+
+	// Args carries op-specific arguments (frame index, port, ...).
+	Args [4]uint64
+
+	// Create carries the spec for DomctlCreate.
+	Create *CreateSpec
+
+	// Batch holds the component calls of an OpMulticall.
+	Batch []*Call
+
+	// Completed is the multicall completion log: the number of component
+	// calls that finished. Logged as each component completes so a
+	// retried batch skips them ("fine-granularity batched hypercall
+	// retry", §IV).
+	Completed int
+
+	// Seq is a per-run unique sequence number assigned at dispatch.
+	Seq uint64
+}
+
+// String formats the call for diagnostics.
+func (c *Call) String() string {
+	if c.Op == OpMulticall {
+		return fmt.Sprintf("multicall[%d components, %d done] from d%d", len(c.Batch), c.Completed, c.Dom)
+	}
+	return fmt.Sprintf("%v(sub=%d) from d%dv%d", c.Op, c.Args[SubOpArg], c.Dom, c.VCPU)
+}

@@ -1,0 +1,212 @@
+package hypercall
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"time"
+
+	"nilihype/internal/dom"
+	"nilihype/internal/evtchn"
+	"nilihype/internal/locking"
+	"nilihype/internal/mm"
+	"nilihype/internal/sched"
+	"nilihype/internal/xentime"
+)
+
+// SpinError reports that a step tried to take a spinlock that is already
+// held. During normal operation this cannot happen (handlers run to
+// completion); after a failed recovery that left a lock held by a
+// discarded thread, the acquiring CPU spins forever and the watchdog
+// detects a hang.
+type SpinError struct {
+	Lock *locking.Lock
+}
+
+// Error implements error.
+func (e *SpinError) Error() string {
+	return fmt.Sprintf("hypercall: spinning on held lock %q (owner cpu%d)", e.Lock.Name(), e.Lock.Owner())
+}
+
+// Step is one injectable unit of a handler program.
+type Step struct {
+	// Name identifies the step in traces ("inc_refcount", ...).
+	Name string
+
+	// Instrs is the instruction cost; the injector's second-level
+	// trigger counts these, so Instrs is also the step's injection
+	// occupancy weight.
+	Instrs uint64
+
+	// Do performs the step's state mutation. A non-nil error is a failed
+	// hypervisor assertion (panic). A *SpinError is a spin on a held
+	// lock.
+	Do func() error
+
+	// Unmitigated marks the §IV residual window: a retry after a fault
+	// in this step fails even with undo logging (the paper: "there are
+	// likely to be several infrequently-used non-idempotent hypercall
+	// handlers that we have not properly enhanced... the changes do not
+	// resolve 100% of the problem").
+	Unmitigated bool
+}
+
+// Program is an ordered list of steps implementing one handler.
+type Program []Step
+
+// Instrs returns the program's total instruction cost.
+func (p Program) Instrs() uint64 {
+	var n uint64
+	for i := range p {
+		n += p[i].Instrs
+	}
+	return n
+}
+
+// Statics bundles the hypervisor's well-known static locks (declared via
+// the lock macro, so they live in the static-lock segment).
+type Statics struct {
+	Console  *locking.Lock
+	DomList  *locking.Lock
+	HeapLock *locking.Lock
+}
+
+// NewStatics declares the static locks in the registry.
+func NewStatics(reg *locking.Registry) *Statics {
+	return &Statics{
+		Console:  reg.NewStatic("console_lock"),
+		DomList:  reg.NewStatic("domlist_lock"),
+		HeapLock: reg.NewStatic("heap_lock"),
+	}
+}
+
+// Env is the per-CPU execution environment handler programs run against.
+// The hypervisor core owns one per CPU and rebinds Call/Domain at dispatch.
+type Env struct {
+	CPU int
+
+	// Subsystems.
+	Frames  *mm.FrameTable
+	Heap    *mm.Heap
+	Sched   *sched.Scheduler
+	Timers  *xentime.Subsystem
+	Domains *dom.List
+	Broker  *evtchn.Broker
+	Statics *Statics
+	RNG     *rand.Rand
+
+	// Now returns the current virtual time (bound to the clock).
+	Now func() time.Duration
+
+	// Wake makes a vCPU runnable (bound to the hypervisor's wake path).
+	Wake func(*sched.VCPU)
+
+	// Notify reports an event-channel delivery to the guest layer (may
+	// be nil in unit tests).
+	Notify func(domID, port int)
+
+	// ConsoleWrite appends to the hypervisor console ring (may be nil in
+	// unit tests).
+	ConsoleWrite func(msg string)
+
+	// SwitchContext saves/loads vCPU register contexts on a context
+	// switch (bound to the hypervisor's hardware access; may be nil in
+	// unit tests).
+	SwitchContext func(cpu int, prev, next *sched.VCPU)
+
+	// CreateDomain / DestroyDomain are bound to the hypervisor's domain
+	// lifecycle (used by domctl).
+	CreateDomain  func(CreateSpec) error
+	DestroyDomain func(id int) error
+
+	// Undo is this CPU's undo log.
+	Undo *UndoLog
+
+	// LoggingEnabled selects whether critical writes are undo-logged.
+	// Disabling it is the NiLiHype* configuration (Figure 3): less
+	// overhead, ~12% lower recovery rate (§IV).
+	LoggingEnabled bool
+
+	// RecoveryPrep enables the always-on recovery bookkeeping NiLiHype
+	// and ReHype share (hypercall-retry setup, multicall completion
+	// logging). Disabled only in the stock-Xen baseline used by the
+	// overhead experiment (Figure 3).
+	RecoveryPrep bool
+
+	// ExtraCycles accumulates logging overhead cycles during a step; the
+	// hypervisor core drains it into the CPU's cycle counters after each
+	// step. This is the hypervisor-processing overhead Figure 3 measures.
+	ExtraCycles uint64
+
+	// Call is the call currently executing on this CPU.
+	Call *Call
+
+	// heldLocks tracks locks the current program acquired, so an
+	// abandoned program is known to have leaked them.
+	heldLocks []*locking.Lock
+}
+
+// Undo-log write costs in cycles, by record class. Grant-map tracking
+// logs full mapping state (page, handle, flags) while page-table refcount
+// logging is compact and batched — which is why BlkBench, whose I/O path
+// does a grant map/unmap pair per file operation, shows the highest
+// hypervisor processing overhead in Figure 3 ("Most of this overhead is
+// due to logging").
+const (
+	LogCostMMU    = 35
+	LogCostMemory = 60
+	LogCostGrant  = 560
+	LogCostDomctl = 300
+)
+
+// Acquire takes a lock for the current program, returning a *SpinError if
+// it is held.
+func (e *Env) Acquire(l *locking.Lock) error {
+	if !l.TryAcquire(e.CPU) {
+		return &SpinError{Lock: l}
+	}
+	e.heldLocks = append(e.heldLocks, l)
+	return nil
+}
+
+// Release drops a lock acquired by the current program.
+func (e *Env) Release(l *locking.Lock) {
+	l.Release(e.CPU)
+	for i, h := range e.heldLocks {
+		if h == l {
+			e.heldLocks = append(e.heldLocks[:i], e.heldLocks[i+1:]...)
+			return
+		}
+	}
+}
+
+// HeldLocks returns the locks the in-flight program currently holds.
+func (e *Env) HeldLocks() []*locking.Lock {
+	out := make([]*locking.Lock, len(e.heldLocks))
+	copy(out, e.heldLocks)
+	return out
+}
+
+// ResetProgramState clears per-program bookkeeping (held-lock tracking).
+// Called by the hypervisor core when a program starts, completes, or is
+// discarded by recovery (the locks themselves are NOT released — that is
+// precisely the recovery hazard).
+func (e *Env) ResetProgramState() {
+	e.heldLocks = nil
+	e.ExtraCycles = 0
+}
+
+// LogWrite records an undo action for a critical-variable write if logging
+// is enabled, charging the class-specific logging overhead. Handlers call
+// it immediately before performing the write.
+func (e *Env) LogWrite(desc string, cycles uint64, undo func()) {
+	if !e.LoggingEnabled {
+		return
+	}
+	e.Undo.Record(desc, undo)
+	e.ExtraCycles += cycles
+}
+
+// targetDomain resolves a domain by ID.
+func (e *Env) targetDomain(id int) (*dom.Domain, error) {
+	return e.Domains.ByID(id)
+}

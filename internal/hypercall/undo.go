@@ -1,0 +1,54 @@
+package hypercall
+
+// UndoRecord is one logged critical-variable write.
+type UndoRecord struct {
+	Desc string
+	Undo func()
+}
+
+// UndoLog holds the undo records of the call currently executing on one
+// CPU. The mitigation protocol (§IV) is:
+//
+//   - During a hypercall, each critical write is logged just before it is
+//     performed.
+//   - If the hypercall completes, the log is discarded — nothing to undo.
+//   - If recovery interrupts the hypercall, the records are applied in
+//     reverse order *before* the hypercall is retried, so the retry starts
+//     from consistent state instead of re-applying non-idempotent updates.
+type UndoLog struct {
+	records []UndoRecord
+
+	// Writes counts records ever logged (overhead accounting/tests).
+	Writes uint64
+	// Rollbacks counts recovery-time rollbacks performed.
+	Rollbacks uint64
+}
+
+// NewUndoLog returns an empty log.
+func NewUndoLog() *UndoLog { return &UndoLog{} }
+
+// Record appends an undo action.
+func (u *UndoLog) Record(desc string, undo func()) {
+	u.records = append(u.records, UndoRecord{Desc: desc, Undo: undo})
+	u.Writes++
+}
+
+// Len returns the number of pending records.
+func (u *UndoLog) Len() int { return len(u.records) }
+
+// Clear discards all records (call completed successfully).
+func (u *UndoLog) Clear() { u.records = u.records[:0] }
+
+// Rollback applies all records in reverse order and clears the log.
+// Returns the number of records applied.
+func (u *UndoLog) Rollback() int {
+	n := len(u.records)
+	for i := n - 1; i >= 0; i-- {
+		u.records[i].Undo()
+	}
+	u.records = u.records[:0]
+	if n > 0 {
+		u.Rollbacks++
+	}
+	return n
+}

@@ -1,0 +1,348 @@
+// Package inject is the software-implemented fault injector — the
+// equivalent of the Gigan injector the paper ports and uses (§VI-C).
+//
+// Faults are injected through a two-level chained trigger: a first-level
+// timer that fires at a random time inside the configured window, and a
+// second-level trigger that fires after a uniformly random number of
+// instructions (0..20000) have executed in the target hypervisor. Three
+// fault types are injected: Failstop (PC := 0), Register (one random bit
+// flip in one of the 16 GPRs / SP / FLAGS / PC), and Code (a bit flip in
+// the next instruction's bytes, "repaired" on detection so its effects are
+// transient).
+//
+// The architectural consequence of a bit flip (masked / immediate
+// exception / wedge / silent corruption with delayed detection / silent
+// data corruption) is drawn from per-fault-type manifestation
+// distributions whose parameters are the paper's own measured outcome
+// breakdowns (§VII-A: Register 74.8/5.6/19.6, Code 35.0/12.1/52.9);
+// what happens *after* that — whether recovery succeeds — is decided
+// mechanistically by the simulated hypervisor state.
+package inject
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"time"
+
+	"nilihype/internal/hv"
+	"nilihype/internal/hw"
+)
+
+// FaultType selects what is injected.
+type FaultType int
+
+// Fault types (§VI-C).
+const (
+	Failstop FaultType = iota + 1
+	Register
+	Code
+)
+
+// String returns the fault type name.
+func (f FaultType) String() string {
+	switch f {
+	case Failstop:
+		return "Failstop"
+	case Register:
+		return "Register"
+	case Code:
+		return "Code"
+	default:
+		return fmt.Sprintf("fault(%d)", int(f))
+	}
+}
+
+// GuestCorrupter lets the injector damage guest-visible data (the SDC
+// path). Implemented by guest.World.
+type GuestCorrupter interface {
+	CorruptGuestData(dom int)
+}
+
+// Params configures one injection.
+type Params struct {
+	Type FaultType
+	// WindowLo/WindowHi bound the first-level (timer) trigger.
+	WindowLo, WindowHi time.Duration
+	// MaxInstrBudget bounds the second-level trigger (paper: 20000).
+	MaxInstrBudget int64
+	// AppDomains are candidate victims for guest-data corruption.
+	AppDomains []int
+}
+
+// DefaultMaxInstrBudget is the paper's second-level trigger bound.
+const DefaultMaxInstrBudget = 20000
+
+// Effect describes what the injected fault did architecturally.
+type Effect int
+
+// Effects.
+const (
+	EffectNone   Effect = iota + 1 // masked: dead register/bit
+	EffectSDC                      // silently corrupted guest data
+	EffectPanic                    // immediate fatal exception
+	EffectWedge                    // wild execution, no progress
+	EffectLatent                   // corrupted hypervisor state, detected later
+)
+
+// String returns the effect name.
+func (e Effect) String() string {
+	switch e {
+	case EffectNone:
+		return "none"
+	case EffectSDC:
+		return "sdc"
+	case EffectPanic:
+		return "panic"
+	case EffectWedge:
+		return "wedge"
+	case EffectLatent:
+		return "latent"
+	default:
+		return fmt.Sprintf("effect(%d)", int(e))
+	}
+}
+
+// manifestDist is a manifestation distribution: the probabilities of each
+// architectural effect; the remainder is EffectLatent.
+type manifestDist struct {
+	dead, sdc, immediate, wedge float64
+}
+
+// Distributions per fault type. Failstop is deterministic. Register and
+// Code reproduce the paper's measured outcome breakdowns (§VII-A):
+//   - Register: 74.8% non-manifested, 5.6% SDC, 19.6% detected
+//     (immediate + wedge + latent = 0.118 + 0.020 + 0.058 = 0.196).
+//   - Code: 35.0% non-manifested, 12.1% SDC, 52.9% detected
+//     (0.250 + 0.060 + 0.219 = 0.529).
+var (
+	registerDist = manifestDist{dead: 0.748, sdc: 0.056, immediate: 0.118, wedge: 0.020}
+	codeDist     = manifestDist{dead: 0.350, sdc: 0.121, immediate: 0.250, wedge: 0.060}
+)
+
+// Detection-latency bounds for latent corruption. Code faults are
+// detected significantly later than register faults (§VII-A "likely due
+// to the significantly longer detection latency of these faults"),
+// giving errors more time to propagate.
+const (
+	registerLatencyLo = 200 * time.Microsecond
+	registerLatencyHi = 5 * time.Millisecond
+	codeLatencyLo     = 1 * time.Millisecond
+	codeLatencyHi     = 50 * time.Millisecond
+)
+
+// corruptionDist gives the per-class probabilities of what latent
+// corruption damages (the rest is scratch state with no further
+// consequence). The classes map to the paper's top three recovery-failure
+// causes (§VII-A) plus the mechanisms' repairable hazards.
+type corruptionDist struct {
+	pfDesc       float64 // page-frame descriptor (repaired by the scan)
+	schedMeta    float64 // scheduling metadata (repaired by the enhancement)
+	heapFreelist float64 // heap free list (reboot rebuilds; microreset keeps)
+	domList      float64 // domain list (reboot relinks; microreset keeps)
+	staticScr    float64 // static-segment state (reboot re-inits; microreset keeps)
+	allocObj     float64 // live heap object (reused by BOTH mechanisms)
+	privVM       float64 // PrivVM state (fatal: failure cause 2)
+	recovery     float64 // recovery-path state (fatal: failure cause 1)
+}
+
+var (
+	registerCorruption = corruptionDist{
+		pfDesc: 0.28, schedMeta: 0.22, heapFreelist: 0.030, domList: 0.016,
+		staticScr: 0.062, allocObj: 0.016, privVM: 0.012, recovery: 0.012,
+	}
+	// Code faults propagate further before detection: more damage lands
+	// in fatal and reboot-only-recoverable state.
+	codeCorruption = corruptionDist{
+		pfDesc: 0.24, schedMeta: 0.20, heapFreelist: 0.030, domList: 0.016,
+		staticScr: 0.045, allocObj: 0.028, privVM: 0.016, recovery: 0.014,
+	}
+)
+
+// Injector performs one fault injection per run.
+type Injector struct {
+	H     *hv.Hypervisor
+	World GuestCorrupter
+
+	params Params
+	rng    *rand.Rand
+
+	// Fired reports whether the second-level trigger fired.
+	Fired bool
+	// Point is the execution context the fault landed in.
+	Point hv.InjectionPoint
+	// FaultEffect records the architectural effect drawn.
+	FaultEffect Effect
+	// Corruptions lists the latent corruption classes applied.
+	Corruptions []string
+	// Reg/Bit identify the flipped bit (Register faults).
+	Reg hw.Reg
+	Bit int
+}
+
+// New builds an injector. The rng must be a dedicated stream so that
+// injection decisions never perturb workload randomness.
+func New(h *hv.Hypervisor, world GuestCorrupter, rng *rand.Rand, p Params) *Injector {
+	if p.MaxInstrBudget == 0 {
+		p.MaxInstrBudget = DefaultMaxInstrBudget
+	}
+	return &Injector{H: h, World: world, params: p, rng: rng}
+}
+
+// Schedule arms the two-level trigger: at a random time in the window,
+// arm the instruction-count trigger.
+func (inj *Injector) Schedule() {
+	span := inj.params.WindowHi - inj.params.WindowLo
+	var at time.Duration
+	if span > 0 {
+		at = inj.params.WindowLo + time.Duration(inj.rng.Int64N(int64(span)))
+	} else {
+		at = inj.params.WindowLo
+	}
+	inj.H.Clock.At(at, "inject-arm", func() {
+		budget := inj.rng.Int64N(inj.params.MaxInstrBudget + 1)
+		inj.H.ArmInjection(budget, inj.onInject)
+	})
+}
+
+// onInject is invoked by the hypervisor at the triggered step.
+func (inj *Injector) onInject(pt hv.InjectionPoint) (hv.InjectAction, string) {
+	inj.Fired = true
+	inj.Point = pt
+
+	switch inj.params.Type {
+	case Failstop:
+		inj.FaultEffect = EffectPanic
+		return hv.ActionPanic, "failstop: PC forced to 0 (fatal page fault)"
+	case Register:
+		inj.Reg = hw.Reg(inj.rng.IntN(hw.NumInjectableRegs))
+		inj.Bit = inj.rng.IntN(64)
+		inj.flipRegister(pt.CPU)
+		return inj.manifest(pt, registerDist, registerCorruption, registerLatencyLo, registerLatencyHi)
+	case Code:
+		// The code fault is "repaired" on detection, so like Register
+		// faults its effects are transient (§VI-C).
+		return inj.manifest(pt, codeDist, codeCorruption, codeLatencyLo, codeLatencyHi)
+	default:
+		inj.FaultEffect = EffectNone
+		return hv.ActionContinue, ""
+	}
+}
+
+// flipRegister applies the architectural bit flip to the CPU's register
+// file (the manifestation model decides its semantic consequence).
+func (inj *Injector) flipRegister(cpu int) {
+	inj.H.Machine.CPU(cpu).Regs[inj.Reg] ^= 1 << uint(inj.Bit)
+}
+
+// manifest draws the architectural effect and applies it.
+func (inj *Injector) manifest(pt hv.InjectionPoint, d manifestDist, cd corruptionDist,
+	latLo, latHi time.Duration) (hv.InjectAction, string) {
+
+	r := inj.rng.Float64()
+	switch {
+	case r < d.dead:
+		inj.FaultEffect = EffectNone
+		return hv.ActionContinue, ""
+	case r < d.dead+d.sdc:
+		inj.FaultEffect = EffectSDC
+		inj.corruptGuest(pt)
+		return hv.ActionContinue, ""
+	case r < d.dead+d.sdc+d.immediate:
+		inj.FaultEffect = EffectPanic
+		return hv.ActionPanic, fmt.Sprintf("%v fault: fatal exception (%v bit %d)",
+			inj.params.Type, inj.Reg, inj.Bit)
+	case r < d.dead+d.sdc+d.immediate+d.wedge:
+		inj.FaultEffect = EffectWedge
+		return hv.ActionWedge, ""
+	default:
+		inj.FaultEffect = EffectLatent
+		inj.applyLatentCorruption(pt, cd)
+		inj.scheduleDetection(pt.CPU, latLo, latHi)
+		return hv.ActionContinue, ""
+	}
+}
+
+// corruptGuest damages the data of the issuing domain (if the fault hit a
+// hypercall on behalf of a guest) or a random AppVM.
+func (inj *Injector) corruptGuest(pt hv.InjectionPoint) {
+	dom := -1
+	if pt.Call != nil && pt.Call.Dom != 0 {
+		dom = pt.Call.Dom
+	} else if len(inj.params.AppDomains) > 0 {
+		dom = inj.params.AppDomains[inj.rng.IntN(len(inj.params.AppDomains))]
+	}
+	if dom >= 0 && inj.World != nil {
+		inj.World.CorruptGuestData(dom)
+	}
+}
+
+// applyLatentCorruption damages hypervisor state per the corruption
+// distribution. Code faults may corrupt more than one structure.
+func (inj *Injector) applyLatentCorruption(pt hv.InjectionPoint, cd corruptionDist) {
+	rounds := 1
+	if inj.params.Type == Code && inj.rng.Float64() < 0.25 {
+		rounds = 2
+	}
+	for i := 0; i < rounds; i++ {
+		inj.corruptOnce(pt, cd)
+	}
+}
+
+func (inj *Injector) corruptOnce(pt hv.InjectionPoint, cd corruptionDist) {
+	h := inj.H
+	r := inj.rng.Float64()
+	cum := 0.0
+	pick := func(p float64) bool {
+		cum += p
+		return r < cum
+	}
+	switch {
+	case pick(cd.pfDesc):
+		i := h.Frames.CorruptRandomDescriptor(inj.rng)
+		inj.Corruptions = append(inj.Corruptions, fmt.Sprintf("pf-descriptor[%d]", i))
+	case pick(cd.schedMeta):
+		desc := h.Sched.CorruptRandom(inj.rng)
+		inj.Corruptions = append(inj.Corruptions, "sched-meta:"+desc)
+	case pick(cd.heapFreelist):
+		h.Heap.Corrupted = true
+		inj.Corruptions = append(inj.Corruptions, "heap-freelist")
+	case pick(cd.domList):
+		h.Domains.Corrupted = true
+		inj.Corruptions = append(inj.Corruptions, "domain-list")
+	case pick(cd.staticScr):
+		h.CorruptStaticScratch = true
+		inj.Corruptions = append(inj.Corruptions, "static-scratch")
+	case pick(cd.allocObj):
+		h.CorruptAllocatedObject = true
+		inj.Corruptions = append(inj.Corruptions, "allocated-object")
+	case pick(cd.privVM):
+		if d, err := h.Domain(0); err == nil {
+			d.Fail("PrivVM state corrupted by error propagation")
+		}
+		inj.Corruptions = append(inj.Corruptions, "privvm")
+	case pick(cd.recovery):
+		h.CorruptRecoveryPath = true
+		inj.Corruptions = append(inj.Corruptions, "recovery-path")
+	default:
+		inj.Corruptions = append(inj.Corruptions, "scratch")
+	}
+}
+
+// scheduleDetection arranges the delayed detection of latent corruption:
+// after the drawn latency, the next hypervisor activity on the faulted CPU
+// hits the damage and panics. If recovery already ran (a mechanistic
+// assertion found the damage first), the stale detection is dropped.
+func (inj *Injector) scheduleDetection(cpu int, lo, hi time.Duration) {
+	lat := lo + time.Duration(inj.rng.Int64N(int64(hi-lo)))
+	epoch := inj.H.RecoveryEpoch()
+	inj.H.Clock.After(lat, "latent-detect", func() {
+		if failed, _ := inj.H.Failed(); failed {
+			return
+		}
+		if inj.H.RecoveryEpoch() != epoch {
+			return
+		}
+		inj.H.PanicAtNextStep(cpu, fmt.Sprintf("%v fault: corrupted state hit (%v)",
+			inj.params.Type, inj.Corruptions))
+	})
+}

@@ -1,0 +1,338 @@
+package inject
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"nilihype/internal/hv"
+	"nilihype/internal/hw"
+	"nilihype/internal/prng"
+	"nilihype/internal/simclock"
+)
+
+// corruptRecorder records guest-data corruption requests.
+type corruptRecorder struct{ doms []int }
+
+func (c *corruptRecorder) CorruptGuestData(dom int) { c.doms = append(c.doms, dom) }
+
+func newTarget(t *testing.T, seed uint64) (*hv.Hypervisor, *simclock.Clock) {
+	t.Helper()
+	clk := simclock.New()
+	h, err := hv.New(clk, hv.Config{
+		Machine:        hw.Config{CPUs: 4, MemoryMB: 256, BlockSvc: 100 * time.Microsecond, NICLat: 10 * time.Microsecond},
+		HeapFrames:     4096,
+		LoggingEnabled: true,
+		RecoveryPrep:   true,
+		Seed:           seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.CreateDomain(1, "app", 2048, 1, false); err != nil {
+		t.Fatal(err)
+	}
+	return h, clk
+}
+
+func TestFaultTypeAndEffectStrings(t *testing.T) {
+	if Failstop.String() != "Failstop" || Register.String() != "Register" ||
+		Code.String() != "Code" || FaultType(9).String() != "fault(9)" {
+		t.Fatal("fault names wrong")
+	}
+	for _, tt := range []struct {
+		e    Effect
+		want string
+	}{{EffectNone, "none"}, {EffectSDC, "sdc"}, {EffectPanic, "panic"},
+		{EffectWedge, "wedge"}, {EffectLatent, "latent"}, {Effect(99), "effect(99)"}} {
+		if tt.e.String() != tt.want {
+			t.Fatalf("%v != %v", tt.e, tt.want)
+		}
+	}
+}
+
+func TestFailstopAlwaysDetectedImmediately(t *testing.T) {
+	h, clk := newTarget(t, 1)
+	var panics []string
+	h.SetPanicHook(func(cpu int, reason string) { panics = append(panics, reason) })
+	inj := New(h, nil, prng.New(1, 2), Params{
+		Type: Failstop, WindowLo: 10 * time.Millisecond, WindowHi: 50 * time.Millisecond,
+	})
+	inj.Schedule()
+	clk.RunUntil(500 * time.Millisecond)
+	if !inj.Fired {
+		t.Fatal("injection never fired")
+	}
+	if inj.FaultEffect != EffectPanic {
+		t.Fatalf("effect = %v", inj.FaultEffect)
+	}
+	if len(panics) != 1 || !strings.Contains(panics[0], "failstop") {
+		t.Fatalf("panics = %v", panics)
+	}
+}
+
+func TestTriggerFiresInsideWindow(t *testing.T) {
+	for seed := uint64(1); seed <= 10; seed++ {
+		h, clk := newTarget(t, seed)
+		h.SetPanicHook(func(int, string) {})
+		var firedAt time.Duration
+		h.SetNMIHook(func(int) {}) // quiet
+		inj := New(h, nil, prng.New(seed, 2), Params{
+			Type: Failstop, WindowLo: 100 * time.Millisecond, WindowHi: 200 * time.Millisecond,
+		})
+		origHook := func(cpu int, reason string) { firedAt = clk.Now() }
+		h.SetPanicHook(origHook)
+		inj.Schedule()
+		clk.RunUntil(time.Second)
+		if !inj.Fired {
+			t.Fatalf("seed %d: never fired", seed)
+		}
+		// The instruction budget (<=20000) adds at most a few ms beyond
+		// the window.
+		if firedAt < 100*time.Millisecond || firedAt > 260*time.Millisecond {
+			t.Fatalf("seed %d: fired at %v, outside window+slack", seed, firedAt)
+		}
+	}
+}
+
+func TestRegisterFaultFlipsExactlyOneBit(t *testing.T) {
+	h, clk := newTarget(t, 3)
+	h.SetPanicHook(func(int, string) {})
+	var before [hw.NumRegs]uint64
+	inj := New(h, &corruptRecorder{}, prng.New(3, 2), Params{
+		Type: Register, WindowLo: 10 * time.Millisecond, WindowHi: 20 * time.Millisecond,
+		AppDomains: []int{1},
+	})
+	inj.Schedule()
+	// Snapshot registers right before the window opens.
+	clk.At(10*time.Millisecond-time.Microsecond, "snap", func() {
+		for i := 0; i < 4; i++ {
+			before = h.Machine.CPU(1).Regs
+			_ = i
+		}
+	})
+	clk.RunUntil(300 * time.Millisecond)
+	if !inj.Fired {
+		t.Fatal("never fired")
+	}
+	cpu := h.Machine.CPU(inj.Point.CPU)
+	if inj.Point.CPU == 1 {
+		diff := cpu.Regs[inj.Reg] ^ before[inj.Reg]
+		if diff != 1<<uint(inj.Bit) {
+			t.Fatalf("register diff = %x, want single bit %d", diff, inj.Bit)
+		}
+	}
+	if int(inj.Reg) >= hw.NumInjectableRegs {
+		t.Fatalf("injected reg %v outside the 19 targets", inj.Reg)
+	}
+}
+
+// TestManifestationDistributions verifies the drawn effect proportions
+// against the paper's outcome breakdowns (§VII-A) over many trials of the
+// manifestation draw alone.
+func TestManifestationDistributions(t *testing.T) {
+	tests := []struct {
+		name                string
+		d                   manifestDist
+		wantDead, wantSDC   float64
+		wantDetectedAtLeast float64
+	}{
+		{"register", registerDist, 0.748, 0.056, 0.19},
+		{"code", codeDist, 0.350, 0.121, 0.52},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			rng := prng.New(42, 99)
+			const n = 20000
+			counts := map[string]int{}
+			for i := 0; i < n; i++ {
+				r := rng.Float64()
+				switch {
+				case r < tt.d.dead:
+					counts["dead"]++
+				case r < tt.d.dead+tt.d.sdc:
+					counts["sdc"]++
+				default:
+					counts["detected"]++
+				}
+			}
+			if got := float64(counts["dead"]) / n; math.Abs(got-tt.wantDead) > 0.01 {
+				t.Fatalf("dead = %.3f, want %.3f", got, tt.wantDead)
+			}
+			if got := float64(counts["sdc"]) / n; math.Abs(got-tt.wantSDC) > 0.006 {
+				t.Fatalf("sdc = %.3f, want %.3f", got, tt.wantSDC)
+			}
+			if got := float64(counts["detected"]) / n; got < tt.wantDetectedAtLeast {
+				t.Fatalf("detected = %.3f, want >= %.3f", got, tt.wantDetectedAtLeast)
+			}
+		})
+	}
+}
+
+func TestSDCCorruptsIssuingDomain(t *testing.T) {
+	// Force the SDC path by hunting seeds until one draws it; the
+	// corruption must land on an AppVM.
+	for seed := uint64(1); seed < 200; seed++ {
+		h, clk := newTarget(t, seed)
+		h.SetPanicHook(func(int, string) {})
+		rec := &corruptRecorder{}
+		inj := New(h, rec, prng.New(seed, 7), Params{
+			Type: Register, WindowLo: 10 * time.Millisecond, WindowHi: 30 * time.Millisecond,
+			AppDomains: []int{1},
+		})
+		inj.Schedule()
+		clk.RunUntil(400 * time.Millisecond)
+		if inj.FaultEffect == EffectSDC {
+			if len(rec.doms) != 1 {
+				t.Fatalf("seed %d: SDC did not corrupt a guest", seed)
+			}
+			if rec.doms[0] != 1 {
+				t.Fatalf("corrupted dom %d, want an AppVM", rec.doms[0])
+			}
+			return
+		}
+	}
+	t.Fatal("no seed produced SDC in 200 tries")
+}
+
+func TestLatentCorruptionIsDetectedLater(t *testing.T) {
+	for seed := uint64(1); seed < 400; seed++ {
+		h, clk := newTarget(t, seed)
+		var panicAt time.Duration
+		var reason string
+		h.SetPanicHook(func(cpu int, r string) {
+			if panicAt == 0 {
+				panicAt = clk.Now()
+				reason = r
+			}
+		})
+		inj := New(h, &corruptRecorder{}, prng.New(seed, 7), Params{
+			Type: Register, WindowLo: 10 * time.Millisecond, WindowHi: 30 * time.Millisecond,
+			AppDomains: []int{1},
+		})
+		inj.Schedule()
+		clk.RunUntil(time.Second)
+		if inj.FaultEffect != EffectLatent {
+			continue
+		}
+		if len(inj.Corruptions) == 0 {
+			t.Fatalf("seed %d: latent effect with no corruption record", seed)
+		}
+		if panicAt == 0 {
+			t.Fatalf("seed %d: latent corruption never detected (%v)", seed, inj.Corruptions)
+		}
+		if !strings.Contains(reason, "fault") && !strings.Contains(reason, "ASSERT") &&
+			!strings.Contains(reason, "corrupted") {
+			t.Fatalf("seed %d: unexpected detection reason %q", seed, reason)
+		}
+		return
+	}
+	t.Fatal("no seed produced a latent effect in 400 tries")
+}
+
+func TestWedgeEffectStopsCPU(t *testing.T) {
+	for seed := uint64(1); seed < 600; seed++ {
+		h, clk := newTarget(t, seed)
+		h.SetPanicHook(func(int, string) {})
+		inj := New(h, &corruptRecorder{}, prng.New(seed, 7), Params{
+			Type: Code, WindowLo: 10 * time.Millisecond, WindowHi: 30 * time.Millisecond,
+			AppDomains: []int{1},
+		})
+		inj.Schedule()
+		clk.RunUntil(50 * time.Millisecond)
+		if inj.FaultEffect == EffectWedge {
+			if !h.PerCPU(inj.Point.CPU).Wedged {
+				t.Fatalf("seed %d: wedge effect but CPU not wedged", seed)
+			}
+			return
+		}
+	}
+	t.Fatal("no seed produced a wedge in 600 tries")
+}
+
+func TestDefaultBudgetApplied(t *testing.T) {
+	h, _ := newTarget(t, 1)
+	inj := New(h, nil, prng.New(1, 1), Params{Type: Failstop})
+	if inj.params.MaxInstrBudget != DefaultMaxInstrBudget {
+		t.Fatalf("budget = %d", inj.params.MaxInstrBudget)
+	}
+}
+
+// TestLatentCorruptionClassesHitRealState hunts seeds until each latent
+// corruption class has been observed, and verifies each one damaged the
+// state it claims to (the paper's §VII-A failure-cause taxonomy).
+func TestLatentCorruptionClassesHitRealState(t *testing.T) {
+	seen := make(map[string]bool)
+	want := []string{"pf-descriptor", "sched-meta", "heap-freelist", "domain-list",
+		"static-scratch", "allocated-object", "privvm", "recovery-path", "scratch"}
+	for seed := uint64(1); seed < 3000 && len(seen) < len(want); seed++ {
+		h, clk := newTarget(t, seed)
+		h.SetPanicHook(func(int, string) {})
+		inj := New(h, &corruptRecorder{}, prng.New(seed, 7), Params{
+			Type: Code, WindowLo: 10 * time.Millisecond, WindowHi: 30 * time.Millisecond,
+			AppDomains: []int{1},
+		})
+		inj.Schedule()
+		clk.RunUntil(40 * time.Millisecond)
+		if inj.FaultEffect != EffectLatent {
+			continue
+		}
+		for _, c := range inj.Corruptions {
+			key := c
+			if idx := strings.IndexByte(c, ':'); idx > 0 {
+				key = c[:idx]
+			}
+			if idx := strings.IndexByte(key, '['); idx > 0 {
+				key = key[:idx]
+			}
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			switch key {
+			case "pf-descriptor":
+				if len(h.Frames.InconsistentFrames()) == 0 {
+					t.Fatal("pf-descriptor corruption left no inconsistency")
+				}
+			case "sched-meta":
+				if len(h.Sched.CheckConsistency()) == 0 {
+					t.Fatal("sched-meta corruption left no inconsistency")
+				}
+			case "heap-freelist":
+				if !h.Heap.Corrupted {
+					t.Fatal("heap-freelist flag not set")
+				}
+			case "domain-list":
+				if !h.Domains.Corrupted {
+					t.Fatal("domain-list flag not set")
+				}
+			case "static-scratch":
+				if !h.CorruptStaticScratch {
+					t.Fatal("static-scratch flag not set")
+				}
+			case "allocated-object":
+				if !h.CorruptAllocatedObject {
+					t.Fatal("allocated-object flag not set")
+				}
+			case "privvm":
+				d, err := h.Domain(0)
+				if err != nil || !d.Failed {
+					t.Fatal("privvm corruption did not fail Dom0")
+				}
+			case "recovery-path":
+				if !h.CorruptRecoveryPath {
+					t.Fatal("recovery-path flag not set")
+				}
+			}
+		}
+	}
+	for _, w := range want {
+		if !seen[w] {
+			t.Errorf("corruption class %q never observed in 3000 seeds", w)
+		}
+	}
+}

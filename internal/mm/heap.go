@@ -1,0 +1,152 @@
+package mm
+
+import (
+	"fmt"
+
+	"nilihype/internal/locking"
+)
+
+// Object is one allocation from the hypervisor heap. Objects may embed
+// spinlocks (registered with the lock registry as heap locks), mirroring
+// Xen structures such as struct domain.
+type Object struct {
+	ID    uint64
+	Tag   string
+	Pages []int // frame indices backing the object
+
+	locks []*locking.Lock
+	freed bool
+}
+
+// Locks returns the spinlocks embedded in the object.
+func (o *Object) Locks() []*locking.Lock { return o.locks }
+
+// Heap is the hypervisor heap allocator over the frame table. Its free
+// list is the "linked list or the heap" data structure whose corruption is
+// the paper's third leading cause of recovery failure (§VII-A); the
+// Corrupted flag models that state, and Check surfaces it.
+type Heap struct {
+	ft    *FrameTable
+	locks *locking.Registry
+
+	free    []int // free frame indices (LIFO free list)
+	objects map[uint64]*Object
+	nextID  uint64
+
+	// Corrupted marks the free list as damaged by error propagation.
+	// Allocations from a corrupted heap fail (panic signal to the
+	// caller); a reboot rebuilds the free list and clears it, which is
+	// precisely the microreboot advantage over microreset.
+	Corrupted bool
+}
+
+// NewHeap builds a heap owning the frames [start, start+count) of ft.
+func NewHeap(ft *FrameTable, locks *locking.Registry, start, count int) *Heap {
+	h := &Heap{
+		ft:      ft,
+		locks:   locks,
+		objects: make(map[uint64]*Object),
+	}
+	// LIFO order: push high frames first so low frames allocate first.
+	for i := start + count - 1; i >= start; i-- {
+		h.free = append(h.free, i)
+	}
+	return h
+}
+
+// FreePages returns the number of frames on the free list.
+func (h *Heap) FreePages() int { return len(h.free) }
+
+// AllocatedObjects returns the live object count.
+func (h *Heap) AllocatedObjects() int { return len(h.objects) }
+
+// Alloc allocates an object of the given page count. It returns nil if the
+// heap is exhausted or its free list is corrupted (the caller treats that
+// as a fatal hypervisor error).
+func (h *Heap) Alloc(pages int, tag string) *Object {
+	if h.Corrupted || pages > len(h.free) {
+		return nil
+	}
+	o := &Object{ID: h.nextID, Tag: tag}
+	h.nextID++
+	for i := 0; i < pages; i++ {
+		fi := h.free[len(h.free)-1]
+		h.free = h.free[:len(h.free)-1]
+		h.ft.Frame(fi).Type = FrameHeap
+		o.Pages = append(o.Pages, fi)
+	}
+	h.objects[o.ID] = o
+	return o
+}
+
+// AddLock embeds a new heap spinlock in the object.
+func (h *Heap) AddLock(o *Object, name string) *locking.Lock {
+	l := h.locks.NewHeap(fmt.Sprintf("%s.%s", o.Tag, name))
+	o.locks = append(o.locks, l)
+	return l
+}
+
+// Free releases the object's pages back to the free list and drops its
+// locks from the registry. Double-free panics (hypervisor bug).
+func (h *Heap) Free(o *Object) {
+	if o.freed {
+		panic(fmt.Sprintf("mm: double free of object %d (%s)", o.ID, o.Tag))
+	}
+	o.freed = true
+	delete(h.objects, o.ID)
+	for _, fi := range o.Pages {
+		h.ft.Frame(fi).Type = FrameFree
+		h.free = append(h.free, fi)
+	}
+	for _, l := range o.locks {
+		h.locks.DropHeap(l)
+	}
+}
+
+// AllocatedPages returns the frame indices of every live object, in object
+// ID order. ReHype's "record allocated pages of old heap" step walks this
+// set so the reboot can preserve their contents (Table II).
+func (h *Heap) AllocatedPages() []int {
+	var out []int
+	// Deterministic order: iterate IDs from 0 to nextID.
+	for id := uint64(0); id < h.nextID; id++ {
+		if o, ok := h.objects[id]; ok {
+			out = append(out, o.Pages...)
+		}
+	}
+	return out
+}
+
+// Rebuild reconstructs the free list from the frame table, preserving live
+// objects. This is ReHype's "recreate the new heap" step (Table II, 211 ms
+// at 8 GB); it also clears free-list corruption — the reason microreboot
+// survives some heap-corrupting faults that microreset does not.
+func (h *Heap) Rebuild() {
+	h.free = h.free[:0]
+	allocated := make(map[int]bool)
+	for _, o := range h.objects {
+		for _, fi := range o.Pages {
+			allocated[fi] = true
+		}
+	}
+	for i := h.ft.Len() - 1; i >= 0; i-- {
+		f := h.ft.Frame(i)
+		if f.Type == FrameHeap && !allocated[i] {
+			f.Type = FrameFree
+		}
+		if f.Type == FrameFree {
+			h.free = append(h.free, i)
+		}
+	}
+	h.Corrupted = false
+}
+
+// Check reports an error if the heap's free list is corrupted. Hypervisor
+// code paths that touch the allocator call this; the error becomes a panic
+// (detected failure) in the hypervisor model.
+func (h *Heap) Check() error {
+	if h.Corrupted {
+		return fmt.Errorf("mm: heap free list corrupted")
+	}
+	return nil
+}

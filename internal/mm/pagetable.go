@@ -1,0 +1,63 @@
+package mm
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrUseCountUnderflow is returned when a reference count would go
+// negative — in Xen this trips an ASSERT and panics the hypervisor. It is
+// the post-recovery signature of a retried non-idempotent hypercall whose
+// first partial execution already dropped the count (§IV).
+var ErrUseCountUnderflow = errors.New("mm: page use count underflow")
+
+// IncUse takes a reference on the frame. This is the non-idempotent state
+// update at the heart of the paper's hypercall-retry problem: re-executing
+// it after a partial hypercall leaves the count one too high.
+func (f *PageFrame) IncUse() { f.UseCount++ }
+
+// DecUse drops a reference, failing on underflow.
+func (f *PageFrame) DecUse() error {
+	if f.UseCount == 0 {
+		return ErrUseCountUnderflow
+	}
+	f.UseCount--
+	return nil
+}
+
+// AssignRange hands frames [start, start+count) to domain dom with the
+// given type. Boot uses it to carve guest memory out of the machine.
+func (ft *FrameTable) AssignRange(start, count, dom int, t FrameType) error {
+	if start < 0 || start+count > len(ft.frames) {
+		return fmt.Errorf("mm: frame range [%d,%d) out of bounds (table size %d)",
+			start, start+count, len(ft.frames))
+	}
+	for i := start; i < start+count; i++ {
+		ft.frames[i] = PageFrame{Type: t, Owner: dom}
+	}
+	return nil
+}
+
+// PinAsPageTable validates the frame as a guest page table. The operation
+// has two separately observable steps — take the reference, then set the
+// validation bit — because that is exactly the window in which a fault
+// leaves the descriptor inconsistent. Callers that model the full
+// (uninterrupted) operation call both.
+func (f *PageFrame) PinAsPageTable() {
+	f.Type = FramePageTable
+	f.IncUse()         // step 1: reference taken
+	f.Validated = true // step 2: validation completed
+}
+
+// UnpinPageTable reverses PinAsPageTable, again as two steps (clear the
+// validation bit, then drop the reference).
+func (f *PageFrame) UnpinPageTable() error {
+	f.Validated = false
+	if err := f.DecUse(); err != nil {
+		return err
+	}
+	if f.UseCount == 0 {
+		f.Type = FrameGuest
+	}
+	return nil
+}

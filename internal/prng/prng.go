@@ -1,0 +1,24 @@
+// Package prng provides seeded random streams for the simulation.
+//
+// math/rand/v2's PCG generator uses its two seed words as raw state, so
+// streams created from sequential seeds (run 1, run 2, ...) produce
+// correlated early outputs — enough to visibly bias campaign-level
+// proportions. New scrambles the seed words through SplitMix64 before
+// seeding, which decorrelates neighboring streams.
+package prng
+
+import "math/rand/v2"
+
+// Scramble applies the SplitMix64 finalizer, a bijective avalanche mix.
+func Scramble(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// New returns a PCG stream for (seed, stream), decorrelated across
+// neighboring seeds and streams.
+func New(seed, stream uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(Scramble(seed), Scramble(stream^seed<<1|1)))
+}

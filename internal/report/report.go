@@ -1,0 +1,244 @@
+// Package report renders experiment results as text, Markdown or CSV
+// tables, so the cmd/hyperrecover-* tools can feed plots and documents
+// directly.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Format selects the output representation.
+type Format int
+
+// Formats.
+const (
+	Text Format = iota + 1
+	Markdown
+	CSV
+)
+
+// ParseFormat maps a flag value to a Format.
+func ParseFormat(s string) (Format, error) {
+	switch strings.ToLower(s) {
+	case "text", "":
+		return Text, nil
+	case "md", "markdown":
+		return Markdown, nil
+	case "csv":
+		return CSV, nil
+	default:
+		return 0, fmt.Errorf("report: unknown format %q", s)
+	}
+}
+
+// String returns the format name.
+func (f Format) String() string {
+	switch f {
+	case Text:
+		return "text"
+	case Markdown:
+		return "markdown"
+	case CSV:
+		return "csv"
+	default:
+		return fmt.Sprintf("format(%d)", int(f))
+	}
+}
+
+// Table is a rectangular result table.
+type Table struct {
+	Title   string
+	Columns []string
+	rows    [][]string
+}
+
+// NewTable builds a table with the given columns.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends a row; short rows are padded, long rows truncated to the
+// column count.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Columns))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Rows returns the number of data rows.
+func (t *Table) Rows() int { return len(t.rows) }
+
+// Render produces the table in the requested format.
+func (t *Table) Render(f Format) string {
+	switch f {
+	case Markdown:
+		return t.renderMarkdown()
+	case CSV:
+		return t.renderCSV()
+	default:
+		return t.renderText()
+	}
+}
+
+func (t *Table) widths() []int {
+	w := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		w[i] = len(c)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if len(cell) > w[i] {
+				w[i] = len(cell)
+			}
+		}
+	}
+	return w
+}
+
+func (t *Table) renderText() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	w := t.widths()
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", w[i], cell)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Columns)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+func (t *Table) renderMarkdown() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "### %s\n\n", t.Title)
+	}
+	fmt.Fprintf(&b, "| %s |\n", strings.Join(t.Columns, " | "))
+	seps := make([]string, len(t.Columns))
+	for i := range seps {
+		seps[i] = "---"
+	}
+	fmt.Fprintf(&b, "| %s |\n", strings.Join(seps, " | "))
+	for _, row := range t.rows {
+		escaped := make([]string, len(row))
+		for i, cell := range row {
+			escaped[i] = strings.ReplaceAll(cell, "|", "\\|")
+		}
+		fmt.Fprintf(&b, "| %s |\n", strings.Join(escaped, " | "))
+	}
+	return b.String()
+}
+
+func (t *Table) renderCSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		quoted := make([]string, len(cells))
+		for i, cell := range cells {
+			if strings.ContainsAny(cell, ",\"\n") {
+				cell = "\"" + strings.ReplaceAll(cell, "\"", "\"\"") + "\""
+			}
+			quoted[i] = cell
+		}
+		b.WriteString(strings.Join(quoted, ","))
+		b.WriteString("\n")
+	}
+	writeRow(t.Columns)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// BarChart renders labeled values as horizontal ASCII bars — a terminal
+// stand-in for the paper's figures.
+type BarChart struct {
+	Title string
+	// Max is the value corresponding to a full-width bar (0 = auto).
+	Max   float64
+	Width int // bar width in characters (0 = 40)
+
+	labels []string
+	values []float64
+	notes  []string
+}
+
+// NewBarChart builds an empty chart.
+func NewBarChart(title string) *BarChart {
+	return &BarChart{Title: title}
+}
+
+// AddBar appends one labeled bar with an optional note shown after the
+// value.
+func (c *BarChart) AddBar(label string, value float64, note string) {
+	c.labels = append(c.labels, label)
+	c.values = append(c.values, value)
+	c.notes = append(c.notes, note)
+}
+
+// Render draws the chart.
+func (c *BarChart) Render() string {
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	width := c.Width
+	if width <= 0 {
+		width = 40
+	}
+	maxVal := c.Max
+	if maxVal <= 0 {
+		for _, v := range c.values {
+			if v > maxVal {
+				maxVal = v
+			}
+		}
+		if maxVal == 0 {
+			maxVal = 1
+		}
+	}
+	labelW := 0
+	for _, l := range c.labels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	for i, l := range c.labels {
+		n := int(c.values[i] / maxVal * float64(width))
+		if n < 0 {
+			n = 0
+		}
+		if n > width {
+			n = width
+		}
+		fmt.Fprintf(&b, "  %-*s %s%s %6.1f", labelW, l,
+			strings.Repeat("█", n), strings.Repeat("·", width-n), c.values[i])
+		if c.notes[i] != "" {
+			fmt.Fprintf(&b, "  %s", c.notes[i])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Pct formats a proportion as a percentage cell.
+func Pct(p float64) string { return fmt.Sprintf("%.1f%%", 100*p) }
+
+// PctCI formats a proportion with its confidence half-width.
+func PctCI(p, ci float64) string { return fmt.Sprintf("%.1f%% ± %.1f%%", 100*p, 100*ci) }
+
+// Ms formats a duration in milliseconds given seconds.
+func Ms(seconds float64) string { return fmt.Sprintf("%.1fms", seconds*1000) }

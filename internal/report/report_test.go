@@ -1,0 +1,158 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func sample() *Table {
+	t := NewTable("Recovery rates", "mechanism", "fault", "success")
+	t.AddRow("NiLiHype", "failstop", "96.8%")
+	t.AddRow("ReHype", "failstop", "96.8%")
+	return t
+}
+
+func TestParseFormat(t *testing.T) {
+	tests := []struct {
+		in      string
+		want    Format
+		wantErr bool
+	}{
+		{"text", Text, false}, {"", Text, false},
+		{"md", Markdown, false}, {"markdown", Markdown, false},
+		{"CSV", CSV, false}, {"xml", 0, true},
+	}
+	for _, tt := range tests {
+		got, err := ParseFormat(tt.in)
+		if (err != nil) != tt.wantErr || got != tt.want {
+			t.Errorf("ParseFormat(%q) = %v, %v", tt.in, got, err)
+		}
+	}
+	if Text.String() != "text" || Markdown.String() != "markdown" ||
+		CSV.String() != "csv" || Format(9).String() != "format(9)" {
+		t.Fatal("format names wrong")
+	}
+}
+
+func TestRenderText(t *testing.T) {
+	out := sample().Render(Text)
+	if !strings.Contains(out, "Recovery rates") {
+		t.Fatalf("missing title: %q", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d, want 4", len(lines))
+	}
+	// Columns aligned: "mechanism" padded to the widest cell.
+	if !strings.HasPrefix(lines[1], "mechanism  fault") {
+		t.Fatalf("header = %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "NiLiHype ") {
+		t.Fatalf("row = %q", lines[2])
+	}
+}
+
+func TestRenderMarkdown(t *testing.T) {
+	out := sample().Render(Markdown)
+	if !strings.Contains(out, "### Recovery rates") {
+		t.Fatalf("missing title: %q", out)
+	}
+	if !strings.Contains(out, "| mechanism | fault | success |") {
+		t.Fatalf("missing header: %q", out)
+	}
+	if !strings.Contains(out, "| --- | --- | --- |") {
+		t.Fatalf("missing separator: %q", out)
+	}
+	// Pipes escaped.
+	tb := NewTable("", "a")
+	tb.AddRow("x|y")
+	if !strings.Contains(tb.Render(Markdown), `x\|y`) {
+		t.Fatal("pipe not escaped")
+	}
+}
+
+func TestRenderCSV(t *testing.T) {
+	out := sample().Render(CSV)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "mechanism,fault,success" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[1] != "NiLiHype,failstop,96.8%" {
+		t.Fatalf("row = %q", lines[1])
+	}
+	// Quoting.
+	tb := NewTable("", "a", "b")
+	tb.AddRow(`with,comma`, `with"quote`)
+	got := tb.Render(CSV)
+	if !strings.Contains(got, `"with,comma","with""quote"`) {
+		t.Fatalf("quoting wrong: %q", got)
+	}
+}
+
+func TestAddRowPadding(t *testing.T) {
+	tb := NewTable("", "a", "b", "c")
+	tb.AddRow("1")
+	tb.AddRow("1", "2", "3", "4")
+	if tb.Rows() != 2 {
+		t.Fatalf("Rows = %d", tb.Rows())
+	}
+	out := tb.Render(CSV)
+	if !strings.Contains(out, "1,,\n") {
+		t.Fatalf("short row not padded: %q", out)
+	}
+	if strings.Contains(out, "4") {
+		t.Fatalf("long row not truncated: %q", out)
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	if Pct(0.968) != "96.8%" {
+		t.Fatalf("Pct = %q", Pct(0.968))
+	}
+	if PctCI(0.5, 0.02) != "50.0% ± 2.0%" {
+		t.Fatalf("PctCI = %q", PctCI(0.5, 0.02))
+	}
+	if Ms(0.022) != "22.0ms" {
+		t.Fatalf("Ms = %q", Ms(0.022))
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	c := NewBarChart("Figure 2")
+	c.Width = 10
+	c.Max = 100
+	c.AddBar("NiLiHype/Failstop", 96.5, "±1.8")
+	c.AddBar("ReHype/Failstop", 96.5, "")
+	c.AddBar("zero", 0, "")
+	out := c.Render()
+	if !strings.Contains(out, "Figure 2") {
+		t.Fatalf("missing title: %q", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if !strings.Contains(lines[1], "█████████") || !strings.Contains(lines[1], "96.5") ||
+		!strings.Contains(lines[1], "±1.8") {
+		t.Fatalf("bar line = %q", lines[1])
+	}
+	if !strings.Contains(lines[3], "··········") {
+		t.Fatalf("zero bar = %q", lines[3])
+	}
+}
+
+func TestBarChartAutoMax(t *testing.T) {
+	c := NewBarChart("")
+	c.Width = 4
+	c.AddBar("a", 2, "")
+	c.AddBar("b", 4, "")
+	out := c.Render()
+	if !strings.Contains(out, "██··") || !strings.Contains(out, "████") {
+		t.Fatalf("auto-max scaling wrong: %q", out)
+	}
+	empty := NewBarChart("")
+	empty.AddBar("z", 0, "")
+	if !strings.Contains(empty.Render(), "·") {
+		t.Fatal("all-zero chart broke")
+	}
+}

@@ -1,0 +1,185 @@
+// Package simclock provides the discrete-event simulation kernel used by
+// every other subsystem: a virtual clock, a deterministic event queue, and
+// cancellable timers.
+//
+// All simulated components schedule work on a single Clock. Virtual time
+// only advances when the next event is dispatched, so a simulated second
+// costs only as many event dispatches as there are events in it. Events
+// scheduled for the same instant fire in scheduling order (FIFO), which
+// makes runs bit-for-bit reproducible for a fixed seed.
+package simclock
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Func is the callback invoked when an event fires.
+type Func func()
+
+// Event is a scheduled callback. It is returned by At and After so that the
+// caller can cancel or reschedule it. The zero value is not usable; events
+// are created only by Clock.
+type Event struct {
+	when   time.Duration
+	seq    uint64
+	fn     Func
+	tag    string
+	index  int // heap index; -1 when not queued
+	halted bool
+}
+
+// When reports the virtual time at which the event is scheduled to fire.
+func (e *Event) When() time.Duration { return e.when }
+
+// Tag returns the diagnostic label the event was scheduled with.
+func (e *Event) Tag() string { return e.tag }
+
+// Pending reports whether the event is still queued.
+func (e *Event) Pending() bool { return e.index >= 0 }
+
+// Clock is a discrete-event virtual clock. It is not safe for concurrent
+// use; the whole simulation is single-threaded by design (determinism).
+type Clock struct {
+	now        time.Duration
+	seq        uint64
+	queue      eventQueue
+	halted     bool
+	dispatched uint64
+}
+
+// New returns a Clock positioned at virtual time zero.
+func New() *Clock {
+	return &Clock{}
+}
+
+// Now returns the current virtual time.
+func (c *Clock) Now() time.Duration { return c.now }
+
+// Dispatched returns the number of events dispatched so far. It is useful
+// for bounding runaway simulations in tests.
+func (c *Clock) Dispatched() uint64 { return c.dispatched }
+
+// Len returns the number of pending events.
+func (c *Clock) Len() int { return c.queue.Len() }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// is a programming error and panics: allowing it would silently reorder
+// time and break determinism.
+func (c *Clock) At(t time.Duration, tag string, fn Func) *Event {
+	if t < c.now {
+		panic(fmt.Sprintf("simclock: scheduling %q at %v before now %v", tag, t, c.now))
+	}
+	e := &Event{when: t, seq: c.seq, fn: fn, tag: tag}
+	c.seq++
+	heap.Push(&c.queue, e)
+	return e
+}
+
+// After schedules fn to run d after the current virtual time.
+func (c *Clock) After(d time.Duration, tag string, fn Func) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("simclock: negative delay %v for %q", d, tag))
+	}
+	return c.At(c.now+d, tag, fn)
+}
+
+// Cancel removes a pending event. Cancelling an event that already fired or
+// was already cancelled is a no-op, so callers need not track event state.
+func (c *Clock) Cancel(e *Event) {
+	if e == nil || e.index < 0 {
+		return
+	}
+	heap.Remove(&c.queue, e.index)
+}
+
+// Reschedule moves a pending event to a new absolute time, preserving its
+// callback and tag. If the event already fired it is re-queued.
+func (c *Clock) Reschedule(e *Event, t time.Duration) {
+	if t < c.now {
+		panic(fmt.Sprintf("simclock: rescheduling %q at %v before now %v", e.tag, t, c.now))
+	}
+	if e.index >= 0 {
+		heap.Remove(&c.queue, e.index)
+	}
+	e.when = t
+	e.seq = c.seq
+	c.seq++
+	heap.Push(&c.queue, e)
+}
+
+// Step dispatches the single next event and returns true, or returns false
+// if the queue is empty or the clock has been halted.
+func (c *Clock) Step() bool {
+	if c.halted || c.queue.Len() == 0 {
+		return false
+	}
+	e := heap.Pop(&c.queue).(*Event)
+	c.now = e.when
+	c.dispatched++
+	e.fn()
+	return true
+}
+
+// RunUntil dispatches events until virtual time would pass t, the queue
+// empties, or the clock halts. On return Now() == t unless halted earlier.
+func (c *Clock) RunUntil(t time.Duration) {
+	for !c.halted && c.queue.Len() > 0 && c.queue[0].when <= t {
+		c.Step()
+	}
+	if !c.halted && c.now < t {
+		c.now = t
+	}
+}
+
+// Run dispatches events until the queue empties or the clock halts.
+func (c *Clock) Run() {
+	for c.Step() {
+	}
+}
+
+// Halt stops dispatching. Pending events are preserved; Resume re-enables
+// dispatching. Halt is how a simulation terminates early (e.g. on an
+// unrecoverable hypervisor failure).
+func (c *Clock) Halt() { c.halted = true }
+
+// Resume re-enables dispatching after Halt.
+func (c *Clock) Resume() { c.halted = false }
+
+// Halted reports whether the clock is halted.
+func (c *Clock) Halted() bool { return c.halted }
+
+// eventQueue implements heap.Interface ordered by (when, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].when != q[j].when {
+		return q[i].when < q[j].when
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}

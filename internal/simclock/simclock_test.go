@@ -1,0 +1,323 @@
+package simclock
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestNewClockStartsAtZero(t *testing.T) {
+	c := New()
+	if c.Now() != 0 {
+		t.Fatalf("Now() = %v, want 0", c.Now())
+	}
+	if c.Len() != 0 {
+		t.Fatalf("Len() = %d, want 0", c.Len())
+	}
+}
+
+func TestAfterFiresAtRightTime(t *testing.T) {
+	c := New()
+	var firedAt time.Duration = -1
+	c.After(5*time.Millisecond, "t", func() { firedAt = c.Now() })
+	c.Run()
+	if firedAt != 5*time.Millisecond {
+		t.Fatalf("fired at %v, want 5ms", firedAt)
+	}
+}
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	c := New()
+	var order []int
+	c.After(30*time.Microsecond, "c", func() { order = append(order, 3) })
+	c.After(10*time.Microsecond, "a", func() { order = append(order, 1) })
+	c.After(20*time.Microsecond, "b", func() { order = append(order, 2) })
+	c.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestSimultaneousEventsFireFIFO(t *testing.T) {
+	c := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		c.At(time.Millisecond, "same", func() { order = append(order, i) })
+	}
+	c.Run()
+	for i := 0; i < 10; i++ {
+		if order[i] != i {
+			t.Fatalf("order = %v, want FIFO 0..9", order)
+		}
+	}
+}
+
+func TestCancelPreventsFiring(t *testing.T) {
+	c := New()
+	fired := false
+	e := c.After(time.Millisecond, "x", func() { fired = true })
+	c.Cancel(e)
+	c.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if e.Pending() {
+		t.Fatal("cancelled event still pending")
+	}
+}
+
+func TestCancelIsIdempotent(t *testing.T) {
+	c := New()
+	e := c.After(time.Millisecond, "x", func() {})
+	c.Cancel(e)
+	c.Cancel(e) // must not panic
+	c.Cancel(nil)
+	c.Run()
+}
+
+func TestCancelAfterFireIsNoOp(t *testing.T) {
+	c := New()
+	e := c.After(time.Millisecond, "x", func() {})
+	c.Run()
+	c.Cancel(e) // must not panic
+}
+
+func TestRescheduleMovesEvent(t *testing.T) {
+	c := New()
+	var firedAt time.Duration
+	e := c.After(time.Millisecond, "x", func() { firedAt = c.Now() })
+	c.Reschedule(e, 7*time.Millisecond)
+	c.Run()
+	if firedAt != 7*time.Millisecond {
+		t.Fatalf("fired at %v, want 7ms", firedAt)
+	}
+}
+
+func TestRescheduleAfterFireRequeues(t *testing.T) {
+	c := New()
+	count := 0
+	e := c.After(time.Millisecond, "x", func() { count++ })
+	c.Run()
+	c.Reschedule(e, 2*time.Millisecond)
+	c.Run()
+	if count != 2 {
+		t.Fatalf("count = %d, want 2", count)
+	}
+}
+
+func TestRunUntilAdvancesClock(t *testing.T) {
+	c := New()
+	fired := false
+	c.After(10*time.Millisecond, "late", func() { fired = true })
+	c.RunUntil(5 * time.Millisecond)
+	if fired {
+		t.Fatal("event beyond horizon fired")
+	}
+	if c.Now() != 5*time.Millisecond {
+		t.Fatalf("Now() = %v, want 5ms", c.Now())
+	}
+	c.RunUntil(20 * time.Millisecond)
+	if !fired {
+		t.Fatal("event within horizon did not fire")
+	}
+}
+
+func TestRunUntilFiresEventExactlyAtHorizon(t *testing.T) {
+	c := New()
+	fired := false
+	c.After(5*time.Millisecond, "edge", func() { fired = true })
+	c.RunUntil(5 * time.Millisecond)
+	if !fired {
+		t.Fatal("event at exact horizon did not fire")
+	}
+}
+
+func TestHaltStopsDispatch(t *testing.T) {
+	c := New()
+	count := 0
+	for i := 1; i <= 5; i++ {
+		c.After(time.Duration(i)*time.Millisecond, "n", func() {
+			count++
+			if count == 2 {
+				c.Halt()
+			}
+		})
+	}
+	c.Run()
+	if count != 2 {
+		t.Fatalf("count = %d, want 2 (halt should stop dispatch)", count)
+	}
+	if !c.Halted() {
+		t.Fatal("Halted() = false after Halt")
+	}
+	c.Resume()
+	c.Run()
+	if count != 5 {
+		t.Fatalf("count = %d after resume, want 5", count)
+	}
+}
+
+func TestSchedulingInsideEvent(t *testing.T) {
+	c := New()
+	var times []time.Duration
+	c.After(time.Millisecond, "outer", func() {
+		c.After(time.Millisecond, "inner", func() {
+			times = append(times, c.Now())
+		})
+	})
+	c.Run()
+	if len(times) != 1 || times[0] != 2*time.Millisecond {
+		t.Fatalf("inner fired at %v, want [2ms]", times)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	c := New()
+	c.After(time.Millisecond, "x", func() {})
+	c.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At() in the past did not panic")
+		}
+	}()
+	c.At(0, "past", func() {})
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	c := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("After() with negative delay did not panic")
+		}
+	}()
+	c.After(-time.Millisecond, "neg", func() {})
+}
+
+func TestDispatchedCounter(t *testing.T) {
+	c := New()
+	for i := 0; i < 7; i++ {
+		c.After(time.Duration(i)*time.Microsecond, "n", func() {})
+	}
+	c.Run()
+	if c.Dispatched() != 7 {
+		t.Fatalf("Dispatched() = %d, want 7", c.Dispatched())
+	}
+}
+
+func TestEventAccessors(t *testing.T) {
+	c := New()
+	e := c.After(3*time.Millisecond, "tagged", func() {})
+	if e.When() != 3*time.Millisecond {
+		t.Fatalf("When() = %v, want 3ms", e.When())
+	}
+	if e.Tag() != "tagged" {
+		t.Fatalf("Tag() = %q, want %q", e.Tag(), "tagged")
+	}
+	if !e.Pending() {
+		t.Fatal("Pending() = false before fire")
+	}
+	c.Run()
+	if e.Pending() {
+		t.Fatal("Pending() = true after fire")
+	}
+}
+
+// TestPropertyDispatchOrderMonotone is a property test: for any set of
+// delays, dispatch times are non-decreasing and every event fires exactly
+// once.
+func TestPropertyDispatchOrderMonotone(t *testing.T) {
+	f := func(delays []uint16) bool {
+		c := New()
+		var fired []time.Duration
+		for _, d := range delays {
+			c.After(time.Duration(d)*time.Microsecond, "p", func() {
+				fired = append(fired, c.Now())
+			})
+		}
+		c.Run()
+		if len(fired) != len(delays) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyCancelSubset: cancelling an arbitrary subset fires exactly
+// the complement.
+func TestPropertyCancelSubset(t *testing.T) {
+	f := func(n uint8, cancelMask uint64) bool {
+		count := int(n%32) + 1
+		c := New()
+		events := make([]*Event, count)
+		firedCount := 0
+		for i := 0; i < count; i++ {
+			events[i] = c.After(time.Duration(i)*time.Microsecond, "p", func() { firedCount++ })
+		}
+		cancelled := 0
+		for i := 0; i < count; i++ {
+			if cancelMask&(1<<uint(i)) != 0 {
+				c.Cancel(events[i])
+				cancelled++
+			}
+		}
+		c.Run()
+		return firedCount == count-cancelled
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyDeterminism: two clocks fed the same randomized schedule
+// dispatch identical sequences.
+func TestPropertyDeterminism(t *testing.T) {
+	run := func(seed uint64) []string {
+		rng := rand.New(rand.NewPCG(seed, 0))
+		c := New()
+		var log []string
+		var schedule func(depth int)
+		schedule = func(depth int) {
+			if depth > 3 {
+				return
+			}
+			n := rng.IntN(4) + 1
+			for i := 0; i < n; i++ {
+				d := time.Duration(rng.IntN(1000)) * time.Microsecond
+				tag := string(rune('a' + rng.IntN(26)))
+				c.After(d, tag, func() {
+					log = append(log, tag)
+					if rng.IntN(3) == 0 {
+						schedule(depth + 1)
+					}
+				})
+			}
+		}
+		schedule(0)
+		c.Run()
+		return log
+	}
+	for seed := uint64(1); seed <= 20; seed++ {
+		a, b := run(seed), run(seed)
+		if len(a) != len(b) {
+			t.Fatalf("seed %d: lengths differ: %d vs %d", seed, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("seed %d: dispatch %d differs: %q vs %q", seed, i, a[i], b[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,211 @@
+// Package xentime models Xen's software timer subsystem: a per-CPU heap of
+// software timers driven by the one-shot local APIC timer.
+//
+// The protocol is the one the paper's "Reprogram hardware timer"
+// enhancement exists for (§V-A): the APIC timer fires, the handler pops and
+// runs due software timers, and only then reprograms the APIC for the next
+// deadline. A fault landing between the fire and the reprogram leaves the
+// APIC silent forever. Similarly, a recurring timer that was popped but not
+// yet re-armed when all execution threads are discarded never fires again
+// ("Reactivate recurring timer events").
+//
+// The package is pure state: the current virtual time is always passed in
+// explicitly and APIC programming goes through the Programmer interface, so
+// the subsystem is trivially testable in isolation.
+package xentime
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Programmer abstracts the per-CPU one-shot APIC timer.
+type Programmer interface {
+	// ArmTimer programs cpu's APIC timer to fire at deadline.
+	ArmTimer(cpu int, deadline time.Duration)
+	// DisarmTimer cancels cpu's pending APIC shot.
+	DisarmTimer(cpu int)
+}
+
+// Func is a software timer callback.
+type Func func()
+
+// Timer is one software timer. Recurring timers (Period > 0) re-arm
+// themselves when finished by the interrupt handler.
+type Timer struct {
+	Name     string
+	CPU      int
+	Deadline time.Duration
+	Period   time.Duration // 0 for one-shot
+	Fn       Func
+
+	// Fires counts completed expirations.
+	Fires uint64
+
+	active bool
+	index  int
+}
+
+// Active reports whether the timer is queued in its CPU's heap. A
+// recurring timer that was popped but not yet re-armed is inactive — the
+// hazard state.
+func (t *Timer) Active() bool { return t.active }
+
+// Recurring reports whether the timer re-arms after firing.
+func (t *Timer) Recurring() bool { return t.Period > 0 }
+
+// Subsystem is the software timer subsystem across all CPUs.
+type Subsystem struct {
+	apic  Programmer
+	heaps []timerHeap
+	// all tracks every timer ever added and not stopped, including
+	// currently inactive ones; recovery's reactivation scan walks it.
+	all map[*Timer]struct{}
+}
+
+// NewSubsystem creates the subsystem for the given CPU count.
+func NewSubsystem(cpus int, apic Programmer) *Subsystem {
+	return &Subsystem{
+		apic:  apic,
+		heaps: make([]timerHeap, cpus),
+		all:   make(map[*Timer]struct{}),
+	}
+}
+
+// AddTimer registers and arms a timer on a CPU's heap. The caller must
+// follow with ProgramAPIC(cpu) — that separation mirrors the hypervisor
+// code structure and is what creates the injectable window.
+func (s *Subsystem) AddTimer(cpu int, name string, deadline, period time.Duration, fn Func) *Timer {
+	if cpu < 0 || cpu >= len(s.heaps) {
+		panic(fmt.Sprintf("xentime: bad cpu %d", cpu))
+	}
+	t := &Timer{Name: name, CPU: cpu, Deadline: deadline, Period: period, Fn: fn, active: true}
+	heap.Push(&s.heaps[cpu], t)
+	s.all[t] = struct{}{}
+	return t
+}
+
+// StopTimer deactivates and forgets a timer.
+func (s *Subsystem) StopTimer(t *Timer) {
+	if t.active {
+		heap.Remove(&s.heaps[t.CPU], t.index)
+		t.active = false
+	}
+	delete(s.all, t)
+}
+
+// NextDeadline returns the earliest pending deadline on cpu's heap.
+func (s *Subsystem) NextDeadline(cpu int) (time.Duration, bool) {
+	if s.heaps[cpu].Len() == 0 {
+		return 0, false
+	}
+	return s.heaps[cpu][0].Deadline, true
+}
+
+// ProgramAPIC programs cpu's APIC one-shot to the heap's earliest
+// deadline, or disarms it if the heap is empty. Recovery's "Reprogram
+// hardware timer" enhancement calls this for every CPU.
+func (s *Subsystem) ProgramAPIC(cpu int) {
+	if d, ok := s.NextDeadline(cpu); ok {
+		s.apic.ArmTimer(cpu, d)
+	} else {
+		s.apic.DisarmTimer(cpu)
+	}
+}
+
+// PopDue removes and returns the timers on cpu's heap whose deadlines are
+// <= now, marking them inactive. The interrupt handler runs each and then
+// calls FinishTimer.
+func (s *Subsystem) PopDue(cpu int, now time.Duration) []*Timer {
+	var due []*Timer
+	h := &s.heaps[cpu]
+	for h.Len() > 0 && (*h)[0].Deadline <= now {
+		t := heap.Pop(h).(*Timer)
+		t.active = false
+		due = append(due, t)
+	}
+	return due
+}
+
+// FinishTimer completes one expiration: it counts the fire and re-arms the
+// timer if it is recurring. One-shot timers are forgotten.
+func (s *Subsystem) FinishTimer(t *Timer, now time.Duration) {
+	t.Fires++
+	if t.Period > 0 {
+		t.Deadline = now + t.Period
+		t.active = true
+		heap.Push(&s.heaps[t.CPU], t)
+		return
+	}
+	delete(s.all, t)
+}
+
+// InactiveRecurring returns recurring timers that are currently not queued
+// — popped by an interrupt handler whose execution thread was then
+// discarded. Without reactivation these never fire again.
+func (s *Subsystem) InactiveRecurring() []*Timer {
+	var out []*Timer
+	for t := range s.all {
+		if t.Recurring() && !t.active {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// ReactivateRecurring re-arms every inactive recurring timer one period
+// from now and returns how many were revived, reprogramming the APIC of
+// each affected CPU (re-adding a timer programs the APIC, as on the
+// normal add path). This is the "Reactivate recurring timer events"
+// enhancement (§V-A).
+func (s *Subsystem) ReactivateRecurring(now time.Duration) int {
+	n := 0
+	touched := make(map[int]bool)
+	for t := range s.all {
+		if t.Recurring() && !t.active {
+			t.Deadline = now + t.Period
+			t.active = true
+			heap.Push(&s.heaps[t.CPU], t)
+			touched[t.CPU] = true
+			n++
+		}
+	}
+	for cpu := range touched {
+		s.ProgramAPIC(cpu)
+	}
+	return n
+}
+
+// PendingCount returns the number of queued timers on cpu.
+func (s *Subsystem) PendingCount(cpu int) int { return s.heaps[cpu].Len() }
+
+// NumCPUs returns the CPU count the subsystem was built for.
+func (s *Subsystem) NumCPUs() int { return len(s.heaps) }
+
+// timerHeap orders timers by deadline.
+type timerHeap []*Timer
+
+func (h timerHeap) Len() int           { return len(h) }
+func (h timerHeap) Less(i, j int) bool { return h[i].Deadline < h[j].Deadline }
+func (h timerHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *timerHeap) Push(x any) {
+	t := x.(*Timer)
+	t.index = len(*h)
+	*h = append(*h, t)
+}
+
+func (h *timerHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	t.index = -1
+	*h = old[:n-1]
+	return t
+}
