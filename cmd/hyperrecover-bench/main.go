@@ -1,0 +1,140 @@
+// Command hyperrecover-bench measures campaign execution throughput and
+// records the result in BENCH_campaign.json, keeping the original
+// baseline and a history of prior measurements so regressions are visible
+// in review.
+//
+// The measurement is the shared fixed configuration from
+// campaign.ThroughputBenchConfig (the same one BenchmarkCampaignThroughput
+// uses): a 1AppVM/UnixBench failstop campaign under Microreset with all
+// enhancements. Reported metrics are runs/sec (wall clock), heap
+// allocations per run, and KB allocated per run.
+//
+// Examples:
+//
+//	hyperrecover-bench                      # measure, update BENCH_campaign.json
+//	hyperrecover-bench -runs 100 -dry-run   # measure only, print, no file update
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"nilihype/internal/campaign"
+)
+
+// Measurement is one recorded benchmark result.
+type Measurement struct {
+	Date         string  `json:"date"`
+	GoVersion    string  `json:"go_version"`
+	Runs         int     `json:"runs"`
+	RunsPerSec   float64 `json:"runs_per_sec"`
+	AllocsPerRun int64   `json:"allocs_per_run"`
+	KBPerRun     int64   `json:"kb_per_run"`
+	Note         string  `json:"note,omitempty"`
+}
+
+// File is the on-disk BENCH_campaign.json schema. Baseline is written
+// once (the first recorded measurement) and preserved forever after;
+// Current is the latest measurement; History holds the superseded
+// Currents in order.
+type File struct {
+	Benchmark string        `json:"benchmark"`
+	Config    string        `json:"config"`
+	Baseline  Measurement   `json:"baseline"`
+	Current   Measurement   `json:"current"`
+	History   []Measurement `json:"history,omitempty"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "hyperrecover-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		runs     = flag.Int("runs", 24, "injection runs per measurement")
+		parallel = flag.Int("parallel", 0, "concurrent runs (0 = GOMAXPROCS)")
+		out      = flag.String("out", "BENCH_campaign.json", "result file to update")
+		note     = flag.String("note", "", "annotation stored with the measurement")
+		dryRun   = flag.Bool("dry-run", false, "measure and print without updating the file")
+	)
+	flag.Parse()
+	if *runs <= 0 {
+		return fmt.Errorf("-runs must be positive")
+	}
+
+	m, err := measure(*runs, *parallel)
+	if err != nil {
+		return err
+	}
+	m.Note = *note
+	fmt.Printf("campaign-throughput: %d runs, %.2f runs/sec, %d allocs/run, %d KB/run\n",
+		m.Runs, m.RunsPerSec, m.AllocsPerRun, m.KBPerRun)
+	if *dryRun {
+		return nil
+	}
+
+	f := File{
+		Benchmark: "campaign-throughput",
+		Config:    "1AppVM/UnixBench/Failstop, Microreset+AllEnhancements, logging on, 2s virtual",
+	}
+	if prev, err := os.ReadFile(*out); err == nil {
+		if err := json.Unmarshal(prev, &f); err != nil {
+			return fmt.Errorf("parse existing %s: %w", *out, err)
+		}
+		// Keep the original baseline; retire the old current to history.
+		if f.Current.Date != "" {
+			f.History = append(f.History, f.Current)
+		}
+	} else {
+		f.Baseline = m
+	}
+	f.Current = m
+
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("updated %s (baseline %.2f runs/sec / %d allocs/run)\n",
+		*out, f.Baseline.RunsPerSec, f.Baseline.AllocsPerRun)
+	return nil
+}
+
+// measure executes one fixed-configuration campaign and returns the
+// throughput metrics. It mirrors BenchmarkCampaignThroughput: a GC fence
+// before and after brackets the MemStats delta so the per-run numbers are
+// not polluted by unrelated garbage.
+func measure(runs, parallel int) (Measurement, error) {
+	c := campaign.Campaign{
+		Base:        campaign.ThroughputBenchConfig(),
+		Runs:        runs,
+		Parallelism: parallel,
+	}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	s := c.Execute()
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	if s.Runs != runs {
+		return Measurement{}, fmt.Errorf("campaign ran %d of %d runs", s.Runs, runs)
+	}
+	return Measurement{
+		Date:         time.Now().UTC().Format("2006-01-02"),
+		GoVersion:    runtime.Version(),
+		Runs:         runs,
+		RunsPerSec:   float64(runs) / elapsed.Seconds(),
+		AllocsPerRun: int64(after.Mallocs-before.Mallocs) / int64(runs),
+		KBPerRun:     int64(after.TotalAlloc-before.TotalAlloc) / int64(runs) / 1024,
+	}, nil
+}

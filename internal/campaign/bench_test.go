@@ -1,0 +1,54 @@
+package campaign
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// throughputConfig is the fixed configuration the campaign-throughput
+// benchmark and cmd/hyperrecover-bench share, so BENCH_campaign.json
+// numbers are comparable across PRs.
+func throughputConfig() RunConfig {
+	return ThroughputBenchConfig()
+}
+
+// BenchmarkCampaignThroughput measures the end-to-end campaign hot path:
+// runs/sec and allocations per run. This is the number that bounds
+// campaign sizes (and therefore confidence intervals) in CI time.
+func BenchmarkCampaignThroughput(b *testing.B) {
+	const runs = 24
+	c := Campaign{Base: throughputConfig(), Runs: runs}
+	var ms1, ms2 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms1)
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		s := c.Execute()
+		if s.Runs != runs {
+			b.Fatalf("Runs = %d", s.Runs)
+		}
+	}
+	elapsed := time.Since(start)
+	b.StopTimer()
+	runtime.ReadMemStats(&ms2)
+	total := float64(runs) * float64(b.N)
+	b.ReportMetric(total/elapsed.Seconds(), "runs/sec")
+	b.ReportMetric(float64(ms2.Mallocs-ms1.Mallocs)/total, "allocs/run")
+	b.ReportMetric(float64(ms2.TotalAlloc-ms1.TotalAlloc)/total/1024, "KB/run")
+}
+
+// BenchmarkSingleRun measures one fault-injection run in isolation
+// (no executor involvement): the per-run floor the executor builds on.
+func BenchmarkSingleRun(b *testing.B) {
+	rc := throughputConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rc.Seed = uint64(i + 1)
+		r := Run(rc)
+		if r.Outcome == 0 {
+			b.Fatal("no outcome")
+		}
+	}
+}

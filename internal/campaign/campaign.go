@@ -15,6 +15,16 @@ type Campaign struct {
 	Runs int
 	// Parallelism bounds concurrent runs (0 = GOMAXPROCS).
 	Parallelism int
+	// SeedBase offsets the seed sequence: run i (0-based) uses seed
+	// SeedBase+i+1, so sharded campaigns can partition a seed space
+	// without overlap. Zero preserves the historical seeds 1..Runs.
+	SeedBase uint64
+	// OnResult, if non-nil, is invoked once per completed run, in
+	// completion order (not seed order), serialized — implementations
+	// need no locking. It lets callers stream per-run output without
+	// the executor retaining results; keep it fast, it is on the
+	// aggregation path.
+	OnResult func(Result)
 }
 
 // Summary aggregates a campaign.
@@ -35,33 +45,70 @@ type Summary struct {
 	FailReasons map[string]int
 }
 
-// Execute runs the campaign with seeds 1..Runs.
+// Execute runs the campaign with seeds SeedBase+1..SeedBase+Runs on a
+// fixed pool of Parallelism workers. Each worker aggregates its runs into
+// a private partial Summary; the partials are merged after the pool
+// drains. Memory is O(Parallelism) regardless of Runs — no per-run Result
+// slice is retained — and because every Summary field is an
+// order-independent counter, the merged Summary is identical whatever the
+// parallelism level or completion order.
 func (c *Campaign) Execute() Summary {
 	s := Summary{Config: c.Base, Runs: c.Runs, FailReasons: make(map[string]int)}
+	if c.Runs <= 0 {
+		return s
+	}
 	par := c.Parallelism
 	if par <= 0 {
 		par = runtime.GOMAXPROCS(0)
 	}
-	results := make([]Result, c.Runs)
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, par)
-	for i := 0; i < c.Runs; i++ {
-		i := i
-		wg.Add(1)
-		sem <- struct{}{}
-		go func() {
-			defer wg.Done()
-			defer func() { <-sem }()
-			rc := c.Base
-			rc.Seed = uint64(i + 1)
-			results[i] = Run(rc)
-		}()
+	if par > c.Runs {
+		par = c.Runs
 	}
+	seeds := make(chan uint64)
+	partials := make([]Summary, par)
+	var mu sync.Mutex // serializes OnResult across workers
+	var wg sync.WaitGroup
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func(p *Summary) {
+			defer wg.Done()
+			p.FailReasons = make(map[string]int)
+			for seed := range seeds {
+				rc := c.Base
+				rc.Seed = seed
+				r := Run(rc)
+				p.add(r)
+				if c.OnResult != nil {
+					mu.Lock()
+					c.OnResult(r)
+					mu.Unlock()
+				}
+			}
+		}(&partials[w])
+	}
+	for i := 0; i < c.Runs; i++ {
+		seeds <- c.SeedBase + uint64(i+1)
+	}
+	close(seeds)
 	wg.Wait()
-	for i := range results {
-		s.add(results[i])
+	for i := range partials {
+		s.merge(&partials[i])
 	}
 	return s
+}
+
+// merge folds a worker's partial summary into s. All fields are counters,
+// so merging is commutative and associative: the result does not depend
+// on worker count or scheduling.
+func (s *Summary) merge(p *Summary) {
+	s.NonManifested += p.NonManifested
+	s.SDCCount += p.SDCCount
+	s.DetectedCount += p.DetectedCount
+	s.RecoverySuccess += p.RecoverySuccess
+	s.NoVMFCount += p.NoVMFCount
+	for k, v := range p.FailReasons {
+		s.FailReasons[k] += v
+	}
 }
 
 func (s *Summary) add(r Result) {
@@ -129,14 +176,25 @@ func (s Summary) OutcomeRates() (nonManifested, sdc, detected float64) {
 	return float64(s.NonManifested) / n, float64(s.SDCCount) / n, float64(s.DetectedCount) / n
 }
 
-// proportion computes k/n and the normal-approximation 95% CI half-width
-// (the paper sizes campaigns so this is within ±2%).
+// proportion computes k/n and a 95% CI half-width from the Wilson score
+// interval. Unlike the normal approximation, Wilson stays inside [0,1]
+// and gives a nonzero width at k=0 and k=n — which matters here because
+// recovery campaigns routinely see success rates at or near 100%. The
+// Wilson interval is asymmetric around k/n, so the reported half-width is
+// the larger of the two distances (the interval [rate-ci, rate+ci] always
+// covers it).
 func proportion(k, n int) (rate, ci float64) {
 	if n == 0 {
 		return 0, 0
 	}
-	p := float64(k) / float64(n)
-	return p, 1.96 * math.Sqrt(p*(1-p)/float64(n))
+	const z = 1.96 // 95%
+	nf := float64(n)
+	p := float64(k) / nf
+	z2n := z * z / nf
+	denom := 1 + z2n
+	center := (p + z2n/2) / denom
+	half := z / denom * math.Sqrt(p*(1-p)/nf+z*z/(4*nf*nf))
+	return p, math.Max(p-(center-half), (center+half)-p)
 }
 
 // Format renders the summary as a report block.

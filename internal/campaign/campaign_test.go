@@ -2,6 +2,8 @@ package campaign
 
 import (
 	"math"
+	"reflect"
+	"sort"
 	"strings"
 	"testing"
 	"time"
@@ -124,14 +126,118 @@ func TestCampaignExecuteAggregates(t *testing.T) {
 	}
 }
 
-func TestProportionCI(t *testing.T) {
-	rate, ci := proportion(90, 100)
-	if rate != 0.9 {
-		t.Fatalf("rate = %v", rate)
+// TestCampaignDeterministicAcrossParallelism is the determinism
+// regression for the streaming executor: the same campaign must produce
+// a byte-identical Summary whether runs execute serially or spread over
+// many workers, and re-executing must reproduce it exactly.
+func TestCampaignDeterministicAcrossParallelism(t *testing.T) {
+	base := fastCfg(inject.Register, core.Microreset)
+	serial := Campaign{Base: base, Runs: 8, Parallelism: 1}
+	wide := Campaign{Base: base, Runs: 8, Parallelism: 8}
+	s1 := serial.Execute()
+	s2 := wide.Execute()
+	if !reflect.DeepEqual(s1, s2) {
+		t.Fatalf("summary differs across parallelism:\n par=1: %+v\n par=8: %+v", s1, s2)
 	}
-	want := 1.96 * math.Sqrt(0.9*0.1/100)
-	if math.Abs(ci-want) > 1e-9 {
-		t.Fatalf("ci = %v, want %v", ci, want)
+	s3 := serial.Execute()
+	if !reflect.DeepEqual(s1, s3) {
+		t.Fatalf("summary not reproducible:\n first: %+v\n again: %+v", s1, s3)
+	}
+}
+
+// TestCampaignSeedBaseShiftsSeeds checks sharding: SeedBase offsets the
+// seed sequence, and streamed Results carry exactly those seeds.
+func TestCampaignSeedBaseShiftsSeeds(t *testing.T) {
+	var seeds []uint64
+	c := Campaign{
+		Base:        fastCfg(inject.Failstop, core.Microreset),
+		Runs:        4,
+		Parallelism: 2,
+		SeedBase:    100,
+		OnResult:    func(r Result) { seeds = append(seeds, r.Seed) },
+	}
+	s := c.Execute()
+	if s.Runs != 4 {
+		t.Fatalf("Runs = %d", s.Runs)
+	}
+	if len(seeds) != 4 {
+		t.Fatalf("OnResult saw %d results, want 4", len(seeds))
+	}
+	sort.Slice(seeds, func(i, j int) bool { return seeds[i] < seeds[j] })
+	want := []uint64{101, 102, 103, 104}
+	if !reflect.DeepEqual(seeds, want) {
+		t.Fatalf("seeds = %v, want %v", seeds, want)
+	}
+	// A sharded pair of campaigns must aggregate like one big one.
+	shard2 := Campaign{Base: c.Base, Runs: 4, Parallelism: 2, SeedBase: 104}
+	whole := Campaign{Base: c.Base, Runs: 8, Parallelism: 2, SeedBase: 100}
+	merged := c.Execute()
+	merged.merge(shard2ToPartial(shard2.Execute()))
+	merged.Runs = 8
+	if got := whole.Execute(); !reflect.DeepEqual(merged, got) {
+		t.Fatalf("sharded != whole:\n sharded: %+v\n whole:   %+v", merged, got)
+	}
+}
+
+// shard2ToPartial adapts a Summary for merge (merge takes a partial).
+func shard2ToPartial(s Summary) *Summary { return &s }
+
+// TestCampaignOnResultStreamsEveryRun checks the streaming hook fires
+// once per run and that Execute keeps no per-run state of its own.
+func TestCampaignOnResultStreamsEveryRun(t *testing.T) {
+	var detected int
+	c := Campaign{
+		Base:        fastCfg(inject.Failstop, core.Microreset),
+		Runs:        6,
+		Parallelism: 3,
+		OnResult: func(r Result) {
+			if r.Detected {
+				detected++
+			}
+		},
+	}
+	s := c.Execute()
+	if detected != s.DetectedCount {
+		t.Fatalf("streamed detected = %d, summary says %d", detected, s.DetectedCount)
+	}
+}
+
+// TestCampaignZeroRuns checks the empty-campaign edge.
+func TestCampaignZeroRuns(t *testing.T) {
+	c := Campaign{Base: fastCfg(inject.Failstop, core.Microreset), Runs: 0}
+	s := c.Execute()
+	if s.Runs != 0 || s.DetectedCount != 0 || s.FailReasons == nil {
+		t.Fatalf("zero-run summary = %+v", s)
+	}
+}
+
+func TestProportionCI(t *testing.T) {
+	// Reference values computed independently from the Wilson score
+	// interval with z=1.96; wantCI is the larger half-width
+	// max(p-lower, upper-p).
+	tests := []struct {
+		k, n     int
+		wantRate float64
+		wantCI   float64
+	}{
+		{90, 100, 0.9, 0.074367304367665},
+		{50, 100, 0.5, 0.096170171409853},
+		{450, 500, 0.9, 0.029422508200003},
+		{1, 10, 0.1, 0.304156385497572},
+		// The boundary cases that motivated Wilson over the normal
+		// approximation: at k=0 and k=n the normal CI collapses to
+		// zero width, Wilson does not.
+		{100, 100, 1.0, 0.036994807476002},
+		{0, 100, 0.0, 0.036994807476002},
+	}
+	for _, tt := range tests {
+		rate, ci := proportion(tt.k, tt.n)
+		if math.Abs(rate-tt.wantRate) > 1e-12 {
+			t.Errorf("proportion(%d,%d) rate = %v, want %v", tt.k, tt.n, rate, tt.wantRate)
+		}
+		if math.Abs(ci-tt.wantCI) > 1e-9 {
+			t.Errorf("proportion(%d,%d) ci = %v, want %v", tt.k, tt.n, ci, tt.wantCI)
+		}
 	}
 	if r, c := proportion(0, 0); r != 0 || c != 0 {
 		t.Fatal("empty proportion not zero")

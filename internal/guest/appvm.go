@@ -37,6 +37,15 @@ type AppVM struct {
 	nextRef  int       // grant ref allocator
 	inFlight map[int]int
 	reserved int // outstanding memory_op populate pages
+
+	// iterFn/runFn are the iterate entry points cached as method values
+	// (set in Start): taking vm.iterate fresh at every reschedule would
+	// allocate a closure per benchmark iteration.
+	iterFn func()
+	runFn  func()
+	// pinScratch is reused across iterations for the fork batch's frame
+	// exclusion list (never retained past the iteration).
+	pinScratch []int
 }
 
 // Start launches the benchmark: it runs for Cfg.Duration of virtual time.
@@ -47,6 +56,8 @@ func (vm *AppVM) Start() {
 	vm.Started = true
 	vm.inFlight = make(map[int]int)
 	vm.finishAt = vm.W.H.Clock.Now() + vm.Cfg.Duration
+	vm.iterFn = vm.iterate
+	vm.runFn = vm.runIteration
 	if vm.Cfg.Kind != NetBench {
 		vm.scheduleNext()
 		return
@@ -55,7 +66,7 @@ func (vm *AppVM) Start() {
 	// finishes by the clock.
 	vm.W.H.Clock.After(vm.Cfg.Duration+10*time.Millisecond, "netbench-finish", func() {
 		vm.W.H.WhenRunnable(func() {
-			if d := vm.Domain(); d != nil && !d.Failed {
+			if d, err := vm.W.H.Domain(vm.Cfg.Dom); err == nil && !d.Failed {
 				vm.Finished = true
 			}
 		})
@@ -68,28 +79,13 @@ func (vm *AppVM) Running() bool { return vm.Started && !vm.Finished }
 // ResetProgressMark zeroes the post-mark progress counter.
 func (vm *AppVM) ResetProgressMark() { vm.OpsAfterMark = 0 }
 
-// Domain returns the backing hypervisor domain (nil if gone).
-func (vm *AppVM) Domain() *domSnapshot {
-	d, err := vm.W.H.Domain(vm.Cfg.Dom)
-	if err != nil {
-		return nil
-	}
-	return &domSnapshot{Failed: d.Failed, FailReason: d.FailReason}
-}
-
-// domSnapshot is a read-only view of domain failure state.
-type domSnapshot struct {
-	Failed     bool
-	FailReason string
-}
-
 // Verdict evaluates the benchmark against the paper's failure criteria
 // (§VI-A): golden-output mismatch, guest-visible failures (domain
 // failed), or lack of progress.
 func (vm *AppVM) Verdict() (ok bool, reason string) {
-	d := vm.Domain()
+	d, err := vm.W.H.Domain(vm.Cfg.Dom)
 	switch {
-	case d == nil:
+	case err != nil:
 		return false, "domain destroyed"
 	case d.Failed:
 		return false, "guest failed: " + d.FailReason
@@ -115,7 +111,7 @@ func (vm *AppVM) minOps() int {
 
 func (vm *AppVM) scheduleNext() {
 	jitter := time.Duration(vm.rng.Int64N(int64(vm.Cfg.IterPeriod) / 4))
-	vm.W.H.Clock.After(vm.Cfg.IterPeriod+jitter, vm.Cfg.Kind.String(), vm.iterate)
+	vm.W.H.Clock.After(vm.Cfg.IterPeriod+jitter, vm.Cfg.Kind.String(), vm.iterFn)
 }
 
 // iterate runs one benchmark iteration (deferred across recovery pauses).
@@ -124,35 +120,39 @@ func (vm *AppVM) iterate() {
 	if failed, _ := h.Failed(); failed {
 		return
 	}
-	h.WhenRunnable(func() {
-		if vm.Finished {
-			return
-		}
-		if h.Clock.Now() >= vm.finishAt {
-			vm.finish()
-			return
-		}
-		d := vm.Domain()
-		if d == nil || d.Failed {
-			return // guest dead; no more activity
-		}
-		switch {
-		case vm.Cfg.Kind == BlkBench:
-			vm.blkIteration()
-		case vm.Cfg.HVM:
-			vm.hvmUnixIteration()
-		default:
-			vm.unixIteration()
-		}
-		vm.scheduleNext()
-	})
+	h.WhenRunnable(vm.runFn)
+}
+
+// runIteration is the body of one iteration, entered once the hypervisor
+// is runnable (cached as vm.runFn).
+func (vm *AppVM) runIteration() {
+	if vm.Finished {
+		return
+	}
+	if vm.W.H.Clock.Now() >= vm.finishAt {
+		vm.finish()
+		return
+	}
+	d, err := vm.W.H.Domain(vm.Cfg.Dom)
+	if err != nil || d.Failed {
+		return // guest dead; no more activity
+	}
+	switch {
+	case vm.Cfg.Kind == BlkBench:
+		vm.blkIteration()
+	case vm.Cfg.HVM:
+		vm.hvmUnixIteration()
+	default:
+		vm.unixIteration()
+	}
+	vm.scheduleNext()
 }
 
 // finish completes the benchmark if all I/O drained; otherwise it waits a
 // little longer for in-flight operations.
 func (vm *AppVM) finish() {
 	if len(vm.inFlight) > 0 {
-		vm.W.H.Clock.After(5*time.Millisecond, "drain", vm.iterate)
+		vm.W.H.Clock.After(5*time.Millisecond, "drain", vm.iterFn)
 		vm.finishAt = vm.W.H.Clock.Now() // don't start new work
 		return
 	}
@@ -271,24 +271,24 @@ func (vm *AppVM) unixIteration() {
 	// change when the batch executes.
 	batch := &hypercall.Call{Op: hypercall.OpMulticall, Dom: domID}
 	n := 2 + vm.rng.IntN(4)
-	var newPins []int
-	chosen := make(map[int]bool, n)
+	newPins := vm.pinScratch[:0]
 	for i := 0; i < n; i++ {
-		frame := vm.pickGuestFrameExcluding(chosen)
-		chosen[frame] = true
+		frame := vm.pickGuestFrameExcluding(newPins)
 		newPins = append(newPins, frame)
 		batch.Batch = append(batch.Batch, &hypercall.Call{
 			Op: hypercall.OpMMUUpdate, Dom: domID,
 			Args: [4]uint64{hypercall.MMUPin, uint64(frame)},
 		})
 	}
+	vm.pinScratch = newPins
 	w.dispatch(cpu, batch)
 	if vm.gone() {
 		return
 	}
 	// Record the pins that actually took effect by inspecting the
 	// guest's own page tables (not recovery bookkeeping, which stock Xen
-	// lacks); they become the new process's address space.
+	// lacks); they become the new process's address space. The slice is
+	// freshly allocated: fork retains it for the process's lifetime.
 	var got []int
 	for _, f := range newPins {
 		if vm.W.H.Frames.Frame(f).Validated {
@@ -435,20 +435,31 @@ func (vm *AppVM) pickGuestFrame() int {
 	return vm.pickGuestFrameExcluding(nil)
 }
 
-// pickGuestFrameExcluding picks an unreferenced frame not in the exclusion
-// set (frames already chosen for the same batch).
-func (vm *AppVM) pickGuestFrameExcluding(exclude map[int]bool) int {
+// pickGuestFrameExcluding picks an unreferenced frame not in the
+// exclusion list (frames already chosen for the same batch). The list is
+// a slice, not a set: batches are a handful of frames, and a linear scan
+// beats allocating a map every iteration.
+func (vm *AppVM) pickGuestFrameExcluding(exclude []int) int {
 	d, err := vm.W.H.Domain(vm.Cfg.Dom)
 	if err != nil {
 		return 0
 	}
 	for tries := 0; tries < 64; tries++ {
 		f := d.MemStart + vm.rng.IntN(d.MemCount)
-		if vm.W.H.Frames.Frame(f).UseCount == 0 && !exclude[f] {
+		if vm.W.H.Frames.Frame(f).UseCount == 0 && !containsFrame(exclude, f) {
 			return f
 		}
 	}
 	return d.MemStart
+}
+
+func containsFrame(frames []int, f int) bool {
+	for _, x := range frames {
+		if x == f {
+			return true
+		}
+	}
+	return false
 }
 
 // ringPort returns the domain's I/O ring notification port.
@@ -461,7 +472,9 @@ func (vm *AppVM) ringPort() int {
 }
 
 // gone reports whether further guest activity is impossible (domain or
-// hypervisor dead, or recovery pause started mid-iteration).
+// hypervisor dead, or recovery pause started mid-iteration). It runs
+// after every dispatch in an iteration, so it queries the domain
+// directly rather than building a snapshot.
 func (vm *AppVM) gone() bool {
 	if failed, _ := vm.W.H.Failed(); failed {
 		return true
@@ -469,8 +482,8 @@ func (vm *AppVM) gone() bool {
 	if vm.W.H.Paused() {
 		return true
 	}
-	d := vm.Domain()
-	return d == nil || d.Failed
+	d, err := vm.W.H.Domain(vm.Cfg.Dom)
+	return err != nil || d.Failed
 }
 
 // hvmUnixIteration is the UnixBench slice for an HVM guest (§VI-A): the
@@ -483,11 +496,12 @@ func (vm *AppVM) hvmUnixIteration() {
 
 	// fork: the new process's working set faults in as EPT violations.
 	n := 2 + vm.rng.IntN(4)
-	chosen := make(map[int]bool, n)
+	chosen := vm.pinScratch[:0]
 	var got []int
 	for i := 0; i < n; i++ {
 		frame := vm.pickGuestFrameExcluding(chosen)
-		chosen[frame] = true
+		chosen = append(chosen, frame)
+		vm.pinScratch = chosen
 		w.dispatch(cpu, &hypercall.Call{
 			Op: hypercall.OpEPTViolation, Dom: domID,
 			Args: [4]uint64{hypercall.EPTPopulate, uint64(frame)},

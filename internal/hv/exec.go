@@ -100,7 +100,7 @@ func (h *Hypervisor) Dispatch(cpu int, call *hypercall.Call) {
 	pc.CurrentProg = prog
 	pc.CurrentStep = 0
 	pc.abandonedUnmitigated = false
-	h.trace(cpu, TraceDispatch, call.String())
+	h.traceCall(cpu, TraceDispatch, call)
 	h.runProgram(cpu)
 }
 
@@ -226,7 +226,7 @@ func (h *Hypervisor) completeCall(cpu int) {
 	pc.CurrentStep = 0
 	h.clearCrossWaitsRequestedBy(cpu)
 	if call != nil {
-		h.trace(cpu, TraceComplete, call.String())
+		h.traceCall(cpu, TraceComplete, call)
 		if h.callDoneHook != nil {
 			h.callDoneHook(call, nil)
 		}

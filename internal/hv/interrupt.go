@@ -93,38 +93,36 @@ func (h *Hypervisor) startIRQProgram(cpu int, activity string, prog hypercall.Pr
 // hazard; the windows between a timer's run and re-arm steps are the
 // "Reactivate recurring timer events" hazard.
 func (h *Hypervisor) buildTimerIRQ(cpu int) hypercall.Program {
-	pc := h.percpu[cpu]
+	fx := h.irqFixed(cpu)
 	now := h.Clock.Now()
 	due := h.Timers.PopDue(cpu, now)
-	prog := hypercall.Program{
-		{Name: "enter_irq", Instrs: 100, Do: func() error {
-			pc.LocalIRQCount++
-			return nil
-		}},
+	prog := make(hypercall.Program, 0, 12+2*len(due))
+	prog = append(prog,
+		fx.enterIRQ,
 		// Walking the software timer heap and reading the hardware
 		// clock dominate the handler body; the APIC stays unarmed
 		// throughout (the §V-A window).
-		{Name: "scan_timer_heap", Instrs: 1500, Do: func() error { return nil }},
-	}
+		hypercall.Step{Name: "scan_timer_heap", Instrs: 1500, Do: func() error { return nil }},
+	)
 	runSched := false
 	for _, t := range due {
 		t := t
 		if h.schedTicks[t] {
 			runSched = true
 			prog = append(prog, hypercall.Step{
-				Name: "rearm:" + t.Name, Instrs: 30,
+				Name: t.RearmLabel(), Instrs: 30,
 				Do: func() error { h.Timers.FinishTimer(t, now); return nil },
 			})
 			continue
 		}
 		prog = append(prog,
-			hypercall.Step{Name: "run_timer:" + t.Name, Instrs: 30, Do: func() error {
+			hypercall.Step{Name: t.RunLabel(), Instrs: 30, Do: func() error {
 				if t.Fn != nil {
 					t.Fn()
 				}
 				return nil
 			}},
-			hypercall.Step{Name: "rearm:" + t.Name, Instrs: 18, Do: func() error {
+			hypercall.Step{Name: t.RearmLabel(), Instrs: 18, Do: func() error {
 				h.Timers.FinishTimer(t, now)
 				return nil
 			}},
@@ -132,10 +130,7 @@ func (h *Hypervisor) buildTimerIRQ(cpu int) hypercall.Program {
 	}
 	prog = append(prog,
 		hypercall.Step{Name: "ack_lapic", Instrs: 260, Do: func() error { return nil }},
-		hypercall.Step{Name: "reprogram_apic", Instrs: 160, Do: func() error {
-			h.Timers.ProgramAPIC(cpu)
-			return nil
-		}},
+		fx.reprogramAPIC,
 	)
 	// Softirq context: the APIC is re-armed from here on.
 	if runSched {
@@ -149,31 +144,55 @@ func (h *Hypervisor) buildTimerIRQ(cpu int) hypercall.Program {
 		hypercall.Step{Name: "softirq_timer_accounting", Instrs: 1850, Do: func() error { return nil }},
 		hypercall.Step{Name: "softirq_rcu", Instrs: 1850, Do: func() error { return nil }},
 		hypercall.Step{Name: "softirq_time_calibration", Instrs: 1750, Do: func() error { return nil }},
-		hypercall.Step{Name: "exit_irq", Instrs: 30, Do: func() error {
-			pc.LocalIRQCount--
-			return nil
-		}},
+		fx.exitIRQ,
 	)
 	return prog
+}
+
+// irqFixed returns cpu's cached fixed IRQ steps, building their closures
+// on first use. Only steps whose behavior depends on nothing but the CPU
+// identity live here; see the PerCPU field comment.
+func (h *Hypervisor) irqFixed(cpu int) *irqFixedSteps {
+	pc := h.percpu[cpu]
+	fx := &pc.irqFixedSteps
+	if fx.enterIRQ.Do == nil {
+		fx.enterIRQ = hypercall.Step{Name: "enter_irq", Instrs: 100, Do: func() error {
+			pc.LocalIRQCount++
+			return nil
+		}}
+		fx.reprogramAPIC = hypercall.Step{Name: "reprogram_apic", Instrs: 160, Do: func() error {
+			h.Timers.ProgramAPIC(cpu)
+			return nil
+		}}
+		fx.exitIRQ = hypercall.Step{Name: "exit_irq", Instrs: 30, Do: func() error {
+			pc.LocalIRQCount--
+			return nil
+		}}
+		fx.lockRunq = hypercall.Step{Name: "lock_runq", Instrs: 30, Do: func() error {
+			return pc.Env.Acquire(h.Sched.RunqueueLock(cpu))
+		}}
+		fx.creditTick = hypercall.Step{Name: "credit_tick", Instrs: 40, Do: func() error {
+			if v := h.Sched.Curr(cpu); v != nil {
+				v.Credit -= 10
+			}
+			return nil
+		}}
+		fx.unlockRunq = hypercall.Step{Name: "unlock_runq", Instrs: 30, Do: func() error {
+			pc.Env.Release(h.Sched.RunqueueLock(cpu))
+			return nil
+		}}
+	}
+	return fx
 }
 
 // buildSchedSoftirq constructs the scheduler softirq: credit accounting
 // and, when another vCPU is waiting, a context switch decomposed into the
 // metadata steps of §V-A. The runqueue lock is held throughout.
 func (h *Hypervisor) buildSchedSoftirq(cpu int) []hypercall.Step {
-	pc := h.percpu[cpu]
+	fx := h.irqFixed(cpu)
 	var op *sched.SwitchOp
-	steps := []hypercall.Step{
-		{Name: "lock_runq", Instrs: 30, Do: func() error {
-			return pc.Env.Acquire(h.Sched.RunqueueLock(cpu))
-		}},
-		{Name: "credit_tick", Instrs: 40, Do: func() error {
-			if v := h.Sched.Curr(cpu); v != nil {
-				v.Credit -= 10
-			}
-			return nil
-		}},
-	}
+	steps := make([]hypercall.Step, 0, 9)
+	steps = append(steps, fx.lockRunq, fx.creditTick)
 	if h.Sched.RunqueueLen(cpu) > 0 {
 		steps = append(steps,
 			hypercall.Step{Name: "pick_next", Instrs: 90, Do: func() error {
@@ -212,10 +231,7 @@ func (h *Hypervisor) buildSchedSoftirq(cpu int) []hypercall.Step {
 			}},
 		)
 	}
-	steps = append(steps, hypercall.Step{Name: "unlock_runq", Instrs: 30, Do: func() error {
-		pc.Env.Release(h.Sched.RunqueueLock(cpu))
-		return nil
-	}})
+	steps = append(steps, fx.unlockRunq)
 	return steps
 }
 

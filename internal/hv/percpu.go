@@ -59,6 +59,25 @@ type PerCPU struct {
 	// was interrupted inside an unmitigated window (§IV residual): its
 	// retry is poisoned — the undo log cannot be trusted.
 	abandonedUnmitigated bool
+
+	// irqFixedSteps caches the timer-IRQ program steps whose closures
+	// capture only per-CPU state. The handler is rebuilt on every timer
+	// tick; without the cache each rebuild re-allocates these closures.
+	// Steps carrying per-invocation state (the due timers, the pending
+	// context switch) are NOT cached — an interrupted program retained
+	// across recovery must keep its own copies.
+	irqFixedSteps irqFixedSteps
+}
+
+// irqFixedSteps holds a CPU's cached fixed IRQ program steps (see the
+// PerCPU field of the same name; built lazily by Hypervisor.irqFixed).
+type irqFixedSteps struct {
+	enterIRQ      hypercall.Step
+	reprogramAPIC hypercall.Step
+	exitIRQ       hypercall.Step
+	lockRunq      hypercall.Step
+	creditTick    hypercall.Step
+	unlockRunq    hypercall.Step
 }
 
 // Busy reports whether the CPU is currently inside hypervisor execution.

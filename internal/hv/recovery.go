@@ -102,10 +102,12 @@ func (h *Hypervisor) DiscardThread(cpu int) *PendingCall {
 	pc.abandonedUnmitigated = false
 	pc.Env.ResetProgramState()
 	h.Machine.CPU(cpu).IntrDisabled = true // held until resume
-	if pending != nil {
-		h.trace(cpu, TraceDiscard, "pending "+pending.Call.String())
-	} else if pc.WasBusyAtDiscard {
-		h.trace(cpu, TraceDiscard, "interrupt context")
+	if h.tracer != nil {                   // lazy: the concat below must not run untraced
+		if pending != nil {
+			h.trace(cpu, TraceDiscard, "pending "+pending.Call.String())
+		} else if pc.WasBusyAtDiscard {
+			h.trace(cpu, TraceDiscard, "interrupt context")
+		}
 	}
 	return pending
 }
@@ -237,7 +239,7 @@ func (h *Hypervisor) RetryPendingCalls(pending []*PendingCall) {
 		h.Stats.RetriedCalls++
 		call := p.Call
 		cpu := p.CPU
-		h.trace(cpu, TraceRetry, call.String())
+		h.traceCall(cpu, TraceRetry, call)
 		h.WhenRunnable(func() { h.Dispatch(cpu, call) })
 	}
 }
@@ -249,7 +251,7 @@ func (h *Hypervisor) DropPendingCalls(pending []*PendingCall) {
 	for _, p := range pending {
 		h.percpu[p.CPU].Env.Undo.Clear()
 		h.Stats.DroppedCalls++
-		h.trace(p.CPU, TraceDrop, p.Call.String())
+		h.traceCall(p.CPU, TraceDrop, p.Call)
 		if d, err := h.Domains.ByID(p.Call.Dom); err == nil {
 			d.Fail(fmt.Sprintf("hypercall %v lost (no retry)", p.Call.Op))
 		}

@@ -3,6 +3,8 @@ package hv
 import (
 	"fmt"
 	"time"
+
+	"nilihype/internal/hypercall"
 )
 
 // TraceKind classifies hypervisor trace events.
@@ -70,13 +72,31 @@ func (e TraceEvent) String() string {
 // emit sites cost one nil check each).
 func (h *Hypervisor) SetTracer(fn func(TraceEvent)) { h.tracer = fn }
 
-// trace emits an event if a tracer is installed.
+// trace emits an event if a tracer is installed. The detail string must be
+// cheap to produce: call sites that would format (fmt/concat) must go
+// through traceCall or guard on Tracing() so the zero-tracer hot path does
+// no formatting work at all — campaigns run with tracing off, and a
+// hypercall dispatch happens hundreds of times per virtual millisecond.
 func (h *Hypervisor) trace(cpu int, kind TraceKind, detail string) {
 	if h.tracer == nil {
 		return
 	}
 	h.tracer(TraceEvent{At: h.Clock.Now(), CPU: cpu, Kind: kind, Detail: detail})
 }
+
+// traceCall emits a call-detail event, formatting the call lazily: with no
+// tracer installed this is a nil check and nothing else (no fmt machinery,
+// no allocations).
+func (h *Hypervisor) traceCall(cpu int, kind TraceKind, call *hypercall.Call) {
+	if h.tracer == nil {
+		return
+	}
+	h.tracer(TraceEvent{At: h.Clock.Now(), CPU: cpu, Kind: kind, Detail: call.String()})
+}
+
+// Tracing reports whether a tracer is installed. Call sites that build
+// non-trivial detail strings guard on it.
+func (h *Hypervisor) Tracing() bool { return h.tracer != nil }
 
 // TraceRecorder is a bounded in-memory trace sink.
 type TraceRecorder struct {

@@ -97,3 +97,44 @@ func TestTracingDisabledByDefault(t *testing.T) {
 	addAppVM(t, h, 1, 1)
 	clk.RunUntil(50 * time.Millisecond) // must not panic with nil tracer
 }
+
+// TestUntracedEmitSitesAreAllocationFree pins down the zero-tracer fast
+// path: with no tracer installed, the trace emit helpers must not format,
+// box, or allocate anything. Campaigns run with tracing off, and these
+// helpers sit on every hypercall dispatch and completion.
+func TestUntracedEmitSitesAreAllocationFree(t *testing.T) {
+	h, _ := newBooted(t)
+	call := &hypercall.Call{Op: hypercall.OpMMUUpdate, Dom: 1,
+		Args: [4]uint64{hypercall.MMUPin, 42}}
+
+	if h.Tracing() {
+		t.Fatal("tracer installed on a fresh hypervisor")
+	}
+	if allocs := testing.AllocsPerRun(200, func() {
+		h.traceCall(1, TraceDispatch, call)
+		h.traceCall(1, TraceComplete, call)
+		h.trace(1, TraceSpin, "lock")
+	}); allocs != 0 {
+		t.Fatalf("untraced emit sites allocated %.0f objects per run, want 0", allocs)
+	}
+}
+
+// TestTraceCallFormatsLazily checks the traced path still produces the
+// same detail string an eager call.String() would have.
+func TestTraceCallFormatsLazily(t *testing.T) {
+	h, _ := newBooted(t)
+	rec := NewTraceRecorder(8)
+	h.SetTracer(rec.Record)
+	if !h.Tracing() {
+		t.Fatal("Tracing() false after SetTracer")
+	}
+	call := &hypercall.Call{Op: hypercall.OpEventChannelOp, Dom: 3}
+	h.traceCall(2, TraceRetry, call)
+	evs := rec.Events()
+	if len(evs) != 1 {
+		t.Fatalf("recorded %d events, want 1", len(evs))
+	}
+	if evs[0].Detail != call.String() || evs[0].Kind != TraceRetry || evs[0].CPU != 2 {
+		t.Fatalf("event = %+v, want detail %q", evs[0], call.String())
+	}
+}

@@ -108,6 +108,14 @@ func newCPU(m *Machine, id int) *CPU {
 	c := &CPU{ID: id, machine: m}
 	c.apic.cpu = c
 	c.perf.cpu = c
+	// Precompute the timer tags and fire callbacks once: arming happens on
+	// every timer reprogram (thousands of times per simulated second), and
+	// building a fmt.Sprintf tag or a fresh closure there would put the
+	// allocator on the simulation's hottest path.
+	c.apic.tag = fmt.Sprintf("apic-timer cpu%d", id)
+	c.apic.fire = c.apicFire
+	c.perf.tag = fmt.Sprintf("perf-nmi cpu%d", id)
+	c.perf.fire = c.perfFire
 	return c
 }
 
@@ -122,6 +130,8 @@ type localAPIC struct {
 	armed    bool
 	deadline time.Duration
 	event    *simclock.Event
+	tag      string
+	fire     simclock.Func
 }
 
 // ArmTimer programs the local APIC timer to fire at the absolute virtual
@@ -136,11 +146,14 @@ func (c *CPU) ArmTimer(deadline time.Duration) {
 	}
 	c.apic.armed = true
 	c.apic.deadline = deadline
-	c.apic.event = clk.At(deadline, fmt.Sprintf("apic-timer cpu%d", c.ID), func() {
-		c.apic.armed = false
-		c.apic.event = nil
-		c.raise(VecTimer)
-	})
+	c.apic.event = clk.At(deadline, c.apic.tag, c.apic.fire)
+}
+
+// apicFire is the APIC timer expiry callback (precomputed in newCPU).
+func (c *CPU) apicFire() {
+	c.apic.armed = false
+	c.apic.event = nil
+	c.raise(VecTimer)
 }
 
 // DisarmTimer cancels a pending APIC timer shot.
@@ -171,6 +184,8 @@ type perfCounter struct {
 	period  time.Duration
 	running bool
 	event   *simclock.Event
+	tag     string
+	fire    simclock.Func
 }
 
 // StartPerfNMI arms the recurring performance-counter NMI with the given
@@ -196,16 +211,22 @@ func (c *CPU) StopPerfNMI() {
 func (c *CPU) PerfNMIRunning() bool { return c.perf.running }
 
 func (c *CPU) schedulePerfNMI() {
-	c.perf.event = c.machine.Clock.After(c.perf.period, fmt.Sprintf("perf-nmi cpu%d", c.ID), func() {
-		if !c.perf.running {
-			return
-		}
-		// NMI: delivered even with interrupts disabled.
-		c.machine.deliver(c.ID, VecNMI)
-		if c.perf.running {
-			c.schedulePerfNMI()
-		}
-	})
+	c.perf.event = c.machine.Clock.After(c.perf.period, c.perf.tag, c.perf.fire)
+}
+
+// perfFire is the perf-NMI expiry callback (precomputed in newCPU). It
+// drops the event handle before doing anything else: the clock recycles
+// fired events, so a stale handle must never survive past the callback.
+func (c *CPU) perfFire() {
+	c.perf.event = nil
+	if !c.perf.running {
+		return
+	}
+	// NMI: delivered even with interrupts disabled.
+	c.machine.deliver(c.ID, VecNMI)
+	if c.perf.running {
+		c.schedulePerfNMI()
+	}
 }
 
 // --- interrupt delivery ----------------------------------------------------

@@ -492,6 +492,25 @@ func buildVCPUOp(env *Env, call *Call) Program {
 // buildMulticall flattens the batch's component programs, inserting a
 // completion-log step after each component. Components already marked
 // complete (retry of a partial batch) are skipped — the fine-granularity
+// logCompletionLabels covers every batch size the workload generates;
+// multicall programs are rebuilt on each dispatch and retry, so the
+// common labels must not be re-formatted every time.
+var logCompletionLabels = [...]string{
+	"log_completion[0]", "log_completion[1]", "log_completion[2]",
+	"log_completion[3]", "log_completion[4]", "log_completion[5]",
+	"log_completion[6]", "log_completion[7]", "log_completion[8]",
+	"log_completion[9]", "log_completion[10]", "log_completion[11]",
+	"log_completion[12]", "log_completion[13]", "log_completion[14]",
+	"log_completion[15]",
+}
+
+func logCompletionLabel(i int) string {
+	if i >= 0 && i < len(logCompletionLabels) {
+		return logCompletionLabels[i]
+	}
+	return fmt.Sprintf("log_completion[%d]", i)
+}
+
 // batched-retry enhancement of §IV.
 func buildMulticall(env *Env, call *Call) (Program, error) {
 	prog := Program{
@@ -508,7 +527,7 @@ func buildMulticall(env *Env, call *Call) (Program, error) {
 			// Completion logging is recovery machinery (§IV): stock Xen
 			// does not track per-component completion.
 			prog = append(prog, Step{
-				Name:   fmt.Sprintf("log_completion[%d]", i),
+				Name:   logCompletionLabel(i),
 				Instrs: 15,
 				Do: func() error {
 					call.Completed++

@@ -191,7 +191,9 @@ func (e *Env) HeldLocks() []*locking.Lock {
 // discarded by recovery (the locks themselves are NOT released — that is
 // precisely the recovery hazard).
 func (e *Env) ResetProgramState() {
-	e.heldLocks = nil
+	// Truncate rather than nil: the Env lives for the whole run and a
+	// program's first Acquire should not have to regrow the slice.
+	e.heldLocks = e.heldLocks[:0]
 	e.ExtraCycles = 0
 }
 

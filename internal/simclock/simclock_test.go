@@ -281,6 +281,190 @@ func TestPropertyCancelSubset(t *testing.T) {
 	}
 }
 
+// TestCancelThenRescheduleRecycledEvent: a cancelled event sits on the
+// free list; Reschedule must rescue it (re-queue it exactly once), and a
+// subsequent At must NOT hand out the same storage while it is queued.
+func TestCancelThenRescheduleRecycledEvent(t *testing.T) {
+	c := New()
+	count := 0
+	e := c.After(time.Millisecond, "x", func() { count++ })
+	c.Cancel(e)
+	if e.Pending() {
+		t.Fatal("cancelled event still pending")
+	}
+	c.Reschedule(e, 2*time.Millisecond)
+	if !e.Pending() {
+		t.Fatal("rescheduled event not pending")
+	}
+	// The free list must not hand the rescued event's storage to a new
+	// scheduling while it is queued.
+	other := c.After(3*time.Millisecond, "y", func() {})
+	if other == e {
+		t.Fatal("free list reused a queued event")
+	}
+	c.Run()
+	if count != 1 {
+		t.Fatalf("count = %d, want 1", count)
+	}
+}
+
+// TestCancelledEventIsRecycled: storage of a cancelled event is reused by
+// the next scheduling (the free list works), and the reused event carries
+// the new callback/tag, not the old ones.
+func TestCancelledEventIsRecycled(t *testing.T) {
+	c := New()
+	oldFired, newFired := false, false
+	e := c.After(time.Millisecond, "old", func() { oldFired = true })
+	c.Cancel(e)
+	e2 := c.After(2*time.Millisecond, "new", func() { newFired = true })
+	if e2 != e {
+		t.Fatal("cancelled event was not recycled")
+	}
+	if e2.Tag() != "new" {
+		t.Fatalf("recycled tag = %q", e2.Tag())
+	}
+	c.Run()
+	if oldFired || !newFired {
+		t.Fatalf("oldFired=%v newFired=%v", oldFired, newFired)
+	}
+}
+
+// TestPeriodicRescheduleFromOwnCallback: the periodic-timer idiom — an
+// event rescheduling itself from its own callback — must never recycle
+// the in-flight event.
+func TestPeriodicRescheduleFromOwnCallback(t *testing.T) {
+	c := New()
+	count := 0
+	var e *Event
+	e = c.After(time.Millisecond, "tick", func() {
+		count++
+		if count < 5 {
+			c.Reschedule(e, c.Now()+time.Millisecond)
+		}
+	})
+	c.Run()
+	if count != 5 {
+		t.Fatalf("count = %d, want 5", count)
+	}
+	if c.Now() != 5*time.Millisecond {
+		t.Fatalf("Now() = %v, want 5ms", c.Now())
+	}
+}
+
+// TestHaltMidRunUntilPreservesQueue: halting from inside a callback stops
+// RunUntil immediately; the remaining events stay queued and fire after
+// Resume, in order.
+func TestHaltMidRunUntilPreservesQueue(t *testing.T) {
+	c := New()
+	var order []int
+	for i := 1; i <= 6; i++ {
+		i := i
+		c.After(time.Duration(i)*time.Millisecond, "n", func() {
+			order = append(order, i)
+			if i == 3 {
+				c.Halt()
+			}
+		})
+	}
+	c.RunUntil(10 * time.Millisecond)
+	if len(order) != 3 {
+		t.Fatalf("order = %v, want 3 events before halt", order)
+	}
+	if c.Len() != 3 {
+		t.Fatalf("Len() = %d, want 3 preserved", c.Len())
+	}
+	if c.Now() != 3*time.Millisecond {
+		t.Fatalf("Now() = %v (RunUntil must not advance past the halt)", c.Now())
+	}
+	c.Resume()
+	c.RunUntil(10 * time.Millisecond)
+	want := []int{1, 2, 3, 4, 5, 6}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+// TestManySameTimestampEventsFIFO: >4k events at one instant must fire in
+// scheduling order — the (when, seq) tie-break must hold across the 4-ary
+// heap's sift paths at real depths.
+func TestManySameTimestampEventsFIFO(t *testing.T) {
+	const n = 5000
+	c := New()
+	var order []int
+	for i := 0; i < n; i++ {
+		i := i
+		c.At(time.Millisecond, "same", func() { order = append(order, i) })
+	}
+	c.Run()
+	if len(order) != n {
+		t.Fatalf("fired %d, want %d", len(order), n)
+	}
+	for i := 0; i < n; i++ {
+		if order[i] != i {
+			t.Fatalf("order[%d] = %d, want FIFO", i, order[i])
+		}
+	}
+}
+
+// TestInterleavedCancelRemoveHeapIntegrity: removals from the middle of a
+// populated heap (Cancel of arbitrary events) must preserve dispatch
+// order for the survivors.
+func TestInterleavedCancelRemoveHeapIntegrity(t *testing.T) {
+	c := New()
+	const n = 1000
+	events := make([]*Event, n)
+	var fired []time.Duration
+	for i := 0; i < n; i++ {
+		d := time.Duration((i*7919)%997+1) * time.Microsecond
+		events[i] = c.At(d, "p", func() { fired = append(fired, c.Now()) })
+	}
+	cancelled := 0
+	for i := 0; i < n; i += 3 {
+		c.Cancel(events[i])
+		cancelled++
+	}
+	c.Run()
+	if len(fired) != n-cancelled {
+		t.Fatalf("fired %d, want %d", len(fired), n-cancelled)
+	}
+	for i := 1; i < len(fired); i++ {
+		if fired[i] < fired[i-1] {
+			t.Fatalf("dispatch order regressed at %d: %v < %v", i, fired[i], fired[i-1])
+		}
+	}
+}
+
+// TestSteadyStateScheduleIsAllocationFree: once the pool is primed, the
+// schedule+dispatch cycle must not allocate (the campaign hot loop).
+func TestSteadyStateScheduleIsAllocationFree(t *testing.T) {
+	c := New()
+	fn := func() {}
+	// Prime the pool and the heap's backing array.
+	for i := 0; i < 64; i++ {
+		c.After(time.Duration(i+1)*time.Microsecond, "prime", fn)
+	}
+	c.Run()
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.After(time.Microsecond, "steady", fn)
+		c.Step()
+	})
+	if allocs != 0 {
+		t.Fatalf("schedule+dispatch allocates %.1f objects/op, want 0", allocs)
+	}
+	allocs = testing.AllocsPerRun(1000, func() {
+		e := c.After(time.Millisecond, "cancelled", fn)
+		c.Cancel(e)
+	})
+	if allocs != 0 {
+		t.Fatalf("schedule+cancel allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
 // TestPropertyDeterminism: two clocks fed the same randomized schedule
 // dispatch identical sequences.
 func TestPropertyDeterminism(t *testing.T) {

@@ -45,7 +45,18 @@ type Timer struct {
 
 	active bool
 	index  int
+	// runLabel/rearmLabel are the per-timer step names the interrupt
+	// handler uses every expiration; precomputed so the handler builder
+	// does not concatenate strings per tick.
+	runLabel   string
+	rearmLabel string
 }
+
+// RunLabel returns the precomputed "run_timer:<name>" step label.
+func (t *Timer) RunLabel() string { return t.runLabel }
+
+// RearmLabel returns the precomputed "rearm:<name>" step label.
+func (t *Timer) RearmLabel() string { return t.rearmLabel }
 
 // Active reports whether the timer is queued in its CPU's heap. A
 // recurring timer that was popped but not yet re-armed is inactive — the
@@ -62,6 +73,8 @@ type Subsystem struct {
 	// all tracks every timer ever added and not stopped, including
 	// currently inactive ones; recovery's reactivation scan walks it.
 	all map[*Timer]struct{}
+	// dueScratch backs PopDue's result between calls.
+	dueScratch []*Timer
 }
 
 // NewSubsystem creates the subsystem for the given CPU count.
@@ -80,7 +93,8 @@ func (s *Subsystem) AddTimer(cpu int, name string, deadline, period time.Duratio
 	if cpu < 0 || cpu >= len(s.heaps) {
 		panic(fmt.Sprintf("xentime: bad cpu %d", cpu))
 	}
-	t := &Timer{Name: name, CPU: cpu, Deadline: deadline, Period: period, Fn: fn, active: true}
+	t := &Timer{Name: name, CPU: cpu, Deadline: deadline, Period: period, Fn: fn, active: true,
+		runLabel: "run_timer:" + name, rearmLabel: "rearm:" + name}
 	heap.Push(&s.heaps[cpu], t)
 	s.all[t] = struct{}{}
 	return t
@@ -117,14 +131,18 @@ func (s *Subsystem) ProgramAPIC(cpu int) {
 // PopDue removes and returns the timers on cpu's heap whose deadlines are
 // <= now, marking them inactive. The interrupt handler runs each and then
 // calls FinishTimer.
+// The returned slice is a scratch buffer owned by the Subsystem: it is
+// valid until the next PopDue call (the interrupt handler consumes it
+// immediately while building its program, so this never escapes).
 func (s *Subsystem) PopDue(cpu int, now time.Duration) []*Timer {
-	var due []*Timer
+	due := s.dueScratch[:0]
 	h := &s.heaps[cpu]
 	for h.Len() > 0 && (*h)[0].Deadline <= now {
 		t := heap.Pop(h).(*Timer)
 		t.active = false
 		due = append(due, t)
 	}
+	s.dueScratch = due
 	return due
 }
 
