@@ -7,6 +7,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 )
 
 // Campaign is a batch of identical runs differing only in seed.
@@ -41,8 +42,34 @@ type Summary struct {
 	RecoverySuccess int
 	NoVMFCount      int
 
+	// EscalatedRuns counts detected runs whose engine escalated past the
+	// first recovery attempt.
+	EscalatedRuns int
+	// SuccessByAttempt histograms successful runs by how many recovery
+	// attempts they needed (key 1 = first rung sufficed).
+	SuccessByAttempt map[int]int
+	// SuccessLatency accumulates total recovery latency (all attempts)
+	// over successful runs; MeanSuccessLatency derives the mean.
+	SuccessLatency time.Duration
+
 	// FailReasons histograms recovery-failure causes.
 	FailReasons map[string]int
+}
+
+// MeanSuccessLatency returns the mean recovery latency of successful runs.
+func (s Summary) MeanSuccessLatency() time.Duration {
+	if s.RecoverySuccess == 0 {
+		return 0
+	}
+	return s.SuccessLatency / time.Duration(s.RecoverySuccess)
+}
+
+// Merge folds another summary over the same configuration into s — e.g.
+// the per-fault-type shards of a mixed-fault campaign. Unlike the internal
+// worker merge, run counts accumulate too.
+func (s *Summary) Merge(p Summary) {
+	s.Runs += p.Runs
+	s.merge(&p)
 }
 
 // Execute runs the campaign with seeds SeedBase+1..SeedBase+Runs on a
@@ -53,7 +80,8 @@ type Summary struct {
 // order-independent counter, the merged Summary is identical whatever the
 // parallelism level or completion order.
 func (c *Campaign) Execute() Summary {
-	s := Summary{Config: c.Base, Runs: c.Runs, FailReasons: make(map[string]int)}
+	s := Summary{Config: c.Base, Runs: c.Runs,
+		FailReasons: make(map[string]int), SuccessByAttempt: make(map[int]int)}
 	if c.Runs <= 0 {
 		return s
 	}
@@ -73,6 +101,7 @@ func (c *Campaign) Execute() Summary {
 		go func(p *Summary) {
 			defer wg.Done()
 			p.FailReasons = make(map[string]int)
+			p.SuccessByAttempt = make(map[int]int)
 			for seed := range seeds {
 				rc := c.Base
 				rc.Seed = seed
@@ -106,6 +135,11 @@ func (s *Summary) merge(p *Summary) {
 	s.DetectedCount += p.DetectedCount
 	s.RecoverySuccess += p.RecoverySuccess
 	s.NoVMFCount += p.NoVMFCount
+	s.EscalatedRuns += p.EscalatedRuns
+	s.SuccessLatency += p.SuccessLatency
+	for k, v := range p.SuccessByAttempt {
+		s.SuccessByAttempt[k] += v
+	}
 	for k, v := range p.FailReasons {
 		s.FailReasons[k] += v
 	}
@@ -119,8 +153,17 @@ func (s *Summary) add(r Result) {
 		s.SDCCount++
 	case Detected:
 		s.DetectedCount++
+		if r.Escalated {
+			s.EscalatedRuns++
+		}
 		if r.Success {
 			s.RecoverySuccess++
+			s.SuccessLatency += r.Latency
+			n := r.Attempts
+			if n < 1 {
+				n = 1
+			}
+			s.SuccessByAttempt[n]++
 		} else {
 			s.FailReasons[classifyFailure(r)]++
 		}
@@ -131,13 +174,14 @@ func (s *Summary) add(r Result) {
 }
 
 // classifyFailure buckets a failed run into the paper's failure-cause
-// categories (§VII-A).
+// categories (§VII-A). Hypervisor-level FailReason buckets are checked
+// first: a hypervisor panic or hang usually takes the PrivVM down with it,
+// and histogramming such a run as "PrivVM failed" would hide the root
+// cause — the PrivVM loss is the consequence, not the failure.
 func classifyFailure(r Result) string {
 	switch {
 	case strings.Contains(r.FailReason, "failed to be invoked"):
 		return "recovery routine not invoked"
-	case r.PrivVMFailed:
-		return "PrivVM failed"
 	case strings.Contains(r.FailReason, "corrupted"):
 		return "corrupted data structure"
 	case strings.Contains(r.FailReason, "ASSERT"):
@@ -147,6 +191,8 @@ func classifyFailure(r Result) string {
 		return "post-recovery hang"
 	case r.FailReason != "":
 		return "other hypervisor failure"
+	case r.PrivVMFailed:
+		return "PrivVM failed"
 	case !r.NewVMOK:
 		return "new VM creation failed"
 	case r.AppVMsFailed > 1:
@@ -208,6 +254,20 @@ func (s Summary) Format() string {
 		100*nm, 100*sdc, 100*det)
 	fmt.Fprintf(&b, "  successful recovery: %.1f%% ± %.1f%%  (noVMF %.1f%% ± %.1f%%)\n",
 		100*rate, 100*ci, 100*nrate, 100*nci)
+	if s.RecoverySuccess > 0 && (s.Config.Recovery.MaxAttempts() > 1 || s.EscalatedRuns > 0) {
+		fmt.Fprintf(&b, "  escalated: %d run(s); mean successful-recovery latency: %v\n",
+			s.EscalatedRuns, s.MeanSuccessLatency().Round(10*time.Microsecond))
+		var attempts []int
+		for n := range s.SuccessByAttempt {
+			attempts = append(attempts, n)
+		}
+		sort.Ints(attempts)
+		fmt.Fprintf(&b, "  success by attempt:")
+		for _, n := range attempts {
+			fmt.Fprintf(&b, " %d:%d", n, s.SuccessByAttempt[n])
+		}
+		fmt.Fprintf(&b, "\n")
+	}
 	if len(s.FailReasons) > 0 {
 		fmt.Fprintf(&b, "  failure causes:\n")
 		type kv struct {

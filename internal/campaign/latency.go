@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -41,9 +42,39 @@ func MeasureLatency(mech core.Mechanism, memoryMB int, seed uint64) (LatencyResu
 	return MeasureLatencyCfg(core.Config{Mechanism: mech, Enhancements: core.AllEnhancements}, memoryMB, seed)
 }
 
+// ErrLatencyRunFailed marks a latency run whose recovery did not succeed;
+// MeasureLatencyCfg retries such runs with the next seed.
+var ErrLatencyRunFailed = errors.New("campaign: latency run did not recover")
+
+// measureLatencyAttempts caps the seed-bumping retry of MeasureLatencyCfg.
+const measureLatencyAttempts = 8
+
 // MeasureLatencyCfg is MeasureLatency with a full recovery configuration
-// (e.g. a parallelized page-frame scan via Config.ScanCPUs).
+// (e.g. a parallelized page-frame scan via Config.ScanCPUs). A run whose
+// recovery fails (the fault drew an unrecoverable effect for this seed) is
+// retried with the next seed, up to measureLatencyAttempts seeds, so the
+// measurement is of a successful recovery — the paper measures successful
+// recoveries. Setup and boot errors are returned immediately; if no seed
+// yields a successful recovery the last run's failure is returned.
 func MeasureLatencyCfg(cfg core.Config, memoryMB int, seed uint64) (LatencyResult, error) {
+	var lastErr error
+	for i := uint64(0); i < measureLatencyAttempts; i++ {
+		res, err := measureLatencyOnce(cfg, memoryMB, seed+i)
+		if err == nil {
+			return res, nil
+		}
+		if !errors.Is(err, ErrLatencyRunFailed) {
+			return res, err
+		}
+		lastErr = err
+	}
+	return LatencyResult{Mechanism: cfg.Mechanism, MemoryMB: memoryMB},
+		fmt.Errorf("campaign: no successful recovery in %d seeds starting at %d: %w",
+			measureLatencyAttempts, seed, lastErr)
+}
+
+// measureLatencyOnce performs a single latency run with one seed.
+func measureLatencyOnce(cfg core.Config, memoryMB int, seed uint64) (LatencyResult, error) {
 	res := LatencyResult{Mechanism: cfg.Mechanism, MemoryMB: memoryMB}
 	clk := simclock.New()
 	h, err := hv.New(clk, hv.Config{
@@ -86,9 +117,8 @@ func MeasureLatencyCfg(cfg core.Config, memoryMB int, seed uint64) (LatencyResul
 	vm.Start()
 	world.Sender.Start(unixDom, benchDuration)
 
-	// One fail-stop fault mid-run; retried until the recovery succeeds
-	// so the measurement is of a successful recovery (the paper measures
-	// successful recoveries).
+	// One fail-stop fault mid-run; the caller retries failed recoveries
+	// with fresh seeds.
 	injector := inject.New(h, world, prng.New(seed, 0xfa17), inject.Params{
 		Type:     inject.Failstop,
 		WindowLo: time.Second,
@@ -99,7 +129,7 @@ func MeasureLatencyCfg(cfg core.Config, memoryMB int, seed uint64) (LatencyResul
 	clk.RunUntil(benchDuration + 2*time.Second)
 
 	if engine.Status() != core.StatusRecovered {
-		return res, fmt.Errorf("campaign: latency run did not recover: %s", engine.FailReason)
+		return res, fmt.Errorf("%w (seed %d): %s", ErrLatencyRunFailed, seed, engine.FailReason)
 	}
 	res.Total = engine.Latency
 	res.Breakdown = engine.Breakdown

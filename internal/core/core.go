@@ -136,6 +136,27 @@ const (
 	DetectingOnly
 )
 
+// EscalationPolicy turns the engine into a multi-attempt recovery state
+// machine: attempt i (0-based) uses Ladder[min(i, len(Ladder)-1)], and a
+// failure re-detected during an attempt's completion or within GraceWindow
+// of its resume starts the next attempt instead of terminating the run, up
+// to MaxAttempts total. The zero value preserves the paper's model of one
+// microreset/microreboot per fault.
+type EscalationPolicy struct {
+	// MaxAttempts caps total recovery attempts per fault. Zero means
+	// len(Ladder) when a ladder is set, otherwise 1 (no escalation).
+	MaxAttempts int
+	// Ladder lists the mechanism used by each attempt, cheapest rung
+	// first; attempts beyond its length reuse the last rung. Empty means
+	// every attempt uses Config.Mechanism.
+	Ladder []Mechanism
+	// GraceWindow is how long after an attempt's resume a re-detection
+	// still counts as that attempt's failure (and escalates). Detections
+	// after the window are terminal post-recovery failures: the recovery
+	// itself held, the system broke later.
+	GraceWindow time.Duration
+}
+
 // Config parameterizes a recovery engine.
 type Config struct {
 	Mechanism    Mechanism
@@ -149,11 +170,62 @@ type Config struct {
 	// could be mitigated by exploiting parallelism. For example, use
 	// multiple cores to perform the operation."
 	ScanCPUs int
+
+	// Escalation enables multi-attempt recovery (zero value = one shot).
+	Escalation EscalationPolicy
+}
+
+// MaxAttempts returns the total recovery attempts the configuration allows
+// per fault (at least 1).
+func (c Config) MaxAttempts() int {
+	if c.Escalation.MaxAttempts > 0 {
+		return c.Escalation.MaxAttempts
+	}
+	if n := len(c.Escalation.Ladder); n > 1 {
+		return n
+	}
+	return 1
+}
+
+// MechanismFor returns the mechanism attempt i (0-based) uses.
+func (c Config) MechanismFor(i int) Mechanism {
+	lad := c.Escalation.Ladder
+	if len(lad) == 0 {
+		return c.Mechanism
+	}
+	if i >= len(lad) {
+		i = len(lad) - 1
+	}
+	return lad[i]
 }
 
 // DefaultConfig returns the full NiLiHype configuration.
 func DefaultConfig() Config {
 	return Config{Mechanism: Microreset, Enhancements: AllEnhancements, Scope: AllThreads}
+}
+
+// DefaultGraceWindow covers re-detection of a superficially successful
+// attempt: the watchdog needs up to StaleChecks+1 periods (~400 ms) to
+// declare a post-resume hang, and latent corruption detections trail
+// activation by up to ~50 ms.
+const DefaultGraceWindow = 500 * time.Millisecond
+
+// HybridConfig returns the escalating configuration the hybrid experiment
+// demonstrates: microreset first (fast path), microreboot if the failure
+// is re-detected within the grace window — the reboot re-initializes
+// exactly the state classes (static scratch, heap free list, domain list)
+// whose corruption dooms an in-place microreset.
+func HybridConfig() Config {
+	return Config{
+		Mechanism:    Microreset,
+		Enhancements: AllEnhancements,
+		Scope:        AllThreads,
+		Escalation: EscalationPolicy{
+			MaxAttempts: 2,
+			Ladder:      []Mechanism{Microreset, Microreboot},
+			GraceWindow: DefaultGraceWindow,
+		},
+	}
 }
 
 // Status describes the engine's terminal state for one run.
@@ -185,6 +257,25 @@ func (s Status) String() string {
 	}
 }
 
+// Attempt records one recovery attempt of a run. Escalating
+// configurations produce one entry per ladder rung tried.
+type Attempt struct {
+	// Mechanism is the rung this attempt used.
+	Mechanism Mechanism
+	// Trigger is what started the attempt: the detection event for
+	// attempt 1 and re-detection escalations, or the internal completion
+	// failure that forced the escalation.
+	Trigger string
+	// StartedAt is the virtual time the attempt began.
+	StartedAt time.Duration
+	// Latency/Breakdown are the attempt's modeled recovery cost.
+	Latency   time.Duration
+	Breakdown []LatencyStep
+	// FailReason is why the attempt failed; empty for the attempt that
+	// recovered the system (or one still in flight).
+	FailReason string
+}
+
 // Engine is one run's recovery engine.
 type Engine struct {
 	H   *hv.Hypervisor
@@ -193,25 +284,45 @@ type Engine struct {
 
 	// FirstDetection is the event that triggered recovery (nil if none).
 	FirstDetection *detect.Event
-	// Latency is the modeled recovery latency of the performed steps.
+	// Attempts records every recovery attempt in order.
+	Attempts []Attempt
+	// Latency is the modeled recovery latency of the last attempt's
+	// performed steps (TotalLatency sums all attempts).
 	Latency time.Duration
-	// Breakdown itemizes the latency (Tables II/III).
+	// Breakdown itemizes the last attempt's latency (Tables II/III).
 	Breakdown []LatencyStep
-	// FailReason is set when recovery or the post-recovery system fails.
+	// FailReason is set when recovery or the post-recovery system fails
+	// terminally (all attempts exhausted, or failure outside the grace
+	// window).
 	FailReason string
 	// PFRepaired counts descriptors fixed by the consistency scan.
 	PFRepaired int
 
-	// OnRecovered, if set, is invoked once when a recovery completes and
-	// the system resumes (the campaign layer uses it to start the
-	// post-recovery VM-creation check and to annotate the NetBench
-	// sender's exclusion window).
+	// OnResume, if set, is invoked at the end of every completed attempt
+	// when the system resumes (the campaign layer annotates the NetBench
+	// sender's exclusion window here — every attempt's outage is an
+	// announced recovery gap).
+	OnResume func()
+	// OnRecovered, if set, is invoked once when recovery is stable: for
+	// one-shot configurations immediately at resume; for escalating
+	// configurations once the grace window expires with no re-detection
+	// (the campaign layer starts the post-recovery VM-creation check
+	// here).
 	OnRecovered func()
 
 	recovering bool
 	completing bool
 	recovered  bool
-	used       bool
+	// graceUntil is the end of the current attempt's post-resume grace
+	// window; a detection at or before it escalates.
+	graceUntil time.Duration
+	// lastEvent is the most recent detection (escalation attempts
+	// triggered by internal completion failures reuse its CPU).
+	lastEvent detect.Event
+	// pending carries interrupted hypercalls across attempts: calls a
+	// failed attempt never got to retry are merged with the next
+	// attempt's discards.
+	pending []*hv.PendingCall
 }
 
 // NewEngine builds an engine over a booted hypervisor. Wire it to a
@@ -228,47 +339,110 @@ func NewEngine(h *hv.Hypervisor, cfg Config) *Engine {
 	return &Engine{H: h, Cfg: cfg}
 }
 
-// Status reports the engine's terminal state.
+// Status reports the engine's terminal state. A run that needed several
+// attempts but ended recovered is StatusRecovered; exhausting the ladder
+// (or failing outside the grace window) is StatusFailed.
 func (en *Engine) Status() Status {
 	switch {
 	case en.FailReason != "":
 		return StatusFailed
 	case en.recovered:
 		return StatusRecovered
-	case en.used:
+	case len(en.Attempts) > 0:
 		return StatusFailed
 	default:
 		return StatusIdle
 	}
 }
 
-// Recovered reports whether one recovery completed successfully (system
+// Recovered reports whether recovery completed successfully (system
 // still running).
 func (en *Engine) Recovered() bool { return en.recovered && en.FailReason == "" }
 
-// OnDetection is the detector hook: the first detection triggers recovery;
-// any detection after (or during completion of) a recovery is a recovery
-// failure — the paper's model allows one microreset/microreboot per fault.
+// Escalated reports whether recovery needed more than one attempt.
+func (en *Engine) Escalated() bool { return len(en.Attempts) > 1 }
+
+// TotalLatency sums the modeled latency of every attempt — the run's
+// total recovery service time (Engine.Latency is the last attempt's).
+// Grace-window uptime between attempts is not recovery work and is not
+// included.
+func (en *Engine) TotalLatency() time.Duration {
+	var sum time.Duration
+	for i := range en.Attempts {
+		sum += en.Attempts[i].Latency
+	}
+	return sum
+}
+
+// OnDetection is the detector hook and the state machine's transition
+// function. The first detection starts attempt 1. While an attempt's
+// repairs run (recovering) further detections are watchdog noise — the
+// soft tick counters are legitimately frozen. A detection during an
+// attempt's completion, or within the grace window after its resume, is
+// that attempt's failure: the next ladder rung starts, until MaxAttempts
+// is exhausted. A detection after the grace window is a terminal
+// post-recovery failure (the paper's one-recovery-per-fault model is the
+// MaxAttempts=1 special case).
 func (en *Engine) OnDetection(e detect.Event) {
 	if en.recovering {
-		// Watchdog noise while VMs are paused for recovery: the soft
-		// tick counters are legitimately frozen.
 		return
 	}
-	if en.used {
-		en.fail("post-recovery failure: " + e.Reason)
+	en.lastEvent = e
+	if len(en.Attempts) == 0 {
+		ev := e
+		en.FirstDetection = &ev
+		en.beginAttempt(e.String())
 		return
 	}
-	en.used = true
-	ev := e
-	en.FirstDetection = &ev
-	en.recover(e)
+	if en.completing || e.At <= en.graceUntil {
+		en.attemptFailed("post-recovery failure: " + e.Reason)
+		return
+	}
+	en.fail("post-recovery failure: " + e.Reason)
+}
+
+// beginAttempt opens the next Attempt record and runs the recovery
+// protocol with its ladder rung.
+func (en *Engine) beginAttempt(trigger string) {
+	mech := en.Cfg.MechanismFor(len(en.Attempts))
+	en.Attempts = append(en.Attempts, Attempt{
+		Mechanism: mech,
+		Trigger:   trigger,
+		StartedAt: en.H.Clock.Now(),
+	})
+	en.recovered = false
+	en.completing = false
+	en.recover(en.lastEvent, mech)
+}
+
+// attemptFailed records the current attempt's failure and escalates to the
+// next ladder rung — or fails the run terminally when the ladder is
+// exhausted.
+func (en *Engine) attemptFailed(reason string) {
+	cur := &en.Attempts[len(en.Attempts)-1]
+	if cur.FailReason == "" {
+		cur.FailReason = reason
+	}
+	if len(en.Attempts) >= en.Cfg.MaxAttempts() {
+		en.fail(reason)
+		return
+	}
+	// The failed attempt may already have marked the hypervisor failed
+	// (e.g. a panic path with no recovery hook); the next rung needs a
+	// live simulation to repair.
+	if failed, _ := en.H.Failed(); failed {
+		en.H.ClearFailed()
+	}
+	en.beginAttempt(reason)
 }
 
 // fail records terminal failure.
 func (en *Engine) fail(reason string) {
 	if en.FailReason == "" {
 		en.FailReason = reason
+	}
+	if n := len(en.Attempts); n > 0 && en.Attempts[n-1].FailReason == "" {
+		en.Attempts[n-1].FailReason = reason
 	}
 	en.H.MarkFailed(reason)
 }

@@ -1,0 +1,311 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"nilihype/internal/hv"
+	"nilihype/internal/hypercall"
+)
+
+func TestConfigMaxAttemptsAndMechanismFor(t *testing.T) {
+	for _, tt := range []struct {
+		name     string
+		cfg      Config
+		wantMax  int
+		wantMech []Mechanism // per attempt index 0..len-1
+	}{
+		{"one-shot zero value", Config{Mechanism: Microreset}, 1,
+			[]Mechanism{Microreset, Microreset}},
+		{"ladder implies attempts", Config{Mechanism: Microreset,
+			Escalation: EscalationPolicy{Ladder: []Mechanism{Microreset, Microreboot}}}, 2,
+			[]Mechanism{Microreset, Microreboot, Microreboot}},
+		{"max beyond ladder reuses last rung", Config{Mechanism: Microreset,
+			Escalation: EscalationPolicy{MaxAttempts: 3, Ladder: []Mechanism{Microreset, Microreboot}}}, 3,
+			[]Mechanism{Microreset, Microreboot, Microreboot}},
+		{"max without ladder repeats mechanism", Config{Mechanism: Microreboot,
+			Escalation: EscalationPolicy{MaxAttempts: 2}}, 2,
+			[]Mechanism{Microreboot, Microreboot}},
+	} {
+		if got := tt.cfg.MaxAttempts(); got != tt.wantMax {
+			t.Errorf("%s: MaxAttempts = %d, want %d", tt.name, got, tt.wantMax)
+		}
+		for i, want := range tt.wantMech {
+			if got := tt.cfg.MechanismFor(i); got != want {
+				t.Errorf("%s: MechanismFor(%d) = %v, want %v", tt.name, i, got, want)
+			}
+		}
+	}
+}
+
+func TestHybridFirstAttemptSuffices(t *testing.T) {
+	r := newRig(t, HybridConfig(), 512)
+	r.clk.RunUntil(50 * time.Millisecond)
+	r.injectPanicAtBudget(t, 250)
+	r.clk.RunUntil(2 * time.Second)
+	if r.engine.Status() != StatusRecovered {
+		t.Fatalf("status = %v (%s)", r.engine.Status(), r.engine.FailReason)
+	}
+	if len(r.engine.Attempts) != 1 || r.engine.Escalated() {
+		t.Fatalf("attempts = %d, want 1 (no escalation for a plain failstop)", len(r.engine.Attempts))
+	}
+	if r.engine.Attempts[0].Mechanism != Microreset {
+		t.Fatalf("first rung = %v, want Microreset", r.engine.Attempts[0].Mechanism)
+	}
+	if r.engine.TotalLatency() != r.engine.Latency {
+		t.Fatalf("TotalLatency %v != Latency %v for a single attempt",
+			r.engine.TotalLatency(), r.engine.Latency)
+	}
+	// Microreset territory: far below any reboot latency.
+	if r.engine.TotalLatency() > 25*time.Millisecond {
+		t.Fatalf("latency %v not in microreset territory", r.engine.TotalLatency())
+	}
+}
+
+func TestHybridEscalatesStaticScratchCorruption(t *testing.T) {
+	// Microreset alone fails on corrupted static scratch state
+	// (TestStaticScratchCorruption); the hybrid ladder escalates to a
+	// microreboot, which re-initializes it during boot. The reboot window
+	// (~450 ms at 512 MB) is longer than the watchdog hang declaration,
+	// so this also exercises the detection-suppression during an
+	// escalated attempt's recovery window.
+	r := newRig(t, HybridConfig(), 512)
+	r.clk.RunUntil(50 * time.Millisecond)
+	r.h.CorruptStaticScratch = true
+	r.injectPanicAtBudget(t, 250)
+	r.clk.RunUntil(5 * time.Second)
+	if r.engine.Status() != StatusRecovered {
+		t.Fatalf("hybrid did not recover: %v (%s)", r.engine.Status(), r.engine.FailReason)
+	}
+	if !r.engine.Escalated() || len(r.engine.Attempts) != 2 {
+		t.Fatalf("attempts = %d, want exactly 2", len(r.engine.Attempts))
+	}
+	a0, a1 := r.engine.Attempts[0], r.engine.Attempts[1]
+	if a0.Mechanism != Microreset || a1.Mechanism != Microreboot {
+		t.Fatalf("ladder rungs = %v, %v", a0.Mechanism, a1.Mechanism)
+	}
+	if !strings.Contains(a0.FailReason, "static") {
+		t.Fatalf("attempt 1 FailReason = %q, want static-scratch cause", a0.FailReason)
+	}
+	if a1.FailReason != "" {
+		t.Fatalf("successful attempt has FailReason %q", a1.FailReason)
+	}
+	if got := a0.Latency + a1.Latency; r.engine.TotalLatency() != got {
+		t.Fatalf("TotalLatency %v != attempt sum %v", r.engine.TotalLatency(), got)
+	}
+	if r.engine.Latency != a1.Latency {
+		t.Fatalf("Engine.Latency %v != last attempt %v", r.engine.Latency, a1.Latency)
+	}
+	if len(a0.Breakdown) == 0 || len(a1.Breakdown) == 0 {
+		t.Fatal("per-attempt breakdowns missing")
+	}
+	if r.h.CorruptStaticScratch {
+		t.Fatal("escalated reboot did not re-initialize static scratch")
+	}
+}
+
+func TestEscalationExhaustionAllocObject(t *testing.T) {
+	// Live heap objects are reused by both rungs: attempt 1 (microreset)
+	// and attempt 2 (microreboot) both fail, the ladder is exhausted, and
+	// the run fails terminally with per-attempt records.
+	r := newRig(t, HybridConfig(), 512)
+	r.clk.RunUntil(50 * time.Millisecond)
+	r.h.CorruptAllocatedObject = true
+	r.injectPanicAtBudget(t, 250)
+	r.clk.RunUntil(5 * time.Second)
+	if r.engine.Status() != StatusFailed {
+		t.Fatalf("status = %v, want failed", r.engine.Status())
+	}
+	if len(r.engine.Attempts) != 2 {
+		t.Fatalf("attempts = %d, want MaxAttempts = 2", len(r.engine.Attempts))
+	}
+	for i, a := range r.engine.Attempts {
+		if a.FailReason == "" {
+			t.Fatalf("attempt %d has no FailReason", i+1)
+		}
+	}
+	if failed, _ := r.h.Failed(); !failed {
+		t.Fatal("hypervisor not marked failed after exhaustion")
+	}
+	if !strings.Contains(r.engine.FailReason, "heap object") {
+		t.Fatalf("FailReason = %q", r.engine.FailReason)
+	}
+}
+
+// recoverOnce drives a failstop through the rig and returns the virtual
+// time at which the first attempt's system resumed.
+func recoverOnce(t *testing.T, r *rig) time.Duration {
+	t.Helper()
+	r.clk.RunUntil(50 * time.Millisecond)
+	r.injectPanicAtBudget(t, 250)
+	r.clk.RunUntil(200 * time.Millisecond)
+	if !r.engine.recovered {
+		t.Fatalf("first attempt did not complete: %v (%s)", r.engine.Status(), r.engine.FailReason)
+	}
+	return r.engine.Attempts[0].StartedAt + r.engine.Attempts[0].Latency
+}
+
+// injectPanicAtPage is injectPanicAtBudget on a distinct page, so a
+// re-injection after a completed recovery does not double-pin the page
+// the first retry already pinned.
+func (r *rig) injectPanicAtPage(t *testing.T, budget int64, pageOff uint64) {
+	t.Helper()
+	r.h.ArmInjection(budget, func(hv.InjectionPoint) (hv.InjectAction, string) {
+		return hv.ActionPanic, "failstop"
+	})
+	d, err := r.h.Domain(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.h.Dispatch(1, &hypercall.Call{Op: hypercall.OpMMUUpdate, Dom: 1,
+		Args: [4]uint64{hypercall.MMUPin, uint64(d.MemStart) + pageOff}})
+}
+
+func TestDetectionDuringGraceWindowEscalates(t *testing.T) {
+	r := newRig(t, HybridConfig(), 512)
+	resumedAt := recoverOnce(t, r)
+	// Re-detect inside the grace window: a second panic well before
+	// resume + 500 ms.
+	r.clk.RunUntil(resumedAt + 100*time.Millisecond)
+	r.injectPanicAtPage(t, 250, 11)
+	r.clk.RunUntil(resumedAt + 3*time.Second)
+	if r.engine.Status() != StatusRecovered {
+		t.Fatalf("escalation did not recover: %v (%s)", r.engine.Status(), r.engine.FailReason)
+	}
+	if len(r.engine.Attempts) != 2 || r.engine.Attempts[1].Mechanism != Microreboot {
+		t.Fatalf("attempts = %+v, want microreboot second attempt", r.engine.Attempts)
+	}
+	if !strings.Contains(r.engine.Attempts[0].FailReason, "post-recovery failure") {
+		t.Fatalf("attempt 1 FailReason = %q", r.engine.Attempts[0].FailReason)
+	}
+}
+
+func TestDetectionAfterGraceWindowIsTerminal(t *testing.T) {
+	r := newRig(t, HybridConfig(), 512)
+	resumedAt := recoverOnce(t, r)
+	// Past the grace window the recovery is considered stable: a later
+	// failure is terminal even though a ladder rung remains.
+	r.clk.RunUntil(resumedAt + DefaultGraceWindow + 200*time.Millisecond)
+	r.injectPanicAtBudget(t, 250)
+	if r.engine.Status() != StatusFailed {
+		t.Fatalf("status = %v, want terminal failure", r.engine.Status())
+	}
+	if len(r.engine.Attempts) != 1 {
+		t.Fatalf("attempts = %d, want 1 (no escalation after grace)", len(r.engine.Attempts))
+	}
+	if !strings.Contains(r.engine.FailReason, "post-recovery failure") {
+		t.Fatalf("FailReason = %q", r.engine.FailReason)
+	}
+	if failed, _ := r.h.Failed(); !failed {
+		t.Fatal("hypervisor not failed")
+	}
+}
+
+func TestGraceWindowDefersOnRecovered(t *testing.T) {
+	r := newRig(t, HybridConfig(), 512)
+	var resumes int
+	var recoveredAt time.Duration
+	r.engine.OnResume = func() { resumes++ }
+	r.engine.OnRecovered = func() { recoveredAt = r.clk.Now() }
+	resumedAt := recoverOnce(t, r)
+	if resumes != 1 {
+		t.Fatalf("OnResume fired %d times, want 1", resumes)
+	}
+	if recoveredAt != 0 {
+		t.Fatal("OnRecovered fired before the grace window passed")
+	}
+	r.clk.RunUntil(resumedAt + DefaultGraceWindow + 100*time.Millisecond)
+	if recoveredAt == 0 {
+		t.Fatal("OnRecovered never fired after a quiet grace window")
+	}
+	if got := recoveredAt - resumedAt; got < DefaultGraceWindow {
+		t.Fatalf("OnRecovered fired %v after resume, want >= grace window", got)
+	}
+}
+
+func TestOnRecoveredImmediateWithoutEscalation(t *testing.T) {
+	// One-shot configurations keep the historical semantics: OnRecovered
+	// fires at resume, with no grace delay.
+	r := newRig(t, DefaultConfig(), 512)
+	var resumes, recoveries int
+	r.engine.OnResume = func() { resumes++ }
+	r.engine.OnRecovered = func() { recoveries++ }
+	recoverOnce(t, r)
+	if resumes != 1 || recoveries != 1 {
+		t.Fatalf("resumes=%d recoveries=%d, want 1/1 at resume", resumes, recoveries)
+	}
+}
+
+func TestEscalatedOnResumeFiresPerAttempt(t *testing.T) {
+	r := newRig(t, HybridConfig(), 512)
+	var resumes, recoveries int
+	r.engine.OnResume = func() { resumes++ }
+	r.engine.OnRecovered = func() { recoveries++ }
+	r.clk.RunUntil(50 * time.Millisecond)
+	r.h.CorruptStaticScratch = true
+	r.injectPanicAtBudget(t, 250)
+	r.clk.RunUntil(5 * time.Second)
+	if r.engine.Status() != StatusRecovered {
+		t.Fatalf("status = %v (%s)", r.engine.Status(), r.engine.FailReason)
+	}
+	// The static-scratch failure aborts attempt 1 before its resume, so
+	// only the successful reboot attempt resumes; OnRecovered fires once.
+	if resumes != 1 || recoveries != 1 {
+		t.Fatalf("resumes=%d recoveries=%d, want 1/1", resumes, recoveries)
+	}
+}
+
+func TestMergePendingPrefersFreshRecords(t *testing.T) {
+	en := &Engine{}
+	c1, c2, c3 := &hypercall.Call{Op: 1}, &hypercall.Call{Op: 2}, &hypercall.Call{Op: 3}
+	en.pending = []*hv.PendingCall{
+		{CPU: 1, Call: c1, Step: 2},
+		{CPU: 2, Call: c2, Step: 1},
+	}
+	// c2 was re-discarded mid-retry with fresher state; c3 is new.
+	en.mergePending([]*hv.PendingCall{
+		{CPU: 2, Call: c2, Step: 4, Poisoned: true},
+		{CPU: 3, Call: c3, Step: 0},
+	})
+	if len(en.pending) != 3 {
+		t.Fatalf("merged %d calls, want 3", len(en.pending))
+	}
+	if en.pending[0].Call != c1 || en.pending[1].Call != c2 || en.pending[2].Call != c3 {
+		t.Fatalf("merge order wrong: %+v", en.pending)
+	}
+	if en.pending[1].Step != 4 || !en.pending[1].Poisoned {
+		t.Fatal("stale record for re-discarded call survived the merge")
+	}
+}
+
+func TestWorstCaseLatencyBoundsMeasured(t *testing.T) {
+	const frames512MB = 512 * 1024 * 1024 / 4096
+	for _, tt := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"microreset", DefaultConfig()},
+		{"microreboot", Config{Mechanism: Microreboot, Enhancements: AllEnhancements}},
+		{"checkpoint", Config{Mechanism: CheckpointRestore, Enhancements: AllEnhancements}},
+	} {
+		r := newRig(t, tt.cfg, 512)
+		r.clk.RunUntil(50 * time.Millisecond)
+		r.injectPanicAtBudget(t, 250)
+		r.clk.RunUntil(3 * time.Second)
+		if r.engine.Status() != StatusRecovered {
+			t.Fatalf("%s: %v (%s)", tt.name, r.engine.Status(), r.engine.FailReason)
+		}
+		if wc := tt.cfg.WorstCaseLatency(frames512MB); r.engine.TotalLatency() > wc {
+			t.Fatalf("%s: measured %v exceeds WorstCaseLatency %v",
+				tt.name, r.engine.TotalLatency(), wc)
+		}
+	}
+	// The hybrid bound covers both rungs plus the grace window between.
+	hybrid := HybridConfig()
+	single := DefaultConfig().WorstCaseLatency(frames512MB)
+	reboot := Config{Mechanism: Microreboot}.WorstCaseLatency(frames512MB)
+	if wc := hybrid.WorstCaseLatency(frames512MB); wc < single+reboot+hybrid.Escalation.GraceWindow {
+		t.Fatalf("hybrid worst case %v below rung sum", wc)
+	}
+}

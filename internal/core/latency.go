@@ -146,6 +146,40 @@ func (en *Engine) chargeCheckpointTable(includeScan bool) {
 	en.chargeGroup("State re-integration (as in microreboot)", memSteps...)
 }
 
+// WorstCaseLatency bounds the modeled recovery cost of one fault under c
+// at the given page-frame count: every ladder rung's worst-case attempt
+// latency (all enhancements, sequential scan) plus the grace windows
+// separating the attempts. Campaigns use it to size run horizons so a
+// late injection plus a full escalation cannot truncate the post-recovery
+// checks.
+func (c Config) WorstCaseLatency(frames int) time.Duration {
+	var total time.Duration
+	n := c.MaxAttempts()
+	for i := 0; i < n; i++ {
+		total += mechanismWorstLatency(c.MechanismFor(i), frames)
+	}
+	total += time.Duration(n-1) * c.Escalation.GraceWindow
+	return total
+}
+
+// mechanismWorstLatency upper-bounds one attempt's latency for a
+// mechanism at a memory size, assuming every enhancement runs.
+func mechanismWorstLatency(m Mechanism, frames int) time.Duration {
+	switch {
+	case m == CheckpointRestore:
+		return cpImageRestore + cpAPICRevive + cpMisc +
+			scaleByFrames(rbRecordAlloc+rbPFRestore+rbReinitDescs+rbRecreateHeap, frames)
+	case m.Reboots():
+		return rbEarlyBootCPU + rbCPUsOnline + rbAPICSetup + rbTSCCalibrate +
+			rbSMPInit + rbRelocateMods + rbMiscOthers +
+			scaleByFrames(rbRecordAlloc+rbPFRestore+rbReinitDescs+rbRecreateHeap, frames)
+	default:
+		return microresetDiscardCost + heapLockCost + ackIRQCost + clearIRQCost +
+			schedRepairCost + staticLockCost + resumeSetupCost +
+			scaleByFrames(pfScanCostAt8GB, frames)
+	}
+}
+
 // totalLatency sums the non-group steps.
 func (en *Engine) totalLatency() time.Duration {
 	var sum time.Duration

@@ -6,6 +6,7 @@ import (
 
 	"nilihype/internal/detect"
 	"nilihype/internal/hv"
+	"nilihype/internal/hypercall"
 )
 
 // Probabilities for the DetectingOnly discard-scope ablation (§III-C).
@@ -18,12 +19,16 @@ const (
 	globalClashProb = 0.18
 )
 
-// recover runs the recovery protocol for the detection event.
-func (en *Engine) recover(e detect.Event) {
+// recover runs the recovery protocol for the detection event with the
+// given ladder rung. It is re-invokable: escalation calls it once per
+// attempt, and each invocation re-discards execution threads and merges
+// any interrupted hypercalls the previous attempt never retried.
+func (en *Engine) recover(e detect.Event, mech Mechanism) {
 	h := en.H
 	if h.CorruptRecoveryPath {
 		// Failure cause 1 of §VII-A: the corrupted state prevents the
-		// recovery routine from even being invoked.
+		// recovery routine from even being invoked — no ladder rung can
+		// run, so this is terminal regardless of escalation policy.
 		en.fail("recovery routine failed to be invoked (corrupted hypervisor state)")
 		return
 	}
@@ -45,16 +50,17 @@ func (en *Engine) recover(e detect.Event) {
 		pending = h.DiscardAllThreads()
 		h.ClearCrossCPUWaits()
 	}
+	en.mergePending(pending)
 
 	enh := en.Cfg.Enhancements
-	reboot := en.Cfg.Mechanism.Reboots()
+	reboot := mech.Reboots()
 
 	// --- state repair, charged to the latency breakdown ------------------
 
 	en.beginLatency()
 
 	if reboot {
-		en.rebootStateReinit()
+		en.rebootStateReinit(mech)
 	} else {
 		en.charge("Interrupt all CPUs and discard hypervisor stacks", microresetDiscardCost)
 	}
@@ -127,12 +133,39 @@ func (en *Engine) recover(e detect.Event) {
 	}
 
 	en.Latency = en.totalLatency()
+	cur := &en.Attempts[len(en.Attempts)-1]
+	cur.Latency = en.Latency
+	cur.Breakdown = en.Breakdown
 
 	// The repair operations above execute while the virtual clock is
 	// frozen at the detection instant; the recovery completes — and the
 	// system resumes — after the modeled latency. The NetBench sender,
 	// being on another host, keeps running and observes the gap.
-	h.Clock.After(en.Latency, "recovery-complete", func() { en.complete(pending) })
+	h.Clock.After(en.Latency, "recovery-complete", func() { en.complete(mech) })
+}
+
+// mergePending folds a fresh discard's interrupted calls into the calls a
+// failed previous attempt still owes. A call interrupted again while the
+// failed attempt was retrying it appears in both lists; the fresh record
+// wins (current step, current poison state). Order stays deterministic:
+// stale calls first, in their original order, then the new ones in CPU
+// order.
+func (en *Engine) mergePending(fresh []*hv.PendingCall) {
+	if len(en.pending) == 0 {
+		en.pending = fresh
+		return
+	}
+	superseded := make(map[*hypercall.Call]bool, len(fresh))
+	for _, p := range fresh {
+		superseded[p.Call] = true
+	}
+	merged := make([]*hv.PendingCall, 0, len(en.pending)+len(fresh))
+	for _, p := range en.pending {
+		if !superseded[p.Call] {
+			merged = append(merged, p)
+		}
+	}
+	en.pending = append(merged, fresh...)
 }
 
 // synthesizeSingleDiscardHazards draws the §III-C failure modes that only
@@ -161,9 +194,9 @@ func (en *Engine) synthesizeSingleDiscardHazards(detectCPU int) {
 // re-initialized hardware. This is exactly the state microreset reuses in
 // place — and the reason microreboot survives some corruptions microreset
 // does not (§VII-A).
-func (en *Engine) rebootStateReinit() {
+func (en *Engine) rebootStateReinit(mech Mechanism) {
 	h := en.H
-	if en.Cfg.Mechanism == CheckpointRestore {
+	if mech == CheckpointRestore {
 		en.chargeCheckpointTable(en.Cfg.Enhancements.Has(EnhPFScan))
 	} else {
 		en.chargeRebootTable(en.Cfg.Enhancements.Has(EnhPFScan))
@@ -173,28 +206,33 @@ func (en *Engine) rebootStateReinit() {
 	h.CorruptStaticScratch = false
 }
 
-// complete finishes recovery after the latency elapses: hardware is
-// re-armed, invariants are enforced, interrupted hypercalls are retried or
-// dropped, and the system resumes. Any panic from here on is a recovery
-// failure.
-func (en *Engine) complete(pending []*hv.PendingCall) {
+// complete finishes a recovery attempt after the latency elapses:
+// hardware is re-armed, invariants are enforced, interrupted hypercalls
+// are retried or dropped, and the system resumes. Any panic from here on
+// is the attempt's failure — with attempts remaining it escalates, else it
+// is terminal.
+func (en *Engine) complete(mech Mechanism) {
 	h := en.H
+	att := len(en.Attempts)
 	en.recovering = false
 	en.completing = true
 	enh := en.Cfg.Enhancements
-	reboot := en.Cfg.Mechanism.Reboots()
+	reboot := mech.Reboots()
 	now := h.Clock.Now()
 
 	// Corruption of state both mechanisms reuse (live heap objects) is
-	// fatal regardless of mechanism — §VII-A failure cause 3.
+	// fatal regardless of mechanism — §VII-A failure cause 3. Escalating
+	// burns the remaining rungs (the reboot preserves allocated pages, so
+	// the next attempt hits the same wall) and then fails terminally.
 	if h.CorruptAllocatedObject {
-		en.fail("post-recovery failure: reused heap object corrupted")
+		en.attemptFailed("post-recovery failure: reused heap object corrupted")
 		return
 	}
 	// Static scratch corruption: the reboot re-initialized it; the
-	// microreset reuses it and fails.
+	// microreset reuses it and fails — the escalation case the hybrid
+	// ladder exists for.
 	if h.CorruptStaticScratch && !reboot {
-		en.fail("post-recovery failure: corrupted static state reused by microreset")
+		en.attemptFailed("post-recovery failure: corrupted static state reused by microreset")
 		return
 	}
 
@@ -221,7 +259,8 @@ func (en *Engine) complete(pending []*hv.PendingCall) {
 
 	// Post-resume invariants; each violated invariant panics or fails
 	// the affected VM (handled inside hv; panics arrive at OnDetection
-	// as post-recovery failures).
+	// as attempt failures — escalation may already have started a new
+	// attempt by the time these return false).
 	if !h.EnforceIRQInvariant() {
 		return
 	}
@@ -232,7 +271,12 @@ func (en *Engine) complete(pending []*hv.PendingCall) {
 		return
 	}
 
-	// Interrupted requests: retry (with undo-log rollback) or drop.
+	// Interrupted requests: retry (with undo-log rollback) or drop. The
+	// engine's carried set is consumed here; a retry interrupted again by
+	// a failure stays queued inside hv and is re-captured by the next
+	// attempt's discard.
+	pending := en.pending
+	en.pending = nil
 	if enh.Has(EnhReHypeMechanisms) {
 		h.RetryPendingCalls(pending)
 	} else {
@@ -240,10 +284,18 @@ func (en *Engine) complete(pending []*hv.PendingCall) {
 	}
 
 	if en.Det != nil {
-		en.Det.ResetProgress()
+		en.Det.Rearm()
 	}
 	en.recovered = true
 	h.ResumeRunnable()
+	if len(en.Attempts) != att {
+		// A retried call or re-delivered interrupt failed during resume
+		// and escalation already opened the next attempt; this attempt's
+		// completion is over.
+		return
+	}
+	en.completing = false
+	en.graceUntil = h.Clock.Now() + en.Cfg.Escalation.GraceWindow
 
 	// Page-frame descriptors left inconsistent (the scan skipped, or
 	// error propagation the repairs missed) confuse the memory-management
@@ -253,11 +305,29 @@ func (en *Engine) complete(pending []*hv.PendingCall) {
 	// is latent damage.
 	if failed, _ := h.Failed(); !failed {
 		if len(h.Frames.InconsistentFrames()) > 0 && h.RNG.Float64() < pfInconsistencyHangProb {
-			en.fail("post-recovery hang: inconsistent page frame descriptors hit by mm path")
+			en.attemptFailed("post-recovery hang: inconsistent page frame descriptors hit by mm path")
 			return
 		}
 	}
-	if failed, _ := h.Failed(); !failed && en.OnRecovered != nil {
+	if failed, _ := h.Failed(); failed {
+		return
+	}
+	if en.OnResume != nil {
+		en.OnResume()
+	}
+	// Stable-recovery hook: immediate for one-shot configurations; for
+	// escalating ones, deferred until the grace window passes without a
+	// re-detection (a new attempt invalidates the callback).
+	if grace := en.Cfg.Escalation.GraceWindow; grace > 0 {
+		h.Clock.After(grace, "recovery-grace", func() {
+			if len(en.Attempts) != att || !en.Recovered() {
+				return
+			}
+			if en.OnRecovered != nil {
+				en.OnRecovered()
+			}
+		})
+	} else if en.OnRecovered != nil {
 		en.OnRecovered()
 	}
 }
@@ -274,6 +344,11 @@ func (en *Engine) Summary() string {
 	case StatusIdle:
 		return "no detection"
 	case StatusRecovered:
+		if en.Escalated() {
+			last := en.Attempts[len(en.Attempts)-1]
+			return fmt.Sprintf("%v recovered in %v after %d attempts (detected: %v)",
+				last.Mechanism, en.TotalLatency(), len(en.Attempts), en.FirstDetection)
+		}
 		return fmt.Sprintf("%v recovered in %v (detected: %v)",
 			en.Cfg.Mechanism, en.Latency, en.FirstDetection)
 	default:

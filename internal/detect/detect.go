@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"nilihype/internal/hv"
+	"nilihype/internal/xentime"
 )
 
 // Kind is the detection type.
@@ -64,6 +65,7 @@ type Detector struct {
 	softCount []uint64 // incremented by the 100ms software timer event
 	lastSeen  []uint64
 	stale     []int
+	ticks     []*xentime.Timer // per-CPU watchdog soft tick timers
 
 	// Detections counts all events reported (including post-recovery
 	// re-detections).
@@ -90,9 +92,10 @@ func (d *Detector) Start() {
 	})
 	d.h.SetNMIHook(d.checkHang)
 	now := d.h.Clock.Now()
+	d.ticks = make([]*xentime.Timer, d.h.NumCPUs())
 	for cpu := 0; cpu < d.h.NumCPUs(); cpu++ {
 		cpu := cpu
-		d.h.Timers.AddTimer(cpu, fmt.Sprintf("watchdog_tick.cpu%d", cpu),
+		d.ticks[cpu] = d.h.Timers.AddTimer(cpu, fmt.Sprintf("watchdog_tick.cpu%d", cpu),
 			now+Period, Period, func() { d.softCount[cpu]++ })
 		d.h.Timers.ProgramAPIC(cpu)
 		d.h.Machine.CPU(cpu).StartPerfNMI(Period)
@@ -125,6 +128,25 @@ func (d *Detector) ResetProgress() {
 	for cpu := range d.stale {
 		d.stale[cpu] = 0
 		d.lastSeen[cpu] = d.softCount[cpu]
+	}
+}
+
+// Rearm prepares the detectors for the next recovery attempt: staleness
+// tracking resets, and any watchdog source the failed attempt left dead —
+// an inactive soft tick timer, a stopped performance-counter NMI — is
+// revived. Escalating engines call it after every attempt: re-detection
+// (and hence escalation) must work even when the attempt's repairs did not
+// extend to the watchdog's own machinery.
+func (d *Detector) Rearm() {
+	d.ResetProgress()
+	now := d.h.Clock.Now()
+	for cpu := 0; cpu < d.h.NumCPUs(); cpu++ {
+		if cpu < len(d.ticks) && d.ticks[cpu] != nil && !d.ticks[cpu].Active() {
+			d.h.Timers.Reactivate(d.ticks[cpu], now)
+		}
+		if c := d.h.Machine.CPU(cpu); !c.PerfNMIRunning() {
+			c.StartPerfNMI(Period)
+		}
 	}
 }
 

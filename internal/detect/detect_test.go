@@ -160,3 +160,51 @@ func TestDetectionsCounter(t *testing.T) {
 		t.Fatalf("Detections = %d", det.Detections)
 	}
 }
+
+func TestRearmRevivesWatchdogSources(t *testing.T) {
+	h, clk, events, det := newDetected(t)
+	clk.RunUntil(time.Second)
+	// Strand CPU 3's timers in the popped-not-rearmed hazard state and
+	// cancel its watchdog NMI — the shape a failed recovery attempt
+	// leaves the detector's inputs in when its execution threads are
+	// discarded mid-handler.
+	h.Machine.CPU(3).DisarmTimer()
+	h.Machine.CPU(3).StopPerfNMI()
+	clk.RunUntil(clk.Now() + 250*time.Millisecond)
+	h.Timers.PopDue(3, clk.Now())
+	if det.ticks[3].Active() {
+		t.Fatal("setup: watchdog tick still active after PopDue")
+	}
+	det.Rearm()
+	if !det.ticks[3].Active() {
+		t.Fatal("Rearm did not reactivate the watchdog tick")
+	}
+	if !h.Machine.CPU(3).PerfNMIRunning() {
+		t.Fatal("Rearm did not restart the perf NMI")
+	}
+	// Progress cleared and sources revived: no detections afterwards.
+	h.Timers.ReactivateRecurring(clk.Now())
+	h.ReprogramAllAPICs()
+	clk.RunUntil(clk.Now() + 2*time.Second)
+	if len(*events) != 0 {
+		t.Fatalf("detections after Rearm: %v", *events)
+	}
+}
+
+func TestRearmIsIdempotentOnHealthySystem(t *testing.T) {
+	h, clk, events, det := newDetected(t)
+	clk.RunUntil(time.Second)
+	det.Rearm()
+	for cpu := 0; cpu < h.NumCPUs(); cpu++ {
+		if !det.ticks[cpu].Active() {
+			t.Fatalf("cpu %d tick deactivated by Rearm", cpu)
+		}
+		if !h.Machine.CPU(cpu).PerfNMIRunning() {
+			t.Fatalf("cpu %d perf NMI stopped by Rearm", cpu)
+		}
+	}
+	clk.RunUntil(clk.Now() + 2*time.Second)
+	if len(*events) != 0 {
+		t.Fatalf("false detections after no-op Rearm: %v", *events)
+	}
+}

@@ -399,6 +399,17 @@ func (h *Hypervisor) MarkFailed(reason string) {
 	h.Clock.Halt()
 }
 
+// ClearFailed un-marks a failure and resumes event dispatching. MarkFailed
+// is no longer unconditionally terminal: a recovery engine whose escalation
+// ladder still has a rung clears the failed attempt's mark so the next
+// mechanism gets a live simulation to repair. Only engines call this, and
+// only when another attempt is about to start.
+func (h *Hypervisor) ClearFailed() {
+	h.failed = false
+	h.failReason = ""
+	h.Clock.Resume()
+}
+
 // SetPanicHook installs the detection callback invoked on hypervisor
 // panic (assertion failure / fatal exception).
 func (h *Hypervisor) SetPanicHook(fn func(cpu int, reason string)) { h.panicHook = fn }

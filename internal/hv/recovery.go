@@ -24,12 +24,17 @@ func (h *Hypervisor) Paused() bool { return h.paused }
 // interrupts are re-delivered.
 func (h *Hypervisor) ResumeRunnable() {
 	h.paused = false
-	deferred := h.afterResume
-	h.afterResume = nil
-	for _, fn := range deferred {
+	// Drain deferred work by popping from the front: if a deferred action
+	// re-enters recovery (pauses the system again) or fails the
+	// hypervisor, the remainder stays queued — a later recovery attempt's
+	// resume picks it up instead of silently dropping it.
+	for len(h.afterResume) > 0 {
 		if h.failed || h.paused {
 			return
 		}
+		fn := h.afterResume[0]
+		h.afterResume[0] = nil
+		h.afterResume = h.afterResume[1:]
 		fn()
 	}
 	for _, cpu := range h.Machine.CPUs() {

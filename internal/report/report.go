@@ -6,6 +6,7 @@ package report
 import (
 	"fmt"
 	"strings"
+	"time"
 )
 
 // Format selects the output representation.
@@ -242,3 +243,6 @@ func PctCI(p, ci float64) string { return fmt.Sprintf("%.1f%% ± %.1f%%", 100*p,
 
 // Ms formats a duration in milliseconds given seconds.
 func Ms(seconds float64) string { return fmt.Sprintf("%.1fms", seconds*1000) }
+
+// Dur formats a time.Duration as a milliseconds cell.
+func Dur(d time.Duration) string { return Ms(d.Seconds()) }

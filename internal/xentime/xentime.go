@@ -195,6 +195,26 @@ func (s *Subsystem) ReactivateRecurring(now time.Duration) int {
 	return n
 }
 
+// Reactivate re-arms one inactive recurring timer one period from now and
+// reprograms its CPU's APIC. Unlike ReactivateRecurring it touches only the
+// given timer: the watchdog re-arms its own soft tick between recovery
+// attempts without implying the "Reactivate recurring timer events"
+// enhancement for the rest of the system. Returns false if the timer is
+// one-shot, already active, or no longer registered.
+func (s *Subsystem) Reactivate(t *Timer, now time.Duration) bool {
+	if !t.Recurring() || t.active {
+		return false
+	}
+	if _, ok := s.all[t]; !ok {
+		return false
+	}
+	t.Deadline = now + t.Period
+	t.active = true
+	heap.Push(&s.heaps[t.CPU], t)
+	s.ProgramAPIC(t.CPU)
+	return true
+}
+
 // PendingCount returns the number of queued timers on cpu.
 func (s *Subsystem) PendingCount(cpu int) int { return s.heaps[cpu].Len() }
 

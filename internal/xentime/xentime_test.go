@@ -230,3 +230,47 @@ func TestPropertyRecurringNeverLostWithReactivation(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestReactivateSingleTimer(t *testing.T) {
+	apic := newFakeAPIC()
+	s := NewSubsystem(2, apic)
+	tick := s.AddTimer(1, "watchdog-tick", 10*time.Millisecond, 10*time.Millisecond, nil)
+	bystander := s.AddTimer(1, "sched-tick", 10*time.Millisecond, 10*time.Millisecond, nil)
+
+	// Pop both into the hazard state (inactive but still registered), as
+	// a discarded interrupt-handler thread leaves them.
+	if due := s.PopDue(1, 10*time.Millisecond); len(due) != 2 {
+		t.Fatalf("popped %d timers, want 2", len(due))
+	}
+	if tick.Active() || bystander.Active() {
+		t.Fatal("popped timers still active")
+	}
+
+	// Reactivate revives exactly the given timer, one period from now.
+	if !s.Reactivate(tick, 25*time.Millisecond) {
+		t.Fatal("Reactivate refused an inactive recurring timer")
+	}
+	if !tick.Active() || tick.Deadline != 35*time.Millisecond {
+		t.Fatalf("tick: active=%v deadline=%v, want active at 35ms", tick.Active(), tick.Deadline)
+	}
+	if bystander.Active() {
+		t.Fatal("Reactivate revived a timer it was not given")
+	}
+	if !apic.armed[1] || apic.deadline[1] != 35*time.Millisecond {
+		t.Fatalf("APIC not reprogrammed: armed=%v deadline=%v", apic.armed[1], apic.deadline[1])
+	}
+
+	// Already-active, one-shot and stopped timers are all refused.
+	if s.Reactivate(tick, 40*time.Millisecond) {
+		t.Fatal("Reactivate accepted an active timer")
+	}
+	oneShot := s.AddTimer(0, "once", 5*time.Millisecond, 0, nil)
+	s.PopDue(0, 5*time.Millisecond)
+	if s.Reactivate(oneShot, 10*time.Millisecond) {
+		t.Fatal("Reactivate accepted a one-shot timer")
+	}
+	s.StopTimer(bystander)
+	if s.Reactivate(bystander, 40*time.Millisecond) {
+		t.Fatal("Reactivate accepted a stopped (unregistered) timer")
+	}
+}
