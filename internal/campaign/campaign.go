@@ -52,6 +52,17 @@ type Summary struct {
 	// over successful runs; MeanSuccessLatency derives the mean.
 	SuccessLatency time.Duration
 
+	// Audit totals (EscalationPolicy.Audit): violations found, repairs
+	// applied, and AppVMs sacrificed across all runs.
+	AuditViolations int
+	AuditRepaired   int
+	SacrificedVMs   int
+
+	// Adversarial-injection totals: runs whose burst fault fired, and
+	// runs whose fault-during-recovery trigger fired.
+	BurstFiredRuns          int
+	DuringRecoveryFiredRuns int
+
 	// FailReasons histograms recovery-failure causes.
 	FailReasons map[string]int
 }
@@ -137,6 +148,11 @@ func (s *Summary) merge(p *Summary) {
 	s.NoVMFCount += p.NoVMFCount
 	s.EscalatedRuns += p.EscalatedRuns
 	s.SuccessLatency += p.SuccessLatency
+	s.AuditViolations += p.AuditViolations
+	s.AuditRepaired += p.AuditRepaired
+	s.SacrificedVMs += p.SacrificedVMs
+	s.BurstFiredRuns += p.BurstFiredRuns
+	s.DuringRecoveryFiredRuns += p.DuringRecoveryFiredRuns
 	for k, v := range p.SuccessByAttempt {
 		s.SuccessByAttempt[k] += v
 	}
@@ -146,6 +162,15 @@ func (s *Summary) merge(p *Summary) {
 }
 
 func (s *Summary) add(r Result) {
+	s.AuditViolations += r.AuditViolations
+	s.AuditRepaired += r.AuditRepaired
+	s.SacrificedVMs += len(r.SacrificedVMs)
+	if r.BurstFired {
+		s.BurstFiredRuns++
+	}
+	if r.DuringRecoveryFired {
+		s.DuringRecoveryFiredRuns++
+	}
 	switch r.Outcome {
 	case NonManifested:
 		s.NonManifested++
@@ -267,6 +292,14 @@ func (s Summary) Format() string {
 			fmt.Fprintf(&b, " %d:%d", n, s.SuccessByAttempt[n])
 		}
 		fmt.Fprintf(&b, "\n")
+	}
+	if s.AuditViolations > 0 {
+		fmt.Fprintf(&b, "  audit: %d violation(s), %d repaired, %d VM(s) sacrificed\n",
+			s.AuditViolations, s.AuditRepaired, s.SacrificedVMs)
+	}
+	if s.BurstFiredRuns > 0 || s.DuringRecoveryFiredRuns > 0 {
+		fmt.Fprintf(&b, "  adversarial: burst fired in %d run(s), during-recovery in %d run(s)\n",
+			s.BurstFiredRuns, s.DuringRecoveryFiredRuns)
 	}
 	if len(s.FailReasons) > 0 {
 		fmt.Fprintf(&b, "  failure causes:\n")

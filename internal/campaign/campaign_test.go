@@ -483,6 +483,78 @@ func TestSummaryFormatWithFailures(t *testing.T) {
 	}
 }
 
+// adversarialCfg is the fully loaded configuration: audit gate on, burst
+// faults, and the fault-during-recovery trigger.
+func adversarialCfg() RunConfig {
+	base := fastCfg(inject.Code, core.Microreset)
+	base.Recovery = core.HybridConfig()
+	base.Recovery.Escalation.Audit = true
+	base.BurstWindow = 100 * time.Millisecond
+	base.BurstFault = inject.Register
+	base.FaultDuringRecovery = true
+	return base
+}
+
+// TestCampaignAuditAdversarialBitIdentity: the audit walks and adversarial
+// triggers must not perturb determinism — the same campaign produces a
+// byte-identical Summary at parallelism 1, 4, and 8.
+func TestCampaignAuditAdversarialBitIdentity(t *testing.T) {
+	base := adversarialCfg()
+	var ref Summary
+	for i, par := range []int{1, 4, 8} {
+		c := Campaign{Base: base, Runs: 8, Parallelism: par}
+		s := c.Execute()
+		if i == 0 {
+			ref = s
+			continue
+		}
+		if !reflect.DeepEqual(ref, s) {
+			t.Fatalf("summary differs at parallelism %d:\n par=1: %+v\n par=%d: %+v", par, ref, par, s)
+		}
+	}
+}
+
+// TestCampaignSurfacesAdversarialOutcomes: over enough adversarial runs,
+// the burst and during-recovery triggers fire and the counters reach the
+// Summary.
+func TestCampaignSurfacesAdversarialOutcomes(t *testing.T) {
+	c := Campaign{Base: adversarialCfg(), Runs: 12, Parallelism: 4}
+	s := c.Execute()
+	if s.BurstFiredRuns == 0 {
+		t.Fatal("no run recorded a burst fault in 12 adversarial runs")
+	}
+	out := s.Format()
+	if !strings.Contains(out, "adversarial: burst fired") {
+		t.Fatalf("Format missing adversarial line:\n%s", out)
+	}
+}
+
+// TestAuditOnNeverWorseThanOff is the miniature of the hyperrecover-audit
+// comparison: with everything else identical (same seeds, same fault mix),
+// enabling the audit gate must not lower the recovery success count, and
+// audit-off campaigns must report zero audit activity.
+func TestAuditOnNeverWorseThanOff(t *testing.T) {
+	run := func(auditOn bool) Summary {
+		base := fastCfg(inject.Code, core.Microreset)
+		base.Recovery = core.HybridConfig()
+		base.Recovery.Escalation.Audit = auditOn
+		c := Campaign{Base: base, Runs: 25, Parallelism: 4}
+		return c.Execute()
+	}
+	on, off := run(true), run(false)
+	if on.Runs != off.Runs || on.DetectedCount == 0 {
+		t.Fatalf("arms diverged: on=%d/%d off=%d/%d detected",
+			on.DetectedCount, on.Runs, off.DetectedCount, off.Runs)
+	}
+	if on.RecoverySuccess < off.RecoverySuccess {
+		t.Fatalf("audit-on success %d below audit-off %d", on.RecoverySuccess, off.RecoverySuccess)
+	}
+	if off.AuditViolations != 0 || off.AuditRepaired != 0 || off.SacrificedVMs != 0 {
+		t.Fatalf("audit-off campaign reports audit activity: %d/%d/%d",
+			off.AuditViolations, off.AuditRepaired, off.SacrificedVMs)
+	}
+}
+
 func TestAuditInvariantsReportsViolations(t *testing.T) {
 	// Build a deliberately damaged hypervisor and verify every audit
 	// branch reports.

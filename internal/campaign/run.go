@@ -74,6 +74,15 @@ type RunConfig struct {
 	// the overhead experiment).
 	NoInjection bool
 
+	// BurstWindow, when positive, arms a second fault within that window
+	// after the first fires (adversarial burst-fault campaigns).
+	BurstWindow time.Duration
+	// BurstFault selects the burst fault's type (zero = same as Fault).
+	BurstFault inject.FaultType
+	// FaultDuringRecovery arms an extra fault trigger when recovery
+	// pauses the system, so corruption lands while recovery itself runs.
+	FaultDuringRecovery bool
+
 	// HVM runs the AppVMs under full hardware virtualization (§VI-A:
 	// injection results for HVM AppVMs are very similar to PV).
 	HVM bool
@@ -196,6 +205,19 @@ type Result struct {
 	RecoveryAt     time.Duration
 	// Latency is the total modeled recovery latency across all attempts.
 	Latency time.Duration
+
+	// Adversarial-injection diagnostics: the burst fault and the
+	// fault-during-recovery trigger, when configured and fired.
+	BurstFired          bool
+	BurstEffect         string
+	DuringRecoveryFired bool
+	DuringEffect        string
+
+	// Audit results (EscalationPolicy.Audit): violations found, repairs
+	// applied, and AppVMs sacrificed across all attempts.
+	AuditViolations int
+	AuditRepaired   int
+	SacrificedVMs   []int
 
 	// InvariantViolations lists post-recovery system-invariant breaches
 	// found when RunConfig.CheckInvariants is set (empty = clean).
@@ -337,10 +359,13 @@ func Run(rc RunConfig) Result {
 	if !rc.NoInjection {
 		injRNG := prng.New(rc.Seed, 0xfa17)
 		injector = inject.New(h, world, injRNG, inject.Params{
-			Type:       rc.Fault,
-			WindowLo:   rc.BenchDuration / 10,
-			WindowHi:   rc.BenchDuration / 2,
-			AppDomains: appDomains(rc.Setup),
+			Type:                rc.Fault,
+			WindowLo:            rc.BenchDuration / 10,
+			WindowHi:            rc.BenchDuration / 2,
+			AppDomains:          appDomains(rc.Setup),
+			BurstWindow:         rc.BurstWindow,
+			BurstFault:          rc.BurstFault,
+			FaultDuringRecovery: rc.FaultDuringRecovery,
 		})
 		injector.Schedule()
 	}
@@ -356,7 +381,14 @@ func Run(rc RunConfig) Result {
 		if injector.Fired {
 			res.InjectionAt = fmt.Sprintf("%s @%s", injector.Point.Activity, injector.Point.StepName)
 		}
+		res.BurstFired = injector.BurstFired
+		res.BurstEffect = injector.BurstEffect.String()
+		res.DuringRecoveryFired = injector.DuringRecoveryFired
+		res.DuringEffect = injector.DuringEffect.String()
 	}
+	res.AuditViolations = engine.AuditViolations
+	res.AuditRepaired = engine.AuditRepaired
+	res.SacrificedVMs = append([]int(nil), engine.SacrificedVMs...)
 	res.Detected = engine.FirstDetection != nil
 	res.Recovered = engine.Recovered()
 	res.FailReason = engine.FailReason

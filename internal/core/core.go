@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"time"
 
+	"nilihype/internal/audit"
 	"nilihype/internal/detect"
 	"nilihype/internal/hv"
 )
@@ -155,6 +156,11 @@ type EscalationPolicy struct {
 	// after the window are terminal post-recovery failures: the recovery
 	// itself held, the system broke later.
 	GraceWindow time.Duration
+	// Audit enables the post-recovery invariant audit + repair pass
+	// (internal/audit) after every rung's own repairs: remaining
+	// structural damage is repaired in place, confined by sacrificing the
+	// affected AppVM, or left to escalate the attempt.
+	Audit bool
 }
 
 // Config parameterizes a recovery engine.
@@ -274,6 +280,9 @@ type Attempt struct {
 	// FailReason is why the attempt failed; empty for the attempt that
 	// recovered the system (or one still in flight).
 	FailReason string
+	// Audit is the attempt's audit report (nil unless
+	// EscalationPolicy.Audit is set).
+	Audit *audit.Report
 }
 
 // Engine is one run's recovery engine.
@@ -297,6 +306,12 @@ type Engine struct {
 	FailReason string
 	// PFRepaired counts descriptors fixed by the consistency scan.
 	PFRepaired int
+	// AuditViolations/AuditRepaired total the audit findings across all
+	// attempts; SacrificedVMs lists the domains the audit failed to
+	// confine damage (in sacrifice order).
+	AuditViolations int
+	AuditRepaired   int
+	SacrificedVMs   []int
 
 	// OnResume, if set, is invoked at the end of every completed attempt
 	// when the system resumes (the campaign layer annotates the NetBench

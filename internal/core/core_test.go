@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math/rand/v2"
 	"strings"
 	"testing"
 	"time"
@@ -11,6 +12,10 @@ import (
 	"nilihype/internal/hypercall"
 	"nilihype/internal/simclock"
 )
+
+// testRNG drives the structural-corruption helpers in tests; the seed is
+// fixed so failures reproduce.
+func testRNG() *rand.Rand { return rand.New(rand.NewPCG(7, 7)) }
 
 // rig is a minimal full stack: hypervisor + detector + engine + one AppVM
 // domain issuing no workload (tests drive hypercalls directly).
@@ -254,7 +259,7 @@ func TestBasicMicroresetAlwaysFails(t *testing.T) {
 func TestRecoveryPathCorruptionAbortsRecovery(t *testing.T) {
 	r := newRig(t, DefaultConfig(), 512)
 	r.clk.RunUntil(50 * time.Millisecond)
-	r.h.CorruptRecoveryPath = true
+	r.h.CorruptRecoveryVector(testRNG())
 	r.injectPanicAtBudget(t, 250)
 	if r.engine.Status() != StatusFailed {
 		t.Fatalf("status = %v", r.engine.Status())
@@ -273,7 +278,7 @@ func TestStaticScratchCorruption(t *testing.T) {
 		cfg.Mechanism = mech
 		r := newRig(t, cfg, 512)
 		r.clk.RunUntil(50 * time.Millisecond)
-		r.h.CorruptStaticScratch = true
+		r.h.CorruptStaticScratchWord(testRNG())
 		r.injectPanicAtBudget(t, 250)
 		r.clk.RunUntil(3 * time.Second)
 		return r.engine
@@ -283,6 +288,8 @@ func TestStaticScratchCorruption(t *testing.T) {
 	}
 	if en := run(Microreboot); en.Status() != StatusRecovered {
 		t.Fatalf("microreboot failed static-scratch corruption: %s", en.FailReason)
+	} else if len(en.H.StaticScratchDamage()) != 0 {
+		t.Fatal("reboot did not re-initialize the static scratch area")
 	}
 }
 
@@ -292,7 +299,9 @@ func TestAllocatedObjectCorruptionFailsBoth(t *testing.T) {
 		cfg.Mechanism = mech
 		r := newRig(t, cfg, 512)
 		r.clk.RunUntil(50 * time.Millisecond)
-		r.h.CorruptAllocatedObject = true
+		if tag := r.h.Heap.CorruptRandomObject(testRNG()); tag == "no live objects" {
+			t.Fatal("no live heap object to corrupt")
+		}
 		r.injectPanicAtBudget(t, 250)
 		r.clk.RunUntil(3 * time.Second)
 		if r.engine.Status() != StatusFailed {
@@ -308,22 +317,25 @@ func TestHeapFreelistCorruption(t *testing.T) {
 	cfg.Mechanism = Microreboot
 	r := newRig(t, cfg, 512)
 	r.clk.RunUntil(50 * time.Millisecond)
-	r.h.Heap.Corrupted = true
+	r.h.Heap.CorruptFreeList(testRNG())
+	if len(r.h.Heap.ValidateFreeList()) == 0 {
+		t.Fatal("CorruptFreeList produced no detectable damage")
+	}
 	r.injectPanicAtBudget(t, 250)
 	r.clk.RunUntil(3 * time.Second)
 	if r.engine.Status() != StatusRecovered {
 		t.Fatalf("microreboot failed: %s", r.engine.FailReason)
 	}
-	if r.h.Heap.Corrupted {
+	if len(r.h.Heap.ValidateFreeList()) != 0 {
 		t.Fatal("reboot did not rebuild the heap free list")
 	}
 
 	r2 := newRig(t, DefaultConfig(), 512)
 	r2.clk.RunUntil(50 * time.Millisecond)
-	r2.h.Heap.Corrupted = true
+	r2.h.Heap.CorruptFreeList(testRNG())
 	r2.injectPanicAtBudget(t, 250)
 	r2.clk.RunUntil(time.Second)
-	if !r2.h.Heap.Corrupted {
+	if len(r2.h.Heap.ValidateFreeList()) == 0 {
 		t.Fatal("microreset rebuilt the heap free list (it must not)")
 	}
 }
@@ -337,15 +349,18 @@ func TestDomainListCorruption(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r.h.Domains.Corrupted = true
+	r.h.Domains.CorruptLink(testRNG())
+	if r.h.Domains.CheckLinks() == nil {
+		t.Fatal("CorruptLink produced no detectable damage")
+	}
 	r.h.ArmInjection(250, func(hv.InjectionPoint) (hv.InjectAction, string) {
 		return hv.ActionPanic, "failstop"
 	})
 	r.h.Dispatch(1, &hypercall.Call{Op: hypercall.OpMMUUpdate, Dom: 1,
 		Args: [4]uint64{hypercall.MMUPin, uint64(d.MemStart + 7)}})
 	r.clk.RunUntil(3 * time.Second)
-	if r.h.Domains.Corrupted {
-		t.Fatal("reboot did not relink the domain list")
+	if err := r.h.Domains.CheckLinks(); err != nil {
+		t.Fatalf("reboot did not relink the domain list: %v", err)
 	}
 }
 
@@ -538,14 +553,14 @@ func TestCheckpointRestoreSurvivesStaticCorruption(t *testing.T) {
 	cfg.Mechanism = CheckpointRestore
 	r := newRig(t, cfg, 512)
 	r.clk.RunUntil(50 * time.Millisecond)
-	r.h.CorruptStaticScratch = true
-	r.h.Heap.Corrupted = true
+	r.h.CorruptStaticScratchWord(testRNG())
+	r.h.Heap.CorruptFreeList(testRNG())
 	r.injectPanicAtBudget(t, 250)
 	r.clk.RunUntil(3 * time.Second)
 	if r.engine.Status() != StatusRecovered {
 		t.Fatalf("status = %v (%s)", r.engine.Status(), r.engine.FailReason)
 	}
-	if r.h.Heap.Corrupted || r.h.CorruptStaticScratch {
+	if len(r.h.Heap.ValidateFreeList()) != 0 || len(r.h.StaticScratchDamage()) != 0 {
 		t.Fatal("checkpoint restore did not re-initialize image state")
 	}
 }

@@ -72,7 +72,7 @@ func TestHybridEscalatesStaticScratchCorruption(t *testing.T) {
 	// escalated attempt's recovery window.
 	r := newRig(t, HybridConfig(), 512)
 	r.clk.RunUntil(50 * time.Millisecond)
-	r.h.CorruptStaticScratch = true
+	r.h.CorruptStaticScratchWord(testRNG())
 	r.injectPanicAtBudget(t, 250)
 	r.clk.RunUntil(5 * time.Second)
 	if r.engine.Status() != StatusRecovered {
@@ -100,7 +100,7 @@ func TestHybridEscalatesStaticScratchCorruption(t *testing.T) {
 	if len(a0.Breakdown) == 0 || len(a1.Breakdown) == 0 {
 		t.Fatal("per-attempt breakdowns missing")
 	}
-	if r.h.CorruptStaticScratch {
+	if len(r.h.StaticScratchDamage()) != 0 {
 		t.Fatal("escalated reboot did not re-initialize static scratch")
 	}
 }
@@ -111,7 +111,9 @@ func TestEscalationExhaustionAllocObject(t *testing.T) {
 	// the run fails terminally with per-attempt records.
 	r := newRig(t, HybridConfig(), 512)
 	r.clk.RunUntil(50 * time.Millisecond)
-	r.h.CorruptAllocatedObject = true
+	if tag := r.h.Heap.CorruptRandomObject(testRNG()); tag == "no live objects" {
+		t.Fatal("no live heap object to corrupt")
+	}
 	r.injectPanicAtBudget(t, 250)
 	r.clk.RunUntil(5 * time.Second)
 	if r.engine.Status() != StatusFailed {
@@ -243,7 +245,7 @@ func TestEscalatedOnResumeFiresPerAttempt(t *testing.T) {
 	r.engine.OnResume = func() { resumes++ }
 	r.engine.OnRecovered = func() { recoveries++ }
 	r.clk.RunUntil(50 * time.Millisecond)
-	r.h.CorruptStaticScratch = true
+	r.h.CorruptStaticScratchWord(testRNG())
 	r.injectPanicAtBudget(t, 250)
 	r.clk.RunUntil(5 * time.Second)
 	if r.engine.Status() != StatusRecovered {
@@ -253,6 +255,97 @@ func TestEscalatedOnResumeFiresPerAttempt(t *testing.T) {
 	// only the successful reboot attempt resumes; OnRecovered fires once.
 	if resumes != 1 || recoveries != 1 {
 		t.Fatalf("resumes=%d recoveries=%d, want 1/1", resumes, recoveries)
+	}
+}
+
+// TestAuditRepairsStaticScratchWithoutEscalation: with the audit gate on,
+// the damage that forces TestHybridEscalatesStaticScratchCorruption
+// through a full microreboot is instead repaired in place during the first
+// microreset attempt — the whole point of the audit rung.
+func TestAuditRepairsStaticScratchWithoutEscalation(t *testing.T) {
+	cfg := HybridConfig()
+	cfg.Escalation.Audit = true
+	r := newRig(t, cfg, 512)
+	r.clk.RunUntil(50 * time.Millisecond)
+	r.h.CorruptStaticScratchWord(testRNG())
+	r.injectPanicAtBudget(t, 250)
+	r.clk.RunUntil(2 * time.Second)
+	if r.engine.Status() != StatusRecovered {
+		t.Fatalf("status = %v (%s)", r.engine.Status(), r.engine.FailReason)
+	}
+	if r.engine.Escalated() || len(r.engine.Attempts) != 1 {
+		t.Fatalf("attempts = %d, want 1 (audit repairs in place)", len(r.engine.Attempts))
+	}
+	a := r.engine.Attempts[0]
+	if a.Mechanism != Microreset || a.FailReason != "" {
+		t.Fatalf("attempt = %v fail=%q, want a clean microreset", a.Mechanism, a.FailReason)
+	}
+	if a.Audit == nil || len(a.Audit.Violations) == 0 {
+		t.Fatal("attempt carries no audit report despite damage")
+	}
+	if r.engine.AuditViolations == 0 || r.engine.AuditRepaired == 0 {
+		t.Fatalf("engine audit counters = %d/%d, want nonzero",
+			r.engine.AuditViolations, r.engine.AuditRepaired)
+	}
+	if len(r.h.StaticScratchDamage()) != 0 {
+		t.Fatal("audit did not repair the static scratch damage")
+	}
+	// The audit pass is charged to the latency breakdown.
+	var charged bool
+	for _, item := range a.Breakdown {
+		if strings.Contains(item.Name, "audit") {
+			charged = true
+		}
+	}
+	if !charged {
+		t.Fatalf("audit cost missing from breakdown: %+v", a.Breakdown)
+	}
+}
+
+// TestAuditEngineKeepsDeferredWorkAcrossEscalation: a deferred action that
+// trips fresh damage during the first attempt's resume re-enters recovery
+// (re-pausing the system mid-drain); the remaining deferred work must stay
+// queued and run only when the escalated attempt — audit gate included —
+// resumes.
+func TestAuditEngineKeepsDeferredWorkAcrossEscalation(t *testing.T) {
+	cfg := HybridConfig()
+	cfg.Escalation.Audit = true
+	r := newRig(t, cfg, 512)
+	r.clk.RunUntil(50 * time.Millisecond)
+	r.injectPanicAtBudget(t, 250) // detection: attempt 1 starts, system pauses
+	if !r.h.Paused() {
+		t.Fatal("recovery did not pause the system")
+	}
+	var order []string
+	var tailAttempts int
+	r.h.WhenRunnable(func() {
+		order = append(order, "re-detect")
+		// The deferred action hits fresh damage: a new panic mid-resume
+		// opens the escalated attempt (budget 0 = first step).
+		r.injectPanicAtPage(t, 0, 13)
+	})
+	r.h.WhenRunnable(func() {
+		order = append(order, "tail")
+		tailAttempts = len(r.engine.Attempts)
+	})
+	r.clk.RunUntil(5 * time.Second)
+	if r.engine.Status() != StatusRecovered {
+		t.Fatalf("status = %v (%s)", r.engine.Status(), r.engine.FailReason)
+	}
+	if len(r.engine.Attempts) != 2 || r.engine.Attempts[1].Mechanism != Microreboot {
+		t.Fatalf("attempts = %+v, want escalation to microreboot", r.engine.Attempts)
+	}
+	if len(order) != 2 || order[0] != "re-detect" || order[1] != "tail" {
+		t.Fatalf("deferred work ran %v, want [re-detect tail]", order)
+	}
+	if tailAttempts != 2 {
+		t.Fatalf("tail ran with %d attempts open, want 2 (after the escalated resume)", tailAttempts)
+	}
+	// Both attempts ran the audit gate.
+	for i, a := range r.engine.Attempts {
+		if a.Audit == nil {
+			t.Fatalf("attempt %d has no audit report", i+1)
+		}
 	}
 }
 

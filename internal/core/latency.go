@@ -40,6 +40,12 @@ const (
 	// parallelScanCoordCost is the fixed IPI/merge overhead of sharding
 	// the page-frame scan across cores (the §VII-B mitigation).
 	parallelScanCoordCost = 400 * time.Microsecond
+	// auditBaseCost is the fixed cost of the post-recovery audit walk
+	// over the non-memory-sized structures (domain list, locks, timers,
+	// event channels, grants); the audit's descriptor walk, when the
+	// PF-scan enhancement didn't already pay for it, adds the scaled
+	// pfScanCostAt8GB on top.
+	auditBaseCost = 850 * time.Microsecond
 )
 
 // ReHype (microreboot) step costs from Table II, measured at 8 GB / 8
@@ -157,6 +163,9 @@ func (c Config) WorstCaseLatency(frames int) time.Duration {
 	n := c.MaxAttempts()
 	for i := 0; i < n; i++ {
 		total += mechanismWorstLatency(c.MechanismFor(i), frames)
+		if c.Escalation.Audit {
+			total += auditBaseCost + scaleByFrames(pfScanCostAt8GB, frames)
+		}
 	}
 	total += time.Duration(n-1) * c.Escalation.GraceWindow
 	return total

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"nilihype/internal/audit"
 	"nilihype/internal/detect"
 	"nilihype/internal/hv"
 	"nilihype/internal/hypercall"
@@ -25,10 +26,11 @@ const (
 // any interrupted hypercalls the previous attempt never retried.
 func (en *Engine) recover(e detect.Event, mech Mechanism) {
 	h := en.H
-	if h.CorruptRecoveryPath {
+	if !h.RecoveryPathIntact() {
 		// Failure cause 1 of §VII-A: the corrupted state prevents the
 		// recovery routine from even being invoked — no ladder rung can
-		// run, so this is terminal regardless of escalation policy.
+		// run (the audit never gets to execute either), so this is
+		// terminal regardless of escalation policy.
 		en.fail("recovery routine failed to be invoked (corrupted hypervisor state)")
 		return
 	}
@@ -128,6 +130,30 @@ func (en *Engine) recover(e detect.Event, mech Mechanism) {
 		h.Locks.ReinitStatic()
 	}
 
+	// Post-repair state audit (EscalationPolicy.Audit): walk the real
+	// structures, repair what is repairable, sacrifice AppVMs whose
+	// damage is confinable, and leave escalation-class damage for
+	// complete() to trip over. Runs after the rung's own enhancements so
+	// it only pays for (and finds) what they missed.
+	if en.Cfg.Escalation.Audit {
+		rep := audit.Run(h, audit.Options{
+			SkipFrames: enh.Has(EnhPFScan),
+			SkipSched:  enh.Has(EnhSchedConsistency) || reboot,
+		})
+		cur := &en.Attempts[len(en.Attempts)-1]
+		cur.Audit = rep
+		en.AuditViolations += len(rep.Violations)
+		en.AuditRepaired += rep.Repaired
+		en.SacrificedVMs = append(en.SacrificedVMs, rep.Sacrificed...)
+		cost := auditBaseCost
+		if !enh.Has(EnhPFScan) {
+			// The audit's own descriptor walk; same cost model as the
+			// PF-scan enhancement.
+			cost += scaleByFrames(pfScanCostAt8GB, h.Machine.PageFrames())
+		}
+		en.charge("Post-recovery state audit and repair", cost)
+	}
+
 	if !reboot {
 		en.charge("Retry bookkeeping and resume setup", resumeSetupCost)
 	}
@@ -203,7 +229,7 @@ func (en *Engine) rebootStateReinit(mech Mechanism) {
 	}
 	h.Heap.Rebuild()
 	h.Domains.Rebuild()
-	h.CorruptStaticScratch = false
+	h.ReinitStaticScratch()
 }
 
 // complete finishes a recovery attempt after the latency elapses:
@@ -221,17 +247,19 @@ func (en *Engine) complete(mech Mechanism) {
 	now := h.Clock.Now()
 
 	// Corruption of state both mechanisms reuse (live heap objects) is
-	// fatal regardless of mechanism — §VII-A failure cause 3. Escalating
-	// burns the remaining rungs (the reboot preserves allocated pages, so
-	// the next attempt hits the same wall) and then fails terminally.
-	if h.CorruptAllocatedObject {
+	// fatal regardless of mechanism — §VII-A failure cause 3. The audit
+	// repairs AppVM-confinable object damage (sacrificing the VM);
+	// whatever damage remains here escalates through the remaining rungs
+	// (the reboot preserves allocated pages, so the next attempt hits the
+	// same wall) and then fails terminally.
+	if len(h.Heap.DamagedObjects()) > 0 {
 		en.attemptFailed("post-recovery failure: reused heap object corrupted")
 		return
 	}
 	// Static scratch corruption: the reboot re-initialized it; the
 	// microreset reuses it and fails — the escalation case the hybrid
-	// ladder exists for.
-	if h.CorruptStaticScratch && !reboot {
+	// ladder exists for (and one the audit repairs in place).
+	if len(h.StaticScratchDamage()) > 0 && !reboot {
 		en.attemptFailed("post-recovery failure: corrupted static state reused by microreset")
 		return
 	}

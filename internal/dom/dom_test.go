@@ -2,6 +2,7 @@ package dom
 
 import (
 	"errors"
+	"math/rand/v2"
 	"testing"
 
 	"nilihype/internal/locking"
@@ -59,20 +60,73 @@ func TestListInsertRemoveByID(t *testing.T) {
 }
 
 func TestListCorruptionFailsTraversals(t *testing.T) {
-	l := NewList()
-	l.Insert(&Domain{ID: 0})
-	l.Corrupted = true
-	if _, err := l.ByID(0); !errors.Is(err, ErrListCorrupted) {
-		t.Fatalf("ByID err = %v, want ErrListCorrupted", err)
+	// Exercise every structural damage mode against the traversals that
+	// must detect it; Rebuild must repair each one from the preserved
+	// structures.
+	damage := []struct {
+		name  string
+		apply func(l *List, a, b, c *Domain)
+	}{
+		{"poisoned link", func(l *List, a, b, c *Domain) { a.next = poisonDomain }},
+		{"truncation", func(l *List, a, b, c *Domain) { a.next = nil }},
+		{"cycle", func(l *List, a, b, c *Domain) { b.next = l.head }},
 	}
-	if _, err := l.All(); !errors.Is(err, ErrListCorrupted) {
-		t.Fatalf("All err = %v, want ErrListCorrupted", err)
+	for _, d := range damage {
+		t.Run(d.name, func(t *testing.T) {
+			l := NewList()
+			a, b, c := &Domain{ID: 0}, &Domain{ID: 1}, &Domain{ID: 2}
+			l.Insert(a)
+			l.Insert(b)
+			l.Insert(c)
+			d.apply(l, a, b, c)
+			if err := l.CheckLinks(); !errors.Is(err, ErrListCorrupted) {
+				t.Fatalf("CheckLinks err = %v, want ErrListCorrupted", err)
+			}
+			// The walk fails when it crosses the damage point: domain 2
+			// sits past every damage site above.
+			if _, err := l.ByID(2); !errors.Is(err, ErrListCorrupted) {
+				t.Fatalf("ByID err = %v, want ErrListCorrupted", err)
+			}
+			if _, err := l.All(); !errors.Is(err, ErrListCorrupted) {
+				t.Fatalf("All err = %v, want ErrListCorrupted", err)
+			}
+			if l.Len() != 3 {
+				t.Fatal("Len must work on corrupted list (separate bookkeeping)")
+			}
+			if got := len(l.Preserved()); got != 3 {
+				t.Fatalf("Preserved = %d domains, want 3", got)
+			}
+			if fixed := l.Rebuild(); fixed == 0 {
+				t.Fatal("Rebuild fixed no links on a damaged list")
+			}
+			if err := l.CheckLinks(); err != nil {
+				t.Fatalf("CheckLinks after rebuild: %v", err)
+			}
+			if _, err := l.ByID(2); err != nil {
+				t.Fatalf("ByID after rebuild: %v", err)
+			}
+		})
 	}
-	if l.Len() != 1 {
-		t.Fatal("Len must work on corrupted list (separate bookkeeping)")
+}
+
+func TestCorruptLinkIsDetectable(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 13))
+	for i := 0; i < 50; i++ {
+		l := NewList()
+		l.Insert(&Domain{ID: 0})
+		l.Insert(&Domain{ID: 1})
+		l.Insert(&Domain{ID: 2})
+		desc := l.CorruptLink(rng)
+		if err := l.CheckLinks(); !errors.Is(err, ErrListCorrupted) {
+			t.Fatalf("iteration %d (%s): CheckLinks err = %v, want ErrListCorrupted", i, desc, err)
+		}
+		l.Rebuild()
+		if err := l.CheckLinks(); err != nil {
+			t.Fatalf("iteration %d (%s): rebuild left damage: %v", i, desc, err)
+		}
 	}
-	l.Rebuild()
-	if _, err := l.ByID(0); err != nil {
-		t.Fatalf("ByID after rebuild: %v", err)
+	empty := NewList()
+	if desc := empty.CorruptLink(rng); desc != "domain list empty; nothing to damage" {
+		t.Fatalf("empty-list CorruptLink = %q", desc)
 	}
 }

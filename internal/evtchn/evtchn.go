@@ -14,6 +14,8 @@ package evtchn
 import (
 	"errors"
 	"fmt"
+	"math/rand/v2"
+	"sort"
 )
 
 // State is a port's binding state.
@@ -260,6 +262,89 @@ func (b *Broker) RaiseVIRQ(dom, virq int) (int, error) {
 		}
 	}
 	return -1, fmt.Errorf("%w: d%d has no port for virq %d", ErrBadState, dom, virq)
+}
+
+// Owners returns the registered table owners in ascending order — the
+// deterministic iteration order corruption and audit walks must use (the
+// broker's table map has no stable order of its own).
+func (b *Broker) Owners() []int {
+	out := make([]int, 0, len(b.tables))
+	for o := range b.tables {
+		out = append(out, o)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// CheckLinks validates inter-domain port linkage: every Interdomain port's
+// peer must exist, be Interdomain, and link back. Returns one description
+// per broken port in (owner, port) order; empty when the mesh is intact.
+func (b *Broker) CheckLinks() []string {
+	var out []string
+	for _, o := range b.Owners() {
+		t := b.tables[o]
+		for p := 1; p < len(t.ports); p++ {
+			port := &t.ports[p]
+			if port.State != Interdomain {
+				continue
+			}
+			rt := b.tables[port.RemoteDom]
+			if rt == nil {
+				out = append(out, fmt.Sprintf("d%d port %d: peer domain d%d has no table", o, p, port.RemoteDom))
+				continue
+			}
+			rp, err := rt.Port(port.RemotePort)
+			if err != nil || rp.State != Interdomain || rp.RemoteDom != o || rp.RemotePort != p {
+				out = append(out, fmt.Sprintf("d%d port %d: peer d%d port %d does not link back", o, p, port.RemoteDom, port.RemotePort))
+			}
+		}
+	}
+	return out
+}
+
+// FindBacklink searches every table for the Interdomain port whose peer
+// fields name (dom, port), returning its (owner, port). The audit uses
+// this to re-derive a damaged port's peer from the surviving half of the
+// link. ok is false when no port links back.
+func (b *Broker) FindBacklink(dom, port int) (peerDom, peerPort int, ok bool) {
+	for _, o := range b.Owners() {
+		t := b.tables[o]
+		for p := 1; p < len(t.ports); p++ {
+			pp := &t.ports[p]
+			if pp.State == Interdomain && pp.RemoteDom == dom && pp.RemotePort == port {
+				return o, p, true
+			}
+		}
+	}
+	return 0, 0, false
+}
+
+// CorruptRandomLink structurally damages a random inter-domain port's peer
+// linkage — garbage in its remote port or remote domain field. Sends over
+// the damaged port fail (detected) and the peer's backlink no longer
+// matches. Returns a short description.
+func (b *Broker) CorruptRandomLink(rng *rand.Rand) string {
+	type cand struct{ dom, port int }
+	var cands []cand
+	for _, o := range b.Owners() {
+		t := b.tables[o]
+		for p := 1; p < len(t.ports); p++ {
+			if t.ports[p].State == Interdomain {
+				cands = append(cands, cand{o, p})
+			}
+		}
+	}
+	if len(cands) == 0 {
+		return "no interdomain ports"
+	}
+	c := cands[rng.IntN(len(cands))]
+	port := &b.tables[c.dom].ports[c.port]
+	if rng.IntN(2) == 0 {
+		port.RemotePort += 7 + rng.IntN(50)
+		return fmt.Sprintf("d%d port %d remote-port garbled to %d", c.dom, c.port, port.RemotePort)
+	}
+	port.RemoteDom += 700 + rng.IntN(300)
+	return fmt.Sprintf("d%d port %d remote-dom garbled to d%d", c.dom, c.port, port.RemoteDom)
 }
 
 // Well-known virtual IRQ numbers.

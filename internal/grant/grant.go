@@ -12,6 +12,7 @@ package grant
 import (
 	"errors"
 	"fmt"
+	"sort"
 )
 
 // Errors.
@@ -178,6 +179,21 @@ func (m *Maptrack) HandleForRef(granterDom, ref int) Handle {
 
 // Active returns the number of active mappings.
 func (m *Maptrack) Active() int { return len(m.maps) }
+
+// Mappings returns the active mappings in handle order — the deterministic
+// view the audit uses to recompute granter-side map counts.
+func (m *Maptrack) Mappings() []Mapping {
+	handles := make([]Handle, 0, len(m.maps))
+	for h := range m.maps {
+		handles = append(handles, h)
+	}
+	sort.Slice(handles, func(i, j int) bool { return handles[i] < handles[j] })
+	out := make([]Mapping, 0, len(handles))
+	for _, h := range handles {
+		out = append(out, m.maps[h])
+	}
+	return out
+}
 
 // ForceUnmapAll drops every mapping (domain teardown), fixing up the
 // granter tables through lookup.

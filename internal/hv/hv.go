@@ -127,29 +127,30 @@ type Hypervisor struct {
 	// and device interrupts stay pending.
 	paused      bool
 	afterResume []func()
+	// pauseHook, when set, is invoked at every Pause — the adversarial
+	// injector uses it to arm a fault-during-recovery trigger.
+	pauseHook func()
 
 	callSeq uint64
 
-	// Corruption flags set by error propagation (fault injection) and
-	// consumed by the recovery engines. Each corresponds to one of the
-	// paper's recovery-failure causes (§VII-A):
+	// Structural corruption targets for the paper's remaining
+	// recovery-failure causes (§VII-A); the others live in the real
+	// subsystem structures (heap free list, domain links, timer heaps…).
 	//
-	// CorruptRecoveryPath: state needed to even invoke the recovery
-	// routine is damaged — "the recovery routine fails to be invoked due
-	// to the corrupted hypervisor state" (failure cause 1, fatal to both
-	// mechanisms).
-	//
-	// CorruptAllocatedObject: a live heap object (reused by both
-	// mechanisms — microreboot preserves non-free heap pages) is
-	// damaged (failure cause 3, fatal to both).
-	//
-	// CorruptStaticScratch: static-segment state that microreboot
+	// staticScratch models static-segment working state that microreboot
 	// re-initializes during boot but microreset keeps in place — the
 	// source of ReHype's small recovery-rate edge on non-failstop
-	// faults (§VII-A).
-	CorruptRecoveryPath    bool
-	CorruptAllocatedObject bool
-	CorruptStaticScratch   bool
+	// faults. It holds a fixed boot-time pattern; flipped bits are
+	// detectable damage (StaticScratchDamage) and ReinitStaticScratch
+	// restores the pattern.
+	//
+	// recoveryVector models the state needed to even invoke the recovery
+	// routine ("the recovery routine fails to be invoked due to the
+	// corrupted hypervisor state" — failure cause 1, fatal to both
+	// mechanisms). A damaged vector means recovery never starts, so no
+	// audit or ladder rung can help.
+	staticScratch  []uint64
+	recoveryVector uint64
 
 	// Stats accumulates counters for reports and tests.
 	Stats Stats
@@ -194,6 +195,11 @@ func New(clock *simclock.Clock, cfg Config) (*Hypervisor, error) {
 		schedTicks:     make(map[*xentime.Timer]bool),
 		nextGuestFrame: cfg.HeapFrames,
 	}
+	h.staticScratch = make([]uint64, staticScratchWords)
+	for i := range h.staticScratch {
+		h.staticScratch[i] = staticScratchPattern(i)
+	}
+	h.recoveryVector = recoveryVectorMagic
 	h.Broker = evtchn.NewBroker()
 	h.Cons = NewConsole(256)
 	h.Frames = mm.NewFrameTable(machine.PageFrames())
@@ -274,8 +280,8 @@ const (
 // CreateDomain builds a domain: heap-backed struct with embedded locks, a
 // guest memory region, and one vCPU pinned to pinCPU.
 func (h *Hypervisor) CreateDomain(id int, name string, memPages, pinCPU int, priv bool) error {
-	if h.Domains.Corrupted {
-		return dom.ErrListCorrupted
+	if err := h.Domains.CheckLinks(); err != nil {
+		return err
 	}
 	if _, err := h.Domains.ByID(id); err == nil {
 		return fmt.Errorf("hv: domain %d already exists", id)

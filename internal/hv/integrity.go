@@ -1,0 +1,62 @@
+package hv
+
+import "math/rand/v2"
+
+// staticScratchWords sizes the static-segment scratch area; each word holds
+// a fixed boot-time pattern so damage is detectable by inspection.
+const staticScratchWords = 64
+
+// recoveryVectorMagic is the intact value of the recovery-invocation
+// vector.
+const recoveryVectorMagic = 0x4ec0_7e57_ab1e_0001
+
+func staticScratchPattern(i int) uint64 {
+	return 0xa5a5a5a5a5a5a5a5 ^ uint64(i)*0x9e3779b97f4a7c15
+}
+
+// CorruptStaticScratchWord flips a random bit in a random static-scratch
+// word (error propagation into the static data segment) and returns the
+// damaged word's index.
+func (h *Hypervisor) CorruptStaticScratchWord(rng *rand.Rand) int {
+	i := rng.IntN(len(h.staticScratch))
+	h.staticScratch[i] ^= 1 << uint(rng.IntN(64))
+	return i
+}
+
+// StaticScratchDamage returns the indices of static-scratch words whose
+// contents no longer match the boot-time pattern.
+func (h *Hypervisor) StaticScratchDamage() []int {
+	var out []int
+	for i, w := range h.staticScratch {
+		if w != staticScratchPattern(i) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// ReinitStaticScratch restores the static scratch area to its boot-time
+// state. Microreboot gets this as a side effect of re-initializing the
+// static data segment; the audit performs it explicitly for microreset.
+func (h *Hypervisor) ReinitStaticScratch() {
+	for i := range h.staticScratch {
+		h.staticScratch[i] = staticScratchPattern(i)
+	}
+}
+
+// CorruptRecoveryVector damages the recovery-invocation vector: the
+// recovery routine can no longer be invoked, which is fatal to every
+// mechanism (§VII-A failure cause 1).
+func (h *Hypervisor) CorruptRecoveryVector(rng *rand.Rand) {
+	h.recoveryVector ^= 1 << uint(rng.IntN(64))
+}
+
+// RecoveryPathIntact reports whether the recovery-invocation vector is
+// undamaged.
+func (h *Hypervisor) RecoveryPathIntact() bool {
+	return h.recoveryVector == recoveryVectorMagic
+}
+
+// SetPauseHook registers fn to run at every Pause (recovery start). The
+// adversarial injector uses this to arm faults during recovery.
+func (h *Hypervisor) SetPauseHook(fn func()) { h.pauseHook = fn }

@@ -15,7 +15,12 @@ import (
 // Pause suspends guest activity and device interrupt delivery: VMs are
 // paused during recovery (§V "VMs are suspended and interrupts are
 // disabled during recovery").
-func (h *Hypervisor) Pause() { h.paused = true }
+func (h *Hypervisor) Pause() {
+	h.paused = true
+	if h.pauseHook != nil {
+		h.pauseHook()
+	}
+}
 
 // Paused reports whether the hypervisor is paused for recovery.
 func (h *Hypervisor) Paused() bool { return h.paused }

@@ -561,8 +561,8 @@ func buildDomctl(env *Env, call *Call) Program {
 			}},
 			{Name: "lock_domlist", Instrs: 40, Do: func() error { return env.Acquire(env.Statics.DomList) }},
 			{Name: "check_exists", Instrs: 60, Do: func() error {
-				if env.Domains.Corrupted {
-					return assertf("domctl_create: %v", "domain list corrupted")
+				if err := env.Domains.CheckLinks(); err != nil {
+					return assertf("domctl_create: %v", err)
 				}
 				if _, err := env.Domains.ByID(spec.ID); err == nil {
 					if created {

@@ -291,7 +291,15 @@ func TestMemoryOpRetryWithoutUndoCanOverflow(t *testing.T) {
 
 func TestMemoryOpFailsOnCorruptedHeap(t *testing.T) {
 	fx := newFixture(t)
-	fx.heap.Corrupted = true
+	// CorruptFreeList damages an entry in the free list's hot region;
+	// keep damaging until the allocator's check window sees it.
+	rng := rand.New(rand.NewPCG(5, 5))
+	for i := 0; i < 64 && fx.heap.Check() == nil; i++ {
+		fx.heap.CorruptFreeList(rng)
+	}
+	if fx.heap.Check() == nil {
+		t.Fatal("could not land free-list damage in the check window")
+	}
 	call := &Call{Op: OpMemoryOp, Dom: 1, Args: [4]uint64{MemPopulate, 1}}
 	if err := fx.run(call, -1); err == nil {
 		t.Fatal("memory_op succeeded on corrupted heap")
@@ -573,7 +581,11 @@ func TestDomctlCreateRetryAfterUndoSucceeds(t *testing.T) {
 
 func TestDomctlCreateOnCorruptedListAsserts(t *testing.T) {
 	fx := newFixture(t)
-	fx.doms.Corrupted = true
+	// Any structural link damage fails the create path's full-list check.
+	fx.doms.CorruptLink(rand.New(rand.NewPCG(3, 3)))
+	if fx.doms.CheckLinks() == nil {
+		t.Fatal("CorruptLink produced no detectable damage")
+	}
 	create := &Call{Op: OpDomctl, Dom: 0, Create: &CreateSpec{ID: 9},
 		Args: [4]uint64{DomctlCreate}}
 	if err := fx.run(create, -1); err == nil {
@@ -748,8 +760,20 @@ func TestIOEmulationIdempotent(t *testing.T) {
 
 func TestIOEmulationFailsOnCorruptedDomList(t *testing.T) {
 	fx := newFixture(t)
-	fx.doms.Corrupted = true
-	if err := fx.run(&Call{Op: OpIOEmulation, Dom: 1}, -1); err == nil {
+	// Traversals fail only when they cross the damage point, so damage
+	// the list until looking up d0 (second in link order, behind d1)
+	// fails, then decode for d0 must hit the corruption.
+	rng := rand.New(rand.NewPCG(7, 7))
+	for i := 0; i < 64; i++ {
+		fx.doms.CorruptLink(rng)
+		if _, err := fx.doms.ByID(0); err != nil {
+			break
+		}
+	}
+	if _, err := fx.doms.ByID(0); err == nil {
+		t.Fatal("could not land damage before d0 in the walk")
+	}
+	if err := fx.run(&Call{Op: OpIOEmulation, Dom: 0}, -1); err == nil {
 		t.Fatal("decode succeeded on corrupted domain list")
 	}
 }

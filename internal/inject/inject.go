@@ -14,9 +14,17 @@
 // exception / wedge / silent corruption with delayed detection / silent
 // data corruption) is drawn from per-fault-type manifestation
 // distributions whose parameters are the paper's own measured outcome
-// breakdowns (§VII-A: Register 74.8/5.6/19.6, Code 35.0/12.1/52.9);
-// what happens *after* that — whether recovery succeeds — is decided
-// mechanistically by the simulated hypervisor state.
+// breakdowns (§VII-A: Register 74.8/5.6/19.6, Code 35.0/12.1/52.9).
+// Latent corruption is structural: the injector damages the real
+// simulated structures (heap free list, domain links, timer heaps, lock
+// words, event-channel and grant linkage…), and what happens *after* that
+// — whether recovery succeeds — is decided mechanistically by the
+// simulated hypervisor state.
+//
+// Two adversarial scenarios stress recovery itself: burst faults (a
+// second independent fault within BurstWindow of the first) and
+// faults-during-recovery (a second-level trigger armed when a recovery
+// attempt pauses the system, landing in the recovery/resume path).
 package inject
 
 import (
@@ -24,6 +32,7 @@ import (
 	"math/rand/v2"
 	"time"
 
+	"nilihype/internal/dom"
 	"nilihype/internal/hv"
 	"nilihype/internal/hw"
 )
@@ -61,12 +70,25 @@ type GuestCorrupter interface {
 // Params configures one injection.
 type Params struct {
 	Type FaultType
-	// WindowLo/WindowHi bound the first-level (timer) trigger.
+	// WindowLo/WindowHi bound the first-level (timer) trigger. A
+	// reversed window is normalized at Schedule.
 	WindowLo, WindowHi time.Duration
 	// MaxInstrBudget bounds the second-level trigger (paper: 20000).
 	MaxInstrBudget int64
 	// AppDomains are candidate victims for guest-data corruption.
 	AppDomains []int
+
+	// BurstWindow, when positive, arms a second independent fault at a
+	// uniformly random delay within the window after the first fault
+	// fires — the burst-fault adversarial scenario.
+	BurstWindow time.Duration
+	// BurstFault is the burst fault's type; zero means same as Type.
+	BurstFault FaultType
+
+	// FaultDuringRecovery arms a second-level trigger each time a
+	// recovery attempt pauses the system (once per run), so the fault
+	// lands inside the recovery/resume path.
+	FaultDuringRecovery bool
 }
 
 // DefaultMaxInstrBudget is the paper's second-level trigger bound.
@@ -138,27 +160,34 @@ type corruptionDist struct {
 	pfDesc       float64 // page-frame descriptor (repaired by the scan)
 	schedMeta    float64 // scheduling metadata (repaired by the enhancement)
 	heapFreelist float64 // heap free list (reboot rebuilds; microreset keeps)
-	domList      float64 // domain list (reboot relinks; microreset keeps)
+	domList      float64 // domain links (reboot relinks; microreset keeps)
 	staticScr    float64 // static-segment state (reboot re-inits; microreset keeps)
 	allocObj     float64 // live heap object (reused by BOTH mechanisms)
 	privVM       float64 // PrivVM state (fatal: failure cause 2)
 	recovery     float64 // recovery-path state (fatal: failure cause 1)
+	timerHeap    float64 // timer deadline/heap damage (audit-repairable)
+	evtchnLink   float64 // event-channel peer linkage (audit-repairable)
+	grantCount   float64 // grant-entry mapping count (audit-repairable)
+	lockTable    float64 // lock word held by a phantom owner (hang)
 }
 
 var (
 	registerCorruption = corruptionDist{
 		pfDesc: 0.28, schedMeta: 0.22, heapFreelist: 0.030, domList: 0.016,
 		staticScr: 0.062, allocObj: 0.016, privVM: 0.012, recovery: 0.012,
+		timerHeap: 0.020, evtchnLink: 0.010, grantCount: 0.008, lockTable: 0.010,
 	}
 	// Code faults propagate further before detection: more damage lands
 	// in fatal and reboot-only-recoverable state.
 	codeCorruption = corruptionDist{
 		pfDesc: 0.24, schedMeta: 0.20, heapFreelist: 0.030, domList: 0.016,
 		staticScr: 0.045, allocObj: 0.028, privVM: 0.016, recovery: 0.014,
+		timerHeap: 0.024, evtchnLink: 0.012, grantCount: 0.010, lockTable: 0.012,
 	}
 )
 
-// Injector performs one fault injection per run.
+// Injector performs one fault injection per run (plus the optional
+// adversarial burst / during-recovery faults).
 type Injector struct {
 	H     *hv.Hypervisor
 	World GuestCorrupter
@@ -177,6 +206,17 @@ type Injector struct {
 	// Reg/Bit identify the flipped bit (Register faults).
 	Reg hw.Reg
 	Bit int
+
+	// BurstFired/BurstEffect record the burst fault's outcome.
+	BurstFired  bool
+	BurstEffect Effect
+	// DuringRecoveryFired/DuringEffect record the fault-during-recovery
+	// outcome.
+	DuringRecoveryFired bool
+	DuringEffect        Effect
+
+	burstScheduled bool
+	duringArmed    bool
 }
 
 // New builds an injector. The rng must be a dedicated stream so that
@@ -189,43 +229,109 @@ func New(h *hv.Hypervisor, world GuestCorrupter, rng *rand.Rand, p Params) *Inje
 }
 
 // Schedule arms the two-level trigger: at a random time in the window,
-// arm the instruction-count trigger.
+// arm the instruction-count trigger. A reversed window (WindowHi <
+// WindowLo) is normalized by swapping the bounds; negative bounds clamp
+// to zero (the clock cannot schedule in the past).
 func (inj *Injector) Schedule() {
-	span := inj.params.WindowHi - inj.params.WindowLo
-	var at time.Duration
-	if span > 0 {
-		at = inj.params.WindowLo + time.Duration(inj.rng.Int64N(int64(span)))
-	} else {
-		at = inj.params.WindowLo
+	lo, hi := inj.params.WindowLo, inj.params.WindowHi
+	if hi < lo {
+		lo, hi = hi, lo
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	at := lo
+	if span := hi - lo; span > 0 {
+		at = lo + time.Duration(inj.rng.Int64N(int64(span)))
 	}
 	inj.H.Clock.At(at, "inject-arm", func() {
 		budget := inj.rng.Int64N(inj.params.MaxInstrBudget + 1)
 		inj.H.ArmInjection(budget, inj.onInject)
 	})
+	if inj.params.FaultDuringRecovery {
+		inj.H.SetPauseHook(inj.onRecoveryPause)
+	}
 }
 
 // onInject is invoked by the hypervisor at the triggered step.
 func (inj *Injector) onInject(pt hv.InjectionPoint) (hv.InjectAction, string) {
 	inj.Fired = true
 	inj.Point = pt
+	action, reason := inj.applyFault(pt, inj.params.Type, &inj.FaultEffect)
+	if inj.params.BurstWindow > 0 {
+		inj.scheduleBurst()
+	}
+	return action, reason
+}
 
-	switch inj.params.Type {
+// applyFault injects one fault of the given type at pt, recording the
+// architectural effect into *effect. Shared by the primary, burst, and
+// during-recovery triggers.
+func (inj *Injector) applyFault(pt hv.InjectionPoint, typ FaultType, effect *Effect) (hv.InjectAction, string) {
+	switch typ {
 	case Failstop:
-		inj.FaultEffect = EffectPanic
+		*effect = EffectPanic
 		return hv.ActionPanic, "failstop: PC forced to 0 (fatal page fault)"
 	case Register:
 		inj.Reg = hw.Reg(inj.rng.IntN(hw.NumInjectableRegs))
 		inj.Bit = inj.rng.IntN(64)
 		inj.flipRegister(pt.CPU)
-		return inj.manifest(pt, registerDist, registerCorruption, registerLatencyLo, registerLatencyHi)
+		return inj.manifest(pt, effect, registerDist, registerCorruption, registerLatencyLo, registerLatencyHi)
 	case Code:
 		// The code fault is "repaired" on detection, so like Register
 		// faults its effects are transient (§VI-C).
-		return inj.manifest(pt, codeDist, codeCorruption, codeLatencyLo, codeLatencyHi)
+		return inj.manifest(pt, effect, codeDist, codeCorruption, codeLatencyLo, codeLatencyHi)
 	default:
-		inj.FaultEffect = EffectNone
+		*effect = EffectNone
 		return hv.ActionContinue, ""
 	}
+}
+
+// scheduleBurst arms the second, independent fault of the burst scenario
+// at a random delay within BurstWindow of the first fault's firing.
+func (inj *Injector) scheduleBurst() {
+	if inj.burstScheduled {
+		return
+	}
+	inj.burstScheduled = true
+	var d time.Duration
+	if w := int64(inj.params.BurstWindow); w > 0 {
+		d = time.Duration(inj.rng.Int64N(w))
+	}
+	budget := inj.rng.Int64N(inj.params.MaxInstrBudget + 1)
+	inj.H.Clock.After(d, "inject-burst", func() {
+		if failed, _ := inj.H.Failed(); failed {
+			return
+		}
+		inj.H.ArmInjection(budget, inj.onBurst)
+	})
+}
+
+func (inj *Injector) onBurst(pt hv.InjectionPoint) (hv.InjectAction, string) {
+	inj.BurstFired = true
+	typ := inj.params.BurstFault
+	if typ == 0 {
+		typ = inj.params.Type
+	}
+	return inj.applyFault(pt, typ, &inj.BurstEffect)
+}
+
+// onRecoveryPause runs from the hypervisor's pause hook: a recovery
+// attempt just started. Arm a small-budget trigger so the fault lands in
+// the first post-resume hypervisor activity (retried hypercalls,
+// re-delivered interrupts) — the recovery/resume path itself.
+func (inj *Injector) onRecoveryPause() {
+	if inj.duringArmed {
+		return
+	}
+	inj.duringArmed = true
+	budget := inj.rng.Int64N(inj.params.MaxInstrBudget/8 + 1)
+	inj.H.ArmInjection(budget, inj.onDuringRecovery)
+}
+
+func (inj *Injector) onDuringRecovery(pt hv.InjectionPoint) (hv.InjectAction, string) {
+	inj.DuringRecoveryFired = true
+	return inj.applyFault(pt, inj.params.Type, &inj.DuringEffect)
 }
 
 // flipRegister applies the architectural bit flip to the CPU's register
@@ -235,27 +341,27 @@ func (inj *Injector) flipRegister(cpu int) {
 }
 
 // manifest draws the architectural effect and applies it.
-func (inj *Injector) manifest(pt hv.InjectionPoint, d manifestDist, cd corruptionDist,
+func (inj *Injector) manifest(pt hv.InjectionPoint, effect *Effect, d manifestDist, cd corruptionDist,
 	latLo, latHi time.Duration) (hv.InjectAction, string) {
 
 	r := inj.rng.Float64()
 	switch {
 	case r < d.dead:
-		inj.FaultEffect = EffectNone
+		*effect = EffectNone
 		return hv.ActionContinue, ""
 	case r < d.dead+d.sdc:
-		inj.FaultEffect = EffectSDC
+		*effect = EffectSDC
 		inj.corruptGuest(pt)
 		return hv.ActionContinue, ""
 	case r < d.dead+d.sdc+d.immediate:
-		inj.FaultEffect = EffectPanic
+		*effect = EffectPanic
 		return hv.ActionPanic, fmt.Sprintf("%v fault: fatal exception (%v bit %d)",
 			inj.params.Type, inj.Reg, inj.Bit)
 	case r < d.dead+d.sdc+d.immediate+d.wedge:
-		inj.FaultEffect = EffectWedge
+		*effect = EffectWedge
 		return hv.ActionWedge, ""
 	default:
-		inj.FaultEffect = EffectLatent
+		*effect = EffectLatent
 		inj.applyLatentCorruption(pt, cd)
 		inj.scheduleDetection(pt.CPU, latLo, latHi)
 		return hv.ActionContinue, ""
@@ -288,6 +394,8 @@ func (inj *Injector) applyLatentCorruption(pt hv.InjectionPoint, cd corruptionDi
 	}
 }
 
+// corruptOnce applies one round of structural damage to a randomly chosen
+// class of hypervisor state.
 func (inj *Injector) corruptOnce(pt hv.InjectionPoint, cd corruptionDist) {
 	h := inj.H
 	r := inj.rng.Float64()
@@ -304,36 +412,95 @@ func (inj *Injector) corruptOnce(pt hv.InjectionPoint, cd corruptionDist) {
 		desc := h.Sched.CorruptRandom(inj.rng)
 		inj.Corruptions = append(inj.Corruptions, "sched-meta:"+desc)
 	case pick(cd.heapFreelist):
-		h.Heap.Corrupted = true
-		inj.Corruptions = append(inj.Corruptions, "heap-freelist")
+		desc := h.Heap.CorruptFreeList(inj.rng)
+		inj.Corruptions = append(inj.Corruptions, "heap-freelist:"+desc)
 	case pick(cd.domList):
-		h.Domains.Corrupted = true
-		inj.Corruptions = append(inj.Corruptions, "domain-list")
+		desc := h.Domains.CorruptLink(inj.rng)
+		inj.Corruptions = append(inj.Corruptions, "domain-list:"+desc)
 	case pick(cd.staticScr):
-		h.CorruptStaticScratch = true
-		inj.Corruptions = append(inj.Corruptions, "static-scratch")
+		w := h.CorruptStaticScratchWord(inj.rng)
+		inj.Corruptions = append(inj.Corruptions, fmt.Sprintf("static-scratch[%d]", w))
 	case pick(cd.allocObj):
-		h.CorruptAllocatedObject = true
-		inj.Corruptions = append(inj.Corruptions, "allocated-object")
+		desc := h.Heap.CorruptRandomObject(inj.rng)
+		inj.Corruptions = append(inj.Corruptions, "allocated-object:"+desc)
 	case pick(cd.privVM):
 		if d, err := h.Domain(0); err == nil {
 			d.Fail("PrivVM state corrupted by error propagation")
 		}
 		inj.Corruptions = append(inj.Corruptions, "privvm")
 	case pick(cd.recovery):
-		h.CorruptRecoveryPath = true
+		h.CorruptRecoveryVector(inj.rng)
 		inj.Corruptions = append(inj.Corruptions, "recovery-path")
+	case pick(cd.timerHeap):
+		desc := h.Timers.CorruptRandom(inj.rng)
+		inj.Corruptions = append(inj.Corruptions, "timer-heap:"+desc)
+	case pick(cd.evtchnLink):
+		desc := h.Broker.CorruptRandomLink(inj.rng)
+		inj.Corruptions = append(inj.Corruptions, "evtchn:"+desc)
+	case pick(cd.grantCount):
+		desc := inj.corruptGrantCount()
+		inj.Corruptions = append(inj.Corruptions, "grant:"+desc)
+	case pick(cd.lockTable):
+		desc := h.Locks.CorruptRandomHold(inj.rng)
+		inj.Corruptions = append(inj.Corruptions, "lock:"+desc)
 	default:
 		inj.Corruptions = append(inj.Corruptions, "scratch")
 	}
+}
+
+// corruptGrantCount garbles a grant entry's mapping count: an active
+// entry's count drifts from the maptrack truth, or a free entry gains a
+// phantom count. Either way Revoke wedges (ErrBusy forever) until the
+// audit recomputes the count.
+func (inj *Injector) corruptGrantCount() string {
+	doms := inj.H.Domains.Preserved()
+	type cand struct {
+		d   *dom.Domain
+		ref int
+	}
+	var cands []cand
+	for _, d := range doms {
+		if d.GrantTab == nil {
+			continue
+		}
+		for _, ref := range d.GrantTab.ActiveGrants() {
+			cands = append(cands, cand{d, ref})
+		}
+	}
+	if len(cands) > 0 {
+		c := cands[inj.rng.IntN(len(cands))]
+		e, _ := c.d.GrantTab.Entry(c.ref)
+		e.MapCount += 7 + inj.rng.IntN(93)
+		return fmt.Sprintf("d%d ref %d count garbled to %d", c.d.ID, c.ref, e.MapCount)
+	}
+	// No active grants: give a free entry a phantom count.
+	var tabs []*dom.Domain
+	for _, d := range doms {
+		if d.GrantTab != nil {
+			tabs = append(tabs, d)
+		}
+	}
+	if len(tabs) == 0 {
+		return "no grant tables"
+	}
+	d := tabs[inj.rng.IntN(len(tabs))]
+	ref := inj.rng.IntN(d.GrantTab.Len())
+	e, _ := d.GrantTab.Entry(ref)
+	e.MapCount = 7 + inj.rng.IntN(93)
+	return fmt.Sprintf("d%d free ref %d given phantom count %d", d.ID, ref, e.MapCount)
 }
 
 // scheduleDetection arranges the delayed detection of latent corruption:
 // after the drawn latency, the next hypervisor activity on the faulted CPU
 // hits the damage and panics. If recovery already ran (a mechanistic
 // assertion found the damage first), the stale detection is dropped.
+// Degenerate latency bounds (hi <= lo) collapse to lo rather than feeding
+// rand.Int64N a non-positive span.
 func (inj *Injector) scheduleDetection(cpu int, lo, hi time.Duration) {
-	lat := lo + time.Duration(inj.rng.Int64N(int64(hi-lo)))
+	lat := lo
+	if hi > lo {
+		lat = lo + time.Duration(inj.rng.Int64N(int64(hi-lo)))
+	}
 	epoch := inj.H.RecoveryEpoch()
 	inj.H.Clock.After(lat, "latent-detect", func() {
 		if failed, _ := inj.H.Failed(); failed {

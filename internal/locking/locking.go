@@ -18,7 +18,10 @@
 // implemented faithfully.
 package locking
 
-import "fmt"
+import (
+	"fmt"
+	"math/rand/v2"
+)
 
 // Kind distinguishes the two spinlock populations.
 type Kind int
@@ -225,4 +228,30 @@ func (r *Registry) ReinitStatic() {
 // Counts returns the population sizes (static, heap).
 func (r *Registry) Counts() (staticN, heapN int) {
 	return len(r.static), len(r.heap)
+}
+
+// CorruptRandomHold marks a random free lock as held by a phantom CPU —
+// error propagation into a lock word. No thread will ever release it, so
+// the next acquirer spins until the watchdog declares a hang; recovery's
+// unlock mechanisms (or the audit) force-release it. Returns the victim
+// lock's name, or a note when every lock is already held.
+func (r *Registry) CorruptRandomHold(rng *rand.Rand) string {
+	var free []*Lock // static then heap, declaration order (deterministic)
+	for _, l := range r.static {
+		if !l.held {
+			free = append(free, l)
+		}
+	}
+	for _, l := range r.heap {
+		if !l.held {
+			free = append(free, l)
+		}
+	}
+	if len(free) == 0 {
+		return "no free locks"
+	}
+	l := free[rng.IntN(len(free))]
+	l.held = true
+	l.owner = 1000 + rng.IntN(1000) // phantom CPU
+	return l.name
 }

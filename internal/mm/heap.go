@@ -2,9 +2,18 @@ package mm
 
 import (
 	"fmt"
+	"math/rand/v2"
 
 	"nilihype/internal/locking"
 )
+
+// objectCanarySalt seeds the per-object canary word. The canary models the
+// integrity of an allocated heap object's contents: error propagation that
+// scribbles over a live object flips canary bits, and the post-recovery
+// audit (or the §VII-A failure path) discovers the mismatch.
+const objectCanarySalt = 0x9e3779b97f4a7c15
+
+func canaryFor(id uint64) uint64 { return id*objectCanarySalt ^ 0x5ca1ab1e }
 
 // Object is one allocation from the hypervisor heap. Objects may embed
 // spinlocks (registered with the lock registry as heap locks), mirroring
@@ -14,30 +23,55 @@ type Object struct {
 	Tag   string
 	Pages []int // frame indices backing the object
 
-	locks []*locking.Lock
-	freed bool
+	locks  []*locking.Lock
+	freed  bool
+	canary uint64
 }
 
 // Locks returns the spinlocks embedded in the object.
 func (o *Object) Locks() []*locking.Lock { return o.locks }
 
+// Damaged reports whether the object's contents have been corrupted (its
+// canary no longer matches). Both microreset and microreboot preserve live
+// objects in place, so this damage survives every ladder rung (§VII-A's
+// "corrupted allocated object" class) unless the audit repairs it.
+func (o *Object) Damaged() bool { return o.canary != canaryFor(o.ID) }
+
+// Corrupt flips a random canary bit, modeling error propagation into the
+// object's contents.
+func (o *Object) Corrupt(rng *rand.Rand) {
+	o.canary ^= 1 << uint(rng.IntN(64))
+}
+
+// Repair re-initializes the object's contents to a known-good fixed state.
+// The object is no longer damaged, but whatever guest state it encoded is
+// gone — callers sacrifice the owning VM when one exists.
+func (o *Object) Repair() { o.canary = canaryFor(o.ID) }
+
+// checkWindow is how many entries at the hot (LIFO) end of the free list
+// the cheap Check walk validates. Allocator hypercall paths call Check, so
+// it must stay O(1)-ish; the full-list walk is ValidateFreeList.
+const checkWindow = 8
+
+// corruptDepth bounds how deep from the LIFO end CorruptFreeList damages an
+// entry: near-term allocations traverse the damage, so the fault manifests
+// within the run rather than lying dormant at the bottom of the list.
+const corruptDepth = 16
+
 // Heap is the hypervisor heap allocator over the frame table. Its free
 // list is the "linked list or the heap" data structure whose corruption is
-// the paper's third leading cause of recovery failure (§VII-A); the
-// Corrupted flag models that state, and Check surfaces it.
+// the paper's third leading cause of recovery failure (§VII-A). Corruption
+// is structural: CorruptFreeList damages real entries, Check/Alloc validate
+// the hot end, and ValidateFreeList performs the full audit walk.
 type Heap struct {
 	ft    *FrameTable
 	locks *locking.Registry
 
+	start, count int // frame range owned by the heap
+
 	free    []int // free frame indices (LIFO free list)
 	objects map[uint64]*Object
 	nextID  uint64
-
-	// Corrupted marks the free list as damaged by error propagation.
-	// Allocations from a corrupted heap fail (panic signal to the
-	// caller); a reboot rebuilds the free list and clears it, which is
-	// precisely the microreboot advantage over microreset.
-	Corrupted bool
 }
 
 // NewHeap builds a heap owning the frames [start, start+count) of ft.
@@ -45,6 +79,8 @@ func NewHeap(ft *FrameTable, locks *locking.Registry, start, count int) *Heap {
 	h := &Heap{
 		ft:      ft,
 		locks:   locks,
+		start:   start,
+		count:   count,
 		objects: make(map[uint64]*Object),
 	}
 	// LIFO order: push high frames first so low frames allocate first.
@@ -60,14 +96,37 @@ func (h *Heap) FreePages() int { return len(h.free) }
 // AllocatedObjects returns the live object count.
 func (h *Heap) AllocatedObjects() int { return len(h.objects) }
 
-// Alloc allocates an object of the given page count. It returns nil if the
-// heap is exhausted or its free list is corrupted (the caller treats that
-// as a fatal hypervisor error).
+// entryValid reports whether the free-list entry at depth i from the LIFO
+// end names an in-range frame that is actually free and not a duplicate of
+// a shallower entry.
+func (h *Heap) entryValid(i int) bool {
+	fi := h.free[len(h.free)-1-i]
+	if fi < 0 || fi >= h.ft.Len() || h.ft.Frame(fi).Type != FrameFree {
+		return false
+	}
+	for j := 0; j < i; j++ {
+		if h.free[len(h.free)-1-j] == fi {
+			return false
+		}
+	}
+	return true
+}
+
+// Alloc allocates an object of the given page count. It validates the
+// free-list entries it is about to hand out and returns nil — without
+// popping anything — if the heap is exhausted or an entry is damaged (the
+// caller treats nil as a fatal hypervisor error).
 func (h *Heap) Alloc(pages int, tag string) *Object {
-	if h.Corrupted || pages > len(h.free) {
+	if pages > len(h.free) {
 		return nil
 	}
+	for i := 0; i < pages; i++ {
+		if !h.entryValid(i) {
+			return nil
+		}
+	}
 	o := &Object{ID: h.nextID, Tag: tag}
+	o.canary = canaryFor(o.ID)
 	h.nextID++
 	for i := 0; i < pages; i++ {
 		fi := h.free[len(h.free)-1]
@@ -119,8 +178,9 @@ func (h *Heap) AllocatedPages() []int {
 
 // Rebuild reconstructs the free list from the frame table, preserving live
 // objects. This is ReHype's "recreate the new heap" step (Table II, 211 ms
-// at 8 GB); it also clears free-list corruption — the reason microreboot
-// survives some heap-corrupting faults that microreset does not.
+// at 8 GB); rebuilding discards any free-list damage — the reason
+// microreboot survives some heap-corrupting faults that microreset does
+// not.
 func (h *Heap) Rebuild() {
 	h.free = h.free[:0]
 	allocated := make(map[int]bool)
@@ -138,15 +198,121 @@ func (h *Heap) Rebuild() {
 			h.free = append(h.free, i)
 		}
 	}
-	h.Corrupted = false
 }
 
-// Check reports an error if the heap's free list is corrupted. Hypervisor
-// code paths that touch the allocator call this; the error becomes a panic
-// (detected failure) in the hypervisor model.
+// Check validates the hot end of the free list — the entries the allocator
+// will hand out next. Hypervisor code paths that touch the allocator call
+// this; the error becomes a panic (detected failure) in the hypervisor
+// model. O(checkWindow), so allocator hot paths stay cheap.
 func (h *Heap) Check() error {
-	if h.Corrupted {
-		return fmt.Errorf("mm: heap free list corrupted")
+	k := len(h.free)
+	if k > checkWindow {
+		k = checkWindow
+	}
+	for i := 0; i < k; i++ {
+		if !h.entryValid(i) {
+			fi := h.free[len(h.free)-1-i]
+			return fmt.Errorf("mm: heap free list corrupted: entry %d (frame %d)", i, fi)
+		}
 	}
 	return nil
+}
+
+// CorruptFreeList structurally damages a free-list entry within
+// corruptDepth of the LIFO end: out-of-range garbage, a cross-link to an
+// allocated frame, or a duplicate of another entry. It returns a short
+// description of the damage, or a note when the list is empty.
+func (h *Heap) CorruptFreeList(rng *rand.Rand) string {
+	if len(h.free) == 0 {
+		return "free list empty; nothing to damage"
+	}
+	span := len(h.free)
+	if span > corruptDepth {
+		span = corruptDepth
+	}
+	idx := len(h.free) - 1 - rng.IntN(span)
+	switch rng.IntN(3) {
+	case 0: // out-of-range garbage pointer
+		h.free[idx] = h.ft.Len() + 1 + rng.IntN(1024)
+		return fmt.Sprintf("entry %d points out of range (%d)", idx, h.free[idx])
+	case 1: // cross-link to a frame that is still allocated
+		if pages := h.AllocatedPages(); len(pages) > 0 {
+			h.free[idx] = pages[rng.IntN(len(pages))]
+			return fmt.Sprintf("entry %d cross-linked to allocated frame %d", idx, h.free[idx])
+		}
+		h.free[idx] = -1
+		return fmt.Sprintf("entry %d points out of range (-1)", idx)
+	default: // duplicate another entry
+		other := idx - 1
+		if other < 0 {
+			other = idx + 1
+		}
+		if other >= len(h.free) {
+			h.free[idx] = -1
+			return fmt.Sprintf("entry %d points out of range (-1)", idx)
+		}
+		h.free[idx] = h.free[other]
+		return fmt.Sprintf("entry %d duplicates frame %d", idx, h.free[idx])
+	}
+}
+
+// ValidateFreeList performs the full free-list audit walk: every entry must
+// be an in-range free frame, no frame may appear twice, and every free
+// frame in the heap's range must be on the list (no leaks). It returns one
+// description per violation, empty when the list is intact.
+func (h *Heap) ValidateFreeList() []string {
+	var out []string
+	seen := make(map[int]bool, len(h.free))
+	for i := len(h.free) - 1; i >= 0; i-- {
+		fi := h.free[i]
+		if fi < 0 || fi >= h.ft.Len() {
+			out = append(out, fmt.Sprintf("entry %d out of range (%d)", i, fi))
+			continue
+		}
+		if seen[fi] {
+			out = append(out, fmt.Sprintf("frame %d on free list twice", fi))
+			continue
+		}
+		seen[fi] = true
+		if h.ft.Frame(fi).Type != FrameFree {
+			out = append(out, fmt.Sprintf("frame %d on free list but not free (%v)", fi, h.ft.Frame(fi).Type))
+		}
+	}
+	for i := h.start; i < h.start+h.count; i++ {
+		if h.ft.Frame(i).Type == FrameFree && !seen[i] {
+			out = append(out, fmt.Sprintf("free frame %d leaked off the list", i))
+		}
+	}
+	return out
+}
+
+// CorruptRandomObject flips a canary bit in a random live object (picked in
+// ID order for determinism), modeling error propagation into an allocated
+// heap object's contents. Returns the victim's tag, or a note when no
+// objects are live.
+func (h *Heap) CorruptRandomObject(rng *rand.Rand) string {
+	var live []*Object
+	for id := uint64(0); id < h.nextID; id++ {
+		if o, ok := h.objects[id]; ok {
+			live = append(live, o)
+		}
+	}
+	if len(live) == 0 {
+		return "no live objects"
+	}
+	o := live[rng.IntN(len(live))]
+	o.Corrupt(rng)
+	return o.Tag
+}
+
+// DamagedObjects returns the live objects whose canaries no longer match,
+// in ID order.
+func (h *Heap) DamagedObjects() []*Object {
+	var out []*Object
+	for id := uint64(0); id < h.nextID; id++ {
+		if o, ok := h.objects[id]; ok && o.Damaged() {
+			out = append(out, o)
+		}
+	}
+	return out
 }

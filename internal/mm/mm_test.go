@@ -217,16 +217,24 @@ func TestHeapLocksRegisteredAndDropped(t *testing.T) {
 func TestHeapCorruptionBlocksAllocUntilRebuild(t *testing.T) {
 	h, _, _ := newTestHeap(t, 16, 0, 8)
 	keep := h.Alloc(2, "keep")
-	h.Corrupted = true
+	rng := rand.New(rand.NewPCG(9, 9))
+	desc := h.CorruptFreeList(rng)
 	if err := h.Check(); err == nil {
-		t.Fatal("Check on corrupted heap returned nil")
+		t.Fatalf("Check missed free-list damage (%s)", desc)
 	}
-	if o := h.Alloc(1, "x"); o != nil {
-		t.Fatal("allocation from corrupted heap succeeded")
+	if probs := h.ValidateFreeList(); len(probs) == 0 {
+		t.Fatalf("ValidateFreeList missed damage (%s)", desc)
+	}
+	// A request whose peek window covers the damaged entry must refuse.
+	if o := h.Alloc(6, "x"); o != nil {
+		t.Fatal("allocation through damaged free list succeeded")
 	}
 	h.Rebuild()
 	if err := h.Check(); err != nil {
 		t.Fatalf("Check after rebuild: %v", err)
+	}
+	if probs := h.ValidateFreeList(); len(probs) != 0 {
+		t.Fatalf("rebuild left free-list damage: %v", probs)
 	}
 	if h.AllocatedObjects() != 1 {
 		t.Fatal("rebuild lost live objects")
@@ -241,6 +249,42 @@ func TestHeapCorruptionBlocksAllocUntilRebuild(t *testing.T) {
 				t.Fatal("rebuild put a live page on the free list")
 			}
 		}
+	}
+}
+
+func TestObjectCanaryDamageAndRepair(t *testing.T) {
+	h, _, _ := newTestHeap(t, 16, 0, 8)
+	o := h.Alloc(1, "victim")
+	if o.Damaged() {
+		t.Fatal("fresh object reports damage")
+	}
+	rng := rand.New(rand.NewPCG(4, 4))
+	o.Corrupt(rng)
+	if !o.Damaged() {
+		t.Fatal("corrupted object reports intact canary")
+	}
+	if got := h.DamagedObjects(); len(got) != 1 || got[0] != o {
+		t.Fatalf("DamagedObjects = %v", got)
+	}
+	o.Repair()
+	if o.Damaged() || len(h.DamagedObjects()) != 0 {
+		t.Fatal("repair did not restore the canary")
+	}
+}
+
+func TestCorruptRandomObjectPicksLiveObject(t *testing.T) {
+	h, _, _ := newTestHeap(t, 16, 0, 8)
+	rng := rand.New(rand.NewPCG(6, 6))
+	if desc := h.CorruptRandomObject(rng); desc != "no live objects" {
+		t.Fatalf("empty heap CorruptRandomObject = %q", desc)
+	}
+	h.Alloc(1, "a")
+	h.Alloc(1, "b")
+	if desc := h.CorruptRandomObject(rng); desc == "no live objects" {
+		t.Fatal("CorruptRandomObject found no live objects")
+	}
+	if len(h.DamagedObjects()) != 1 {
+		t.Fatalf("DamagedObjects = %d, want 1", len(h.DamagedObjects()))
 	}
 }
 

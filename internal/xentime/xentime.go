@@ -17,6 +17,8 @@ package xentime
 import (
 	"container/heap"
 	"fmt"
+	"math/rand/v2"
+	"sort"
 	"time"
 )
 
@@ -217,6 +219,92 @@ func (s *Subsystem) Reactivate(t *Timer, now time.Duration) bool {
 
 // PendingCount returns the number of queued timers on cpu.
 func (s *Subsystem) PendingCount(cpu int) int { return s.heaps[cpu].Len() }
+
+// stallDelta is how far into the future CorruptRandom pushes a stalled
+// deadline — far beyond any real period, so the timer is effectively dead
+// until repaired.
+const stallDelta = time.Hour
+
+// queuedRecurring returns the queued recurring timers in deterministic
+// (CPU, Name) order. Heap-slice layout is not deterministic across
+// identical runs (reactivation pushes in map order), so corruption and
+// audit walks must never use it for ordering.
+func (s *Subsystem) queuedRecurring() []*Timer {
+	var out []*Timer
+	for cpu := range s.heaps {
+		for _, t := range s.heaps[cpu] {
+			if t.Recurring() {
+				out = append(out, t)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].CPU != out[j].CPU {
+			return out[i].CPU < out[j].CPU
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// CorruptRandom structurally damages a random queued recurring timer's
+// deadline: either stalling it far into the future (the soft tick goes
+// silent — liveness violation) or burying it in the past without
+// re-heapifying (ordering violation). Returns a short description.
+func (s *Subsystem) CorruptRandom(rng *rand.Rand) string {
+	cands := s.queuedRecurring()
+	if len(cands) == 0 {
+		return "no queued recurring timers"
+	}
+	t := cands[rng.IntN(len(cands))]
+	if t.index > 0 && rng.IntN(2) == 0 {
+		t.Deadline = 0
+		return fmt.Sprintf("cpu%d %s buried in the past", t.CPU, t.Name)
+	}
+	t.Deadline += stallDelta + time.Duration(rng.Int64N(int64(time.Hour)))
+	return fmt.Sprintf("cpu%d %s stalled", t.CPU, t.Name)
+}
+
+// CheckHealth audits queued recurring timers against their liveness bounds:
+// a healthy queued recurring timer's deadline lies in
+// (now-Period, now+Period]. Deadlines beyond now+Period are stalled
+// (the timer will not fire when it should); deadlines more than a full
+// period in the past are buried (popped order is violated — the timer was
+// due long ago). One-shot timers carry guest-chosen deadlines the
+// hypervisor cannot bound, so they are not checked. Results are sorted;
+// both the count and the contents are deterministic regardless of
+// heap-slice layout.
+func (s *Subsystem) CheckHealth(now time.Duration) []string {
+	var out []string
+	for _, t := range s.queuedRecurring() {
+		if t.Deadline > now+t.Period {
+			out = append(out, fmt.Sprintf("cpu%d %s stalled (deadline %v, now %v, period %v)", t.CPU, t.Name, t.Deadline, now, t.Period))
+		} else if t.Deadline+t.Period < now {
+			out = append(out, fmt.Sprintf("cpu%d %s overdue by more than a period (deadline %v, now %v)", t.CPU, t.Name, t.Deadline, now))
+		}
+	}
+	return out
+}
+
+// RepairHeaps clamps every out-of-bounds recurring deadline to one period
+// from now, restores the heap property on every CPU, and reprograms the
+// APICs. Returns the number of deadlines fixed. This is the audit-side
+// repair for timer-heap corruption; the timers fire again within one
+// period of the repair.
+func (s *Subsystem) RepairHeaps(now time.Duration) int {
+	fixed := 0
+	for _, t := range s.queuedRecurring() {
+		if t.Deadline > now+t.Period || t.Deadline+t.Period < now {
+			t.Deadline = now + t.Period
+			fixed++
+		}
+	}
+	for cpu := range s.heaps {
+		heap.Init(&s.heaps[cpu])
+		s.ProgramAPIC(cpu)
+	}
+	return fixed
+}
 
 // NumCPUs returns the CPU count the subsystem was built for.
 func (s *Subsystem) NumCPUs() int { return len(s.heaps) }
