@@ -1,7 +1,7 @@
 // Command hyperrecover-bench measures campaign execution throughput and
-// records the result in BENCH_campaign.json, keeping the original
-// baseline and a history of prior measurements so regressions are visible
-// in review.
+// records the result in BENCH_campaign.json, an append-only history of
+// measurements (oldest first) so the full optimization trajectory is
+// visible in review.
 //
 // The measurement is the shared fixed configuration from
 // campaign.ThroughputBenchConfig (the same one BenchmarkCampaignThroughput
@@ -11,8 +11,9 @@
 //
 // Examples:
 //
-//	hyperrecover-bench                      # measure, update BENCH_campaign.json
+//	hyperrecover-bench                      # measure, append to BENCH_campaign.json
 //	hyperrecover-bench -runs 100 -dry-run   # measure only, print, no file update
+//	hyperrecover-bench -cpuprofile cpu.pprof -memprofile mem.pprof -dry-run
 package main
 
 import (
@@ -21,6 +22,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"nilihype/internal/campaign"
@@ -37,16 +39,19 @@ type Measurement struct {
 	Note         string  `json:"note,omitempty"`
 }
 
-// File is the on-disk BENCH_campaign.json schema. Baseline is written
-// once (the first recorded measurement) and preserved forever after;
-// Current is the latest measurement; History holds the superseded
-// Currents in order.
+// File is the on-disk BENCH_campaign.json schema: an append-only history
+// of measurements, oldest first. The first entry is the original
+// pre-optimization baseline and is preserved forever. Older copies of the
+// file used separate "baseline"/"current" slots; those are folded into
+// History on first rewrite.
 type File struct {
 	Benchmark string        `json:"benchmark"`
 	Config    string        `json:"config"`
-	Baseline  Measurement   `json:"baseline"`
-	Current   Measurement   `json:"current"`
-	History   []Measurement `json:"history,omitempty"`
+	History   []Measurement `json:"history"`
+
+	// Legacy two-slot fields, read-only for migration.
+	LegacyBaseline *Measurement `json:"baseline,omitempty"`
+	LegacyCurrent  *Measurement `json:"current,omitempty"`
 }
 
 func main() {
@@ -58,24 +63,51 @@ func main() {
 
 func run() error {
 	var (
-		runs     = flag.Int("runs", 24, "injection runs per measurement")
-		parallel = flag.Int("parallel", 0, "concurrent runs (0 = GOMAXPROCS)")
-		out      = flag.String("out", "BENCH_campaign.json", "result file to update")
-		note     = flag.String("note", "", "annotation stored with the measurement")
-		dryRun   = flag.Bool("dry-run", false, "measure and print without updating the file")
+		runs       = flag.Int("runs", 24, "injection runs per measurement")
+		parallel   = flag.Int("parallel", 0, "concurrent runs (0 = GOMAXPROCS)")
+		out        = flag.String("out", "BENCH_campaign.json", "result file to update")
+		note       = flag.String("note", "", "annotation stored with the measurement")
+		dryRun     = flag.Bool("dry-run", false, "measure and print without updating the file")
+		coldBoot   = flag.Bool("cold-boot", false, "disable the boot-image snapshot cache")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the measurement to this file")
+		memProfile = flag.String("memprofile", "", "write a post-measurement heap profile to this file")
 	)
 	flag.Parse()
 	if *runs <= 0 {
 		return fmt.Errorf("-runs must be positive")
 	}
 
-	m, err := measure(*runs, *parallel)
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	m, err := measure(*runs, *parallel, *coldBoot)
 	if err != nil {
 		return err
 	}
 	m.Note = *note
 	fmt.Printf("campaign-throughput: %d runs, %.2f runs/sec, %d allocs/run, %d KB/run\n",
 		m.Runs, m.RunsPerSec, m.AllocsPerRun, m.KBPerRun)
+
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			return fmt.Errorf("memprofile: %w", err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return fmt.Errorf("memprofile: %w", err)
+		}
+	}
 	if *dryRun {
 		return nil
 	}
@@ -88,14 +120,18 @@ func run() error {
 		if err := json.Unmarshal(prev, &f); err != nil {
 			return fmt.Errorf("parse existing %s: %w", *out, err)
 		}
-		// Keep the original baseline; retire the old current to history.
-		if f.Current.Date != "" {
-			f.History = append(f.History, f.Current)
-		}
-	} else {
-		f.Baseline = m
 	}
-	f.Current = m
+	// Fold a legacy two-slot file into the history, baseline first.
+	if len(f.History) == 0 {
+		if f.LegacyBaseline != nil {
+			f.History = append(f.History, *f.LegacyBaseline)
+		}
+		if f.LegacyCurrent != nil {
+			f.History = append(f.History, *f.LegacyCurrent)
+		}
+	}
+	f.LegacyBaseline, f.LegacyCurrent = nil, nil
+	f.History = append(f.History, m)
 
 	data, err := json.MarshalIndent(f, "", "  ")
 	if err != nil {
@@ -104,8 +140,9 @@ func run() error {
 	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("updated %s (baseline %.2f runs/sec / %d allocs/run)\n",
-		*out, f.Baseline.RunsPerSec, f.Baseline.AllocsPerRun)
+	first := f.History[0]
+	fmt.Printf("updated %s (%d entries; baseline %.2f runs/sec / %d allocs/run)\n",
+		*out, len(f.History), first.RunsPerSec, first.AllocsPerRun)
 	return nil
 }
 
@@ -113,11 +150,12 @@ func run() error {
 // throughput metrics. It mirrors BenchmarkCampaignThroughput: a GC fence
 // before and after brackets the MemStats delta so the per-run numbers are
 // not polluted by unrelated garbage.
-func measure(runs, parallel int) (Measurement, error) {
+func measure(runs, parallel int, coldBoot bool) (Measurement, error) {
 	c := campaign.Campaign{
 		Base:        campaign.ThroughputBenchConfig(),
 		Runs:        runs,
 		Parallelism: parallel,
+		ColdBoot:    coldBoot,
 	}
 	var before, after runtime.MemStats
 	runtime.GC()

@@ -26,6 +26,11 @@ type Campaign struct {
 	// the executor retaining results; keep it fast, it is on the
 	// aggregation path.
 	OnResult func(Result)
+	// ColdBoot forces every run to boot its own system instead of
+	// forking the per-worker pristine snapshot. The Summary is
+	// bit-identical either way (the equivalence suite asserts it); the
+	// toggle exists for that suite and for debugging snapshot issues.
+	ColdBoot bool
 }
 
 // Summary aggregates a campaign.
@@ -113,10 +118,15 @@ func (c *Campaign) Execute() Summary {
 			defer wg.Done()
 			p.FailReasons = make(map[string]int)
 			p.SuccessByAttempt = make(map[int]int)
+			// Boot-once fork-many: each worker keeps one pristine boot
+			// image per configuration shape and forks every run from its
+			// snapshot instead of re-booting. Workers never share images,
+			// so runs stay single-threaded over their machine state.
+			images := make(map[imageKey]*image)
 			for seed := range seeds {
 				rc := c.Base
 				rc.Seed = seed
-				r := Run(rc)
+				r := c.runOne(rc, images)
 				p.add(r)
 				if c.OnResult != nil {
 					mu.Lock()
@@ -135,6 +145,27 @@ func (c *Campaign) Execute() Summary {
 		s.merge(&partials[i])
 	}
 	return s
+}
+
+// runOne executes one campaign run, forking from the worker's cached boot
+// image when possible. No-injection runs (pure-baseline measurements) and
+// ColdBoot campaigns take the cold path.
+func (c *Campaign) runOne(rc RunConfig, images map[imageKey]*image) Result {
+	rc = rc.withDefaults()
+	if c.ColdBoot || rc.NoInjection {
+		return Run(rc)
+	}
+	k := keyOf(rc)
+	img := images[k]
+	if img == nil {
+		var err error
+		img, err = buildImage(rc)
+		if err != nil {
+			return Result{Seed: rc.Seed, NewVMOK: true, FailReason: err.Error()}
+		}
+		images[k] = img
+	}
+	return img.run(rc)
 }
 
 // merge folds a worker's partial summary into s. All fields are counters,

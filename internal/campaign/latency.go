@@ -9,10 +9,8 @@ import (
 	"nilihype/internal/detect"
 	"nilihype/internal/guest"
 	"nilihype/internal/hv"
-	"nilihype/internal/hw"
 	"nilihype/internal/inject"
 	"nilihype/internal/prng"
-	"nilihype/internal/simclock"
 )
 
 // LatencyResult is one recovery-latency measurement (Tables II/III and the
@@ -76,24 +74,9 @@ func MeasureLatencyCfg(cfg core.Config, memoryMB int, seed uint64) (LatencyResul
 // measureLatencyOnce performs a single latency run with one seed.
 func measureLatencyOnce(cfg core.Config, memoryMB int, seed uint64) (LatencyResult, error) {
 	res := LatencyResult{Mechanism: cfg.Mechanism, MemoryMB: memoryMB}
-	clk := simclock.New()
-	h, err := hv.New(clk, hv.Config{
-		Machine: hw.Config{
-			CPUs:     8,
-			MemoryMB: memoryMB,
-			BlockSvc: 200 * time.Microsecond,
-			NICLat:   30 * time.Microsecond,
-		},
-		HeapFrames:     heapFrames,
-		LoggingEnabled: true,
-		RecoveryPrep:   true,
-		Seed:           seed,
-	})
+	clk, h, err := bootHypervisor(hvConfig(seed, memoryMB, true, true))
 	if err != nil {
-		return res, fmt.Errorf("campaign: latency setup: %w", err)
-	}
-	if err := h.Boot(); err != nil {
-		return res, fmt.Errorf("campaign: latency boot: %w", err)
+		return res, fmt.Errorf("campaign: latency %w", err)
 	}
 	h.SetSchedFluxProb(hv.DefaultSchedFluxProb)
 	world := guest.NewWorld(h, seed^0x5eed)

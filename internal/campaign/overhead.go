@@ -6,9 +6,6 @@ import (
 	"time"
 
 	"nilihype/internal/guest"
-	"nilihype/internal/hv"
-	"nilihype/internal/hw"
-	"nilihype/internal/simclock"
 )
 
 // OverheadConfig names one target-system configuration of the Figure 3
@@ -92,24 +89,9 @@ func MeasureOverhead(cfg OverheadConfig, duration time.Duration, seed uint64) Ov
 // overheadRun executes one variant and returns hypervisor cycles summed
 // over all CPUs for the benchmark window.
 func overheadRun(cfg OverheadConfig, duration time.Duration, seed uint64, logging, prep bool) uint64 {
-	clk := simclock.New()
-	h, err := hv.New(clk, hv.Config{
-		Machine: hw.Config{
-			CPUs:     8,
-			MemoryMB: defaultMemoryMB,
-			BlockSvc: 200 * time.Microsecond,
-			NICLat:   30 * time.Microsecond,
-		},
-		HeapFrames:     heapFrames,
-		LoggingEnabled: logging,
-		RecoveryPrep:   prep,
-		Seed:           seed,
-	})
+	clk, h, err := bootHypervisor(hvConfig(seed, defaultMemoryMB, logging, prep))
 	if err != nil {
-		panic("campaign: overhead setup: " + err.Error())
-	}
-	if err := h.Boot(); err != nil {
-		panic("campaign: overhead boot: " + err.Error())
+		panic("campaign: overhead " + err.Error())
 	}
 	world := guest.NewWorld(h, seed^0x5eed)
 	world.StartPrivVM()

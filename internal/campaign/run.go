@@ -13,11 +13,9 @@ import (
 	"nilihype/internal/detect"
 	"nilihype/internal/guest"
 	"nilihype/internal/hv"
-	"nilihype/internal/hw"
 	"nilihype/internal/hypercall"
 	"nilihype/internal/inject"
 	"nilihype/internal/prng"
-	"nilihype/internal/simclock"
 )
 
 // Setup selects the target system configuration (§VI-A).
@@ -227,34 +225,43 @@ type Result struct {
 	Trace []string
 }
 
-// Run executes one fault-injection run.
+// Run executes one fault-injection run on a freshly booted system. It is
+// the cold-boot path: the campaign executor instead builds one image per
+// configuration shape and forks every run from its snapshot, which is
+// bit-identical to this (tested by the snapshot-equivalence suite).
 func Run(rc RunConfig) Result {
 	rc = rc.withDefaults()
-	res := Result{Seed: rc.Seed, NewVMOK: true}
-
-	clk := simclock.New()
-	h, err := hv.New(clk, hv.Config{
-		Machine: hw.Config{
-			CPUs:     8,
-			MemoryMB: rc.MemoryMB,
-			BlockSvc: 200 * time.Microsecond,
-			NICLat:   30 * time.Microsecond,
-		},
-		HeapFrames:     heapFrames,
-		LoggingEnabled: rc.Logging,
-		RecoveryPrep:   true,
-		Seed:           rc.Seed,
-	})
+	img, err := buildImage(rc)
 	if err != nil {
-		res.FailReason = "setup: " + err.Error()
-		return res
+		return Result{Seed: rc.Seed, NewVMOK: true, FailReason: err.Error()}
 	}
-	if err := h.Boot(); err != nil {
-		res.FailReason = "boot: " + err.Error()
-		return res
-	}
+	return img.run(rc)
+}
 
-	h.SetSchedFluxProb(hv.DefaultSchedFluxProb)
+// run executes one fault-injection run on the image: restore the pristine
+// snapshot (unless this is the first use of a fresh boot), re-arm all
+// per-run state (RNG streams, engine, detector, workload seeds, tracer,
+// injector), run to completion and classify.
+func (img *image) run(rc RunConfig) Result {
+	rc = rc.withDefaults()
+	res := Result{Seed: rc.Seed, NewVMOK: true}
+	clk, h, world := img.clk, img.h, img.world
+
+	if img.used {
+		h.Restore(img.snap)
+		world.Restore(img.wsnap)
+	}
+	img.used = true
+
+	// Rewind both RNG streams to the position a cold boot with this seed
+	// would have (no-ops on a fresh boot).
+	h.ReseedRun(rc.Seed)
+	world.Reseed(rc.Seed ^ 0x5eed)
+
+	engine := core.NewEngine(h, rc.Recovery)
+	img.engine = engine
+	img.det.Reset()
+	engine.Det = img.det
 
 	var recorder *hv.TraceRecorder
 	if rc.TraceCapacity > 0 {
@@ -271,45 +278,20 @@ func Run(rc RunConfig) Result {
 		})
 	}
 
-	world := guest.NewWorld(h, rc.Seed^0x5eed)
-	world.StartPrivVM()
-
-	engine := core.NewEngine(h, rc.Recovery)
-	det := detect.New(h, engine.OnDetection)
-	engine.Det = det
-	det.Start()
-
-	// Benchmarks.
+	// Benchmarks: seed each pre-created VM in creation order (consuming
+	// the world stream exactly like the legacy boot-per-run path), then
+	// start the external sender and the workloads.
 	var apps []*guest.AppVM
+	for _, cfg := range img.appCfgs {
+		world.SeedAppVM(cfg.Dom)
+		apps = append(apps, world.App(cfg.Dom))
+	}
 	switch rc.Setup {
 	case OneAppVM:
-		vm, err := world.AddAppVM(guest.Config{
-			Kind: rc.Workload, Dom: unixDom, CPU: unixCPU, Duration: rc.BenchDuration, HVM: rc.HVM,
-		})
-		if err != nil {
-			res.FailReason = "setup: " + err.Error()
-			return res
-		}
-		apps = append(apps, vm)
 		if rc.Workload == guest.NetBench {
 			world.Sender.Start(unixDom, rc.BenchDuration)
 		}
 	default:
-		u, err := world.AddAppVM(guest.Config{
-			Kind: guest.UnixBench, Dom: unixDom, CPU: unixCPU, Duration: rc.BenchDuration, HVM: rc.HVM,
-		})
-		if err != nil {
-			res.FailReason = "setup: " + err.Error()
-			return res
-		}
-		n, err := world.AddAppVM(guest.Config{
-			Kind: guest.NetBench, Dom: netDom, CPU: netCPU, Duration: rc.BenchDuration,
-		})
-		if err != nil {
-			res.FailReason = "setup: " + err.Error()
-			return res
-		}
-		apps = append(apps, u, n)
 		world.Sender.Start(netDom, rc.BenchDuration)
 	}
 	world.StartAll()

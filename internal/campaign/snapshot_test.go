@@ -1,0 +1,156 @@
+package campaign
+
+import (
+	"reflect"
+	"testing"
+
+	"nilihype/internal/core"
+	"nilihype/internal/guest"
+	"nilihype/internal/inject"
+)
+
+// assertForkMatchesCold runs rc once cold-booted and once forked from a
+// shared boot image for every seed, and requires bit-identical Results.
+// The first img.run consumes the fresh boot and the later ones restore the
+// snapshot, so both image paths are exercised.
+func assertForkMatchesCold(t *testing.T, rc RunConfig, seeds []uint64) {
+	t.Helper()
+	img, err := buildImage(rc)
+	if err != nil {
+		t.Fatalf("buildImage: %v", err)
+	}
+	for _, seed := range seeds {
+		rc.Seed = seed
+		cold := Run(rc)
+		forked := img.run(rc)
+		if !reflect.DeepEqual(cold, forked) {
+			t.Fatalf("seed %d: forked run differs from cold boot:\n cold:   %+v\n forked: %+v",
+				seed, cold, forked)
+		}
+	}
+}
+
+func TestSnapshotForkMatchesColdBoot1AppVMFailstop(t *testing.T) {
+	rc := fastCfg(inject.Failstop, core.Microreset)
+	rc.Setup = OneAppVM
+	rc.Workload = guest.UnixBench
+	assertForkMatchesCold(t, rc, []uint64{1, 2, 3})
+}
+
+func TestSnapshotForkMatchesColdBoot1AppVMRegisterNetBench(t *testing.T) {
+	rc := fastCfg(inject.Register, core.Microreset)
+	rc.Setup = OneAppVM
+	rc.Workload = guest.NetBench
+	assertForkMatchesCold(t, rc, []uint64{1, 2, 3})
+}
+
+func TestSnapshotForkMatchesColdBoot3AppVMFailstop(t *testing.T) {
+	assertForkMatchesCold(t, fastCfg(inject.Failstop, core.Microreset), []uint64{1, 2, 3})
+}
+
+func TestSnapshotForkMatchesColdBoot3AppVMRegister(t *testing.T) {
+	assertForkMatchesCold(t, fastCfg(inject.Register, core.Microreset), []uint64{1, 2, 3})
+}
+
+func TestSnapshotForkMatchesColdBootMicroreboot(t *testing.T) {
+	assertForkMatchesCold(t, fastCfg(inject.Code, core.Microreboot), []uint64{1, 2})
+}
+
+// The adversarial shape covers burst faults, fault-during-recovery, the
+// hybrid escalation ladder and the audit walks — the densest consumers of
+// restored state.
+func TestSnapshotForkMatchesColdBootAdversarial(t *testing.T) {
+	assertForkMatchesCold(t, adversarialCfg(), []uint64{1, 2, 3})
+}
+
+func TestSnapshotForkMatchesColdBootHVM(t *testing.T) {
+	rc := fastCfg(inject.Register, core.Microreset)
+	rc.Setup = OneAppVM
+	rc.HVM = true
+	assertForkMatchesCold(t, rc, []uint64{1, 2})
+}
+
+// TestCampaignSummaryIdenticalSnapshotVsColdBoot is the tentpole's
+// correctness bar: the campaign Summary must be bit-identical with the
+// snapshot cache on and off, at any parallelism.
+func TestCampaignSummaryIdenticalSnapshotVsColdBoot(t *testing.T) {
+	oneVM := fastCfg(inject.Failstop, core.Microreset)
+	oneVM.Setup = OneAppVM
+	bases := []RunConfig{
+		oneVM,
+		fastCfg(inject.Register, core.Microreset),
+		adversarialCfg(),
+	}
+	for _, base := range bases {
+		var ref Summary
+		first := true
+		for _, par := range []int{1, 4} {
+			for _, coldBoot := range []bool{false, true} {
+				c := Campaign{Base: base, Runs: 6, Parallelism: par, ColdBoot: coldBoot}
+				s := c.Execute()
+				if first {
+					ref, first = s, false
+					continue
+				}
+				if !reflect.DeepEqual(ref, s) {
+					t.Fatalf("%v %v: summary differs (par=%d coldBoot=%v):\n ref: %+v\n got: %+v",
+						base.Setup, base.Fault, par, coldBoot, ref, s)
+				}
+			}
+		}
+	}
+}
+
+// TestRestoreIsAllocationFree guards the fork path's whole point: rolling
+// a dirty post-run system back to pristine must reuse the pooled arenas,
+// not allocate fresh ones.
+func TestRestoreIsAllocationFree(t *testing.T) {
+	rc := fastCfg(inject.Register, core.Microreset)
+	img, err := buildImage(rc)
+	if err != nil {
+		t.Fatalf("buildImage: %v", err)
+	}
+	for seed := uint64(1); seed <= 2; seed++ {
+		rc.Seed = seed
+		img.run(rc)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		img.h.Restore(img.snap)
+		img.world.Restore(img.wsnap)
+	})
+	if allocs > 2 {
+		t.Fatalf("Restore allocates %.1f objects/run, want ~0", allocs)
+	}
+}
+
+// BenchmarkSnapshotRestore times a bare snapshot restore (dominated by the
+// page-frame table memmove).
+func BenchmarkSnapshotRestore(b *testing.B) {
+	rc := ThroughputBenchConfig()
+	img, err := buildImage(rc)
+	if err != nil {
+		b.Fatalf("buildImage: %v", err)
+	}
+	rc.Seed = 1
+	img.run(rc)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		img.h.Restore(img.snap)
+		img.world.Restore(img.wsnap)
+	}
+}
+
+// BenchmarkSnapshotForkRun times a full forked run (restore + reseed +
+// benchmark + fault + recovery + classification).
+func BenchmarkSnapshotForkRun(b *testing.B) {
+	rc := ThroughputBenchConfig()
+	img, err := buildImage(rc)
+	if err != nil {
+		b.Fatalf("buildImage: %v", err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rc.Seed = uint64(i + 1)
+		img.run(rc)
+	}
+}

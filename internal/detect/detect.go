@@ -150,6 +150,21 @@ func (d *Detector) Rearm() {
 	}
 }
 
+// Reset rewinds the detector to its just-Started state: soft counters,
+// NMI observations, staleness tracking and the detection count all return
+// to zero. The tick timers and performance-counter NMIs themselves are
+// run state restored by the hypervisor snapshot, so only the detector's
+// own observations need clearing. Used by the campaign's snapshot-fork
+// path between runs.
+func (d *Detector) Reset() {
+	for cpu := range d.softCount {
+		d.softCount[cpu] = 0
+		d.lastSeen[cpu] = 0
+		d.stale[cpu] = 0
+	}
+	d.Detections = 0
+}
+
 func (d *Detector) fire(e Event) {
 	d.Detections++
 	if d.hook != nil {

@@ -12,7 +12,6 @@ package guest
 
 import (
 	"fmt"
-	"math/rand/v2"
 	"time"
 
 	"nilihype/internal/evtchn"
@@ -76,7 +75,7 @@ type World struct {
 	apps   map[int]*AppVM
 	Sender *NetSender
 
-	rng *rand.Rand
+	rng *prng.Stream
 }
 
 // NewWorld builds the guest world over a booted hypervisor and registers
@@ -85,7 +84,7 @@ func NewWorld(h *hv.Hypervisor, seed uint64) *World {
 	w := &World{
 		H:    h,
 		apps: make(map[int]*AppVM),
-		rng:  prng.New(seed, 0x60e57),
+		rng:  prng.NewStream(seed, 0x60e57),
 	}
 	h.SetEventHook(w.onEvent)
 	h.SetNICRxHook(w.onPacket)
@@ -93,9 +92,28 @@ func NewWorld(h *hv.Hypervisor, seed uint64) *World {
 	return w
 }
 
+// Reseed rewinds the world's RNG stream to the position NewWorld(h, seed)
+// would start from. On a fresh world it is a no-op; the campaign's
+// snapshot-fork path uses it so forked runs draw the same per-VM seeds a
+// cold boot would.
+func (w *World) Reseed(seed uint64) { w.rng.Reseed(seed, 0x60e57) }
+
 // AddAppVM creates the domain and its workload. Call Start (or StartAll)
 // to begin the benchmark.
 func (w *World) AddAppVM(cfg Config) (*AppVM, error) {
+	vm, err := w.CreateAppVM(cfg)
+	if err != nil {
+		return nil, err
+	}
+	w.SeedAppVM(cfg.Dom)
+	return vm, nil
+}
+
+// CreateAppVM creates the domain and its workload shell without drawing
+// any randomness — the shape-only half of AddAppVM. The campaign's
+// snapshot-fork path runs it once per image (before the snapshot) and then
+// SeedAppVM once per run, so the image is seed-independent.
+func (w *World) CreateAppVM(cfg Config) (*AppVM, error) {
 	if cfg.MemPages == 0 {
 		cfg.MemPages = DefaultMemPages
 	}
@@ -105,16 +123,24 @@ func (w *World) AddAppVM(cfg Config) (*AppVM, error) {
 	if err := w.H.CreateDomain(cfg.Dom, cfg.Kind.String(), cfg.MemPages, cfg.CPU, false); err != nil {
 		return nil, fmt.Errorf("guest: %w", err)
 	}
-	vm := &AppVM{
-		W:   w,
-		Cfg: cfg,
-		rng: prng.New(w.rng.Uint64(), uint64(cfg.Dom)),
-	}
-	if cfg.Kind == BlkBench {
-		vm.Files = NewFileStore(w.rng.Uint64())
-	}
+	vm := &AppVM{W: w, Cfg: cfg}
 	w.apps[cfg.Dom] = vm
 	return vm, nil
+}
+
+// SeedAppVM draws domain dom's per-run randomness: the workload RNG and,
+// for BlkBench, the file-content seed. The draw order matches AddAppVM
+// exactly, so calling CreateAppVM+SeedAppVM for each VM in creation order
+// consumes the world stream identically to the legacy combined path.
+func (w *World) SeedAppVM(dom int) {
+	vm := w.apps[dom]
+	if vm == nil {
+		return
+	}
+	vm.rng = prng.New(w.rng.Uint64(), uint64(vm.Cfg.Dom))
+	if vm.Cfg.Kind == BlkBench {
+		vm.Files = NewFileStore(w.rng.Uint64())
+	}
 }
 
 // AttachAppVM wraps an already-created domain (e.g. one built by a PrivVM

@@ -1,0 +1,71 @@
+package guest
+
+// WorldSnapshot captures the guest world's structure: which AppVMs exist.
+// Per-run workload state (counters, RNGs, file stores) is not saved —
+// Restore resets it and the campaign re-arms each VM with SeedAppVM, the
+// same way a cold boot would.
+type WorldSnapshot struct {
+	doms []int
+	vms  []*AppVM
+}
+
+// Snapshot captures the world's AppVM set in domain-ID order.
+func (w *World) Snapshot() *WorldSnapshot {
+	s := &WorldSnapshot{}
+	for _, vm := range w.Apps() {
+		s.doms = append(s.doms, vm.Cfg.Dom)
+		s.vms = append(s.vms, vm)
+	}
+	return s
+}
+
+// Restore rewinds the world: AppVMs attached after the snapshot (the
+// 3AppVM setup's post-recovery BlkBench VM) drop out, the snapshot VMs
+// reset to their pre-Start state, and the external sender's measurements
+// clear. Callers must Reseed and SeedAppVM afterwards to arm the next run.
+func (w *World) Restore(s *WorldSnapshot) {
+	for d := range w.apps {
+		delete(w.apps, d)
+	}
+	for i, d := range s.doms {
+		vm := s.vms[i]
+		vm.resetForRun()
+		w.apps[d] = vm
+	}
+	w.Sender.reset()
+}
+
+// resetForRun returns the VM to its freshly created, never-started state
+// (everything CreateAppVM leaves zero).
+func (vm *AppVM) resetForRun() {
+	vm.OpsCompleted = 0
+	vm.OpsAfterMark = 0
+	vm.Started = false
+	vm.Finished = false
+	vm.OutputCorrupted = false
+	vm.Files = nil
+	vm.rng = nil
+	vm.finishAt = 0
+	vm.procs = procTable{}
+	vm.nextRef = 0
+	vm.inFlight = nil
+	vm.reserved = 0
+	vm.iterFn = nil
+	vm.runFn = nil
+}
+
+// reset returns the sender to its pre-Start state, keeping the slice
+// capacity of its measurement buffers.
+func (s *NetSender) reset() {
+	s.flow = 0
+	s.startAt = 0
+	s.stopAt = 0
+	s.seq = 0
+	s.Sent = 0
+	s.Received = 0
+	s.lastReply = 0
+	s.gotReply = false
+	s.maxGap = 0
+	s.replyTimes = s.replyTimes[:0]
+	s.exclusions = s.exclusions[:0]
+}

@@ -140,7 +140,7 @@ func (h *Hypervisor) runProgram(cpu int) {
 		}
 
 		h.Machine.CPU(cpu).ChargeHypervisor(step.Instrs, step.Instrs)
-		err := step.Do()
+		err := step.Do(pc.Env, step)
 		if extra := pc.Env.ExtraCycles; extra > 0 {
 			h.Machine.CPU(cpu).ChargeHypervisor(extra, 0)
 			pc.Env.ExtraCycles = 0

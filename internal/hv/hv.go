@@ -76,6 +76,9 @@ type Hypervisor struct {
 	Statics *hypercall.Statics
 	RNG     *rand.Rand
 
+	// rngStream is RNG's underlying reseedable stream (see ReseedRun).
+	rngStream *prng.Stream
+
 	percpu []*PerCPU
 
 	// Broker routes event-channel notifications between domains.
@@ -186,12 +189,14 @@ func New(clock *simclock.Clock, cfg Config) (*Hypervisor, error) {
 	if cfg.HeapFrames <= 0 || cfg.HeapFrames > machine.PageFrames() {
 		return nil, fmt.Errorf("hv: invalid heap size %d frames", cfg.HeapFrames)
 	}
+	rngStream := prng.NewStream(cfg.Seed, 0xce11)
 	h := &Hypervisor{
 		Clock:          clock,
 		Machine:        machine,
 		Locks:          locking.NewRegistry(),
 		Domains:        dom.NewList(),
-		RNG:            prng.New(cfg.Seed, 0xce11),
+		RNG:            rngStream.Rand,
+		rngStream:      rngStream,
 		schedTicks:     make(map[*xentime.Timer]bool),
 		nextGuestFrame: cfg.HeapFrames,
 	}

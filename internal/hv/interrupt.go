@@ -102,7 +102,7 @@ func (h *Hypervisor) buildTimerIRQ(cpu int) hypercall.Program {
 		// Walking the software timer heap and reading the hardware
 		// clock dominate the handler body; the APIC stays unarmed
 		// throughout (the §V-A window).
-		hypercall.Step{Name: "scan_timer_heap", Instrs: 1500, Do: func() error { return nil }},
+		hypercall.Step{Name: "scan_timer_heap", Instrs: 1500, Do: func(*hypercall.Env, *hypercall.Step) error { return nil }},
 	)
 	runSched := false
 	for _, t := range due {
@@ -111,25 +111,25 @@ func (h *Hypervisor) buildTimerIRQ(cpu int) hypercall.Program {
 			runSched = true
 			prog = append(prog, hypercall.Step{
 				Name: t.RearmLabel(), Instrs: 30,
-				Do: func() error { h.Timers.FinishTimer(t, now); return nil },
+				Do: func(*hypercall.Env, *hypercall.Step) error { h.Timers.FinishTimer(t, now); return nil },
 			})
 			continue
 		}
 		prog = append(prog,
-			hypercall.Step{Name: t.RunLabel(), Instrs: 30, Do: func() error {
+			hypercall.Step{Name: t.RunLabel(), Instrs: 30, Do: func(*hypercall.Env, *hypercall.Step) error {
 				if t.Fn != nil {
 					t.Fn()
 				}
 				return nil
 			}},
-			hypercall.Step{Name: t.RearmLabel(), Instrs: 18, Do: func() error {
+			hypercall.Step{Name: t.RearmLabel(), Instrs: 18, Do: func(*hypercall.Env, *hypercall.Step) error {
 				h.Timers.FinishTimer(t, now)
 				return nil
 			}},
 		)
 	}
 	prog = append(prog,
-		hypercall.Step{Name: "ack_lapic", Instrs: 260, Do: func() error { return nil }},
+		hypercall.Step{Name: "ack_lapic", Instrs: 260, Do: func(*hypercall.Env, *hypercall.Step) error { return nil }},
 		fx.reprogramAPIC,
 	)
 	// Softirq context: the APIC is re-armed from here on.
@@ -141,9 +141,9 @@ func (h *Hypervisor) buildTimerIRQ(cpu int) hypercall.Program {
 		// hypervisor work that holds no locks and leaves no partial
 		// state — faults landing here are the recoverable-with-few-
 		// enhancements cases of the Table I ladder.
-		hypercall.Step{Name: "softirq_timer_accounting", Instrs: 1850, Do: func() error { return nil }},
-		hypercall.Step{Name: "softirq_rcu", Instrs: 1850, Do: func() error { return nil }},
-		hypercall.Step{Name: "softirq_time_calibration", Instrs: 1750, Do: func() error { return nil }},
+		hypercall.Step{Name: "softirq_timer_accounting", Instrs: 1850, Do: func(*hypercall.Env, *hypercall.Step) error { return nil }},
+		hypercall.Step{Name: "softirq_rcu", Instrs: 1850, Do: func(*hypercall.Env, *hypercall.Step) error { return nil }},
+		hypercall.Step{Name: "softirq_time_calibration", Instrs: 1750, Do: func(*hypercall.Env, *hypercall.Step) error { return nil }},
 		fx.exitIRQ,
 	)
 	return prog
@@ -156,28 +156,28 @@ func (h *Hypervisor) irqFixed(cpu int) *irqFixedSteps {
 	pc := h.percpu[cpu]
 	fx := &pc.irqFixedSteps
 	if fx.enterIRQ.Do == nil {
-		fx.enterIRQ = hypercall.Step{Name: "enter_irq", Instrs: 100, Do: func() error {
+		fx.enterIRQ = hypercall.Step{Name: "enter_irq", Instrs: 100, Do: func(*hypercall.Env, *hypercall.Step) error {
 			pc.LocalIRQCount++
 			return nil
 		}}
-		fx.reprogramAPIC = hypercall.Step{Name: "reprogram_apic", Instrs: 160, Do: func() error {
+		fx.reprogramAPIC = hypercall.Step{Name: "reprogram_apic", Instrs: 160, Do: func(*hypercall.Env, *hypercall.Step) error {
 			h.Timers.ProgramAPIC(cpu)
 			return nil
 		}}
-		fx.exitIRQ = hypercall.Step{Name: "exit_irq", Instrs: 30, Do: func() error {
+		fx.exitIRQ = hypercall.Step{Name: "exit_irq", Instrs: 30, Do: func(*hypercall.Env, *hypercall.Step) error {
 			pc.LocalIRQCount--
 			return nil
 		}}
-		fx.lockRunq = hypercall.Step{Name: "lock_runq", Instrs: 30, Do: func() error {
+		fx.lockRunq = hypercall.Step{Name: "lock_runq", Instrs: 30, Do: func(*hypercall.Env, *hypercall.Step) error {
 			return pc.Env.Acquire(h.Sched.RunqueueLock(cpu))
 		}}
-		fx.creditTick = hypercall.Step{Name: "credit_tick", Instrs: 40, Do: func() error {
+		fx.creditTick = hypercall.Step{Name: "credit_tick", Instrs: 40, Do: func(*hypercall.Env, *hypercall.Step) error {
 			if v := h.Sched.Curr(cpu); v != nil {
 				v.Credit -= 10
 			}
 			return nil
 		}}
-		fx.unlockRunq = hypercall.Step{Name: "unlock_runq", Instrs: 30, Do: func() error {
+		fx.unlockRunq = hypercall.Step{Name: "unlock_runq", Instrs: 30, Do: func(*hypercall.Env, *hypercall.Step) error {
 			pc.Env.Release(h.Sched.RunqueueLock(cpu))
 			return nil
 		}}
@@ -195,35 +195,35 @@ func (h *Hypervisor) buildSchedSoftirq(cpu int) []hypercall.Step {
 	steps = append(steps, fx.lockRunq, fx.creditTick)
 	if h.Sched.RunqueueLen(cpu) > 0 {
 		steps = append(steps,
-			hypercall.Step{Name: "pick_next", Instrs: 90, Do: func() error {
+			hypercall.Step{Name: "pick_next", Instrs: 90, Do: func(*hypercall.Env, *hypercall.Step) error {
 				op = h.Sched.BeginSwitch(cpu)
 				return nil
 			}},
-			hypercall.Step{Name: "dequeue_next", Instrs: 50, Do: func() error {
+			hypercall.Step{Name: "dequeue_next", Instrs: 50, Do: func(*hypercall.Env, *hypercall.Step) error {
 				if op != nil {
 					op.StepDequeueNext()
 				}
 				return nil
 			}},
-			hypercall.Step{Name: "requeue_prev", Instrs: 50, Do: func() error {
+			hypercall.Step{Name: "requeue_prev", Instrs: 50, Do: func(*hypercall.Env, *hypercall.Step) error {
 				if op != nil {
 					op.StepRequeuePrev()
 				}
 				return nil
 			}},
-			hypercall.Step{Name: "set_curr", Instrs: 40, Do: func() error {
+			hypercall.Step{Name: "set_curr", Instrs: 40, Do: func(*hypercall.Env, *hypercall.Step) error {
 				if op != nil {
 					op.StepSetCurr()
 				}
 				return nil
 			}},
-			hypercall.Step{Name: "set_vcpu_state", Instrs: 70, Do: func() error {
+			hypercall.Step{Name: "set_vcpu_state", Instrs: 70, Do: func(*hypercall.Env, *hypercall.Step) error {
 				if op != nil {
 					op.StepSetVCPU()
 				}
 				return nil
 			}},
-			hypercall.Step{Name: "context_switch", Instrs: 90, Do: func() error {
+			hypercall.Step{Name: "context_switch", Instrs: 90, Do: func(*hypercall.Env, *hypercall.Step) error {
 				if op != nil {
 					h.switchRegisterContext(cpu, op.Prev(), op.Next())
 				}
@@ -258,7 +258,7 @@ func (h *Hypervisor) switchRegisterContext(cpu int, prev, next *sched.VCPU) {
 func (h *Hypervisor) buildDeviceIRQ(cpu int, line hw.IRQLine) hypercall.Program {
 	pc := h.percpu[cpu]
 	prog := hypercall.Program{
-		{Name: "enter_irq", Instrs: 40, Do: func() error {
+		{Name: "enter_irq", Instrs: 40, Do: func(*hypercall.Env, *hypercall.Step) error {
 			pc.LocalIRQCount++
 			return nil
 		}},
@@ -270,7 +270,7 @@ func (h *Hypervisor) buildDeviceIRQ(cpu int, line hw.IRQLine) hypercall.Program 
 			c := c
 			prog = append(prog, hypercall.Step{
 				Name: "post_blk_event", Instrs: 60,
-				Do: func() error {
+				Do: func(*hypercall.Env, *hypercall.Step) error {
 					d, err := h.Domains.ByID(c.Req.Owner)
 					if err != nil {
 						return err
@@ -285,7 +285,7 @@ func (h *Hypervisor) buildDeviceIRQ(cpu int, line hw.IRQLine) hypercall.Program 
 			p := p
 			prog = append(prog, hypercall.Step{
 				Name: "post_nic_event", Instrs: 60,
-				Do: func() error {
+				Do: func(*hypercall.Env, *hypercall.Step) error {
 					if h.nicRxHook != nil {
 						h.nicRxHook(p)
 					}
@@ -295,11 +295,11 @@ func (h *Hypervisor) buildDeviceIRQ(cpu int, line hw.IRQLine) hypercall.Program 
 		}
 	}
 	prog = append(prog,
-		hypercall.Step{Name: "eoi", Instrs: 30, Do: func() error {
+		hypercall.Step{Name: "eoi", Instrs: 30, Do: func(*hypercall.Env, *hypercall.Step) error {
 			h.Machine.IOAPIC().EOI(line)
 			return nil
 		}},
-		hypercall.Step{Name: "exit_irq", Instrs: 30, Do: func() error {
+		hypercall.Step{Name: "exit_irq", Instrs: 30, Do: func(*hypercall.Env, *hypercall.Step) error {
 			pc.LocalIRQCount--
 			return nil
 		}},
@@ -311,12 +311,12 @@ func (h *Hypervisor) buildDeviceIRQ(cpu int, line hw.IRQLine) hypercall.Program 
 func (h *Hypervisor) buildIPIProgram(cpu int) hypercall.Program {
 	pc := h.percpu[cpu]
 	return hypercall.Program{
-		{Name: "enter_irq", Instrs: 40, Do: func() error {
+		{Name: "enter_irq", Instrs: 40, Do: func(*hypercall.Env, *hypercall.Step) error {
 			pc.LocalIRQCount++
 			return nil
 		}},
-		{Name: "ack_ipi", Instrs: 50, Do: func() error { return nil }},
-		{Name: "exit_irq", Instrs: 30, Do: func() error {
+		{Name: "ack_ipi", Instrs: 50, Do: func(*hypercall.Env, *hypercall.Step) error { return nil }},
+		{Name: "exit_irq", Instrs: 30, Do: func(*hypercall.Env, *hypercall.Step) error {
 			pc.LocalIRQCount--
 			return nil
 		}},

@@ -39,7 +39,7 @@ func TestTimerIRQWindowHazard(t *testing.T) {
 	h.Machine.CPU(cpu).DisarmTimer() // the fire consumed the one-shot
 	for i := range prog {
 		seen = append(seen, obs{prog[i].Name, h.Machine.CPU(cpu).TimerArmed()})
-		if err := prog[i].Do(); err != nil {
+		if err := prog[i].Do(pc.Env, &prog[i]); err != nil {
 			t.Fatalf("step %q: %v", prog[i].Name, err)
 		}
 	}

@@ -1,0 +1,259 @@
+package hv
+
+import (
+	"nilihype/internal/dom"
+	"nilihype/internal/evtchn"
+	"nilihype/internal/hw"
+	"nilihype/internal/hypercall"
+	"nilihype/internal/locking"
+	"nilihype/internal/mm"
+	"nilihype/internal/sched"
+	"nilihype/internal/simclock"
+	"nilihype/internal/xentime"
+)
+
+// percpuSaved is one CPU's captured hypervisor-private state.
+type percpuSaved struct {
+	localIRQCount        int
+	current              *hypercall.Call
+	currentProg          hypercall.Program
+	currentStep          int
+	inIRQ                bool
+	irqActivity          string
+	pendingPanic         string
+	wedged               bool
+	spinning             *locking.Lock
+	fsgsSaved            bool
+	wasBusyAtDiscard     bool
+	abandonedUnmitigated bool
+
+	undoWrites    uint64
+	undoRollbacks uint64
+}
+
+// consSaved is the captured console ring.
+type consSaved struct {
+	ring    []string
+	start   int
+	written uint64
+	dropped uint64
+}
+
+// Snapshot is a captured whole-hypervisor state: every subsystem snapshot
+// plus the core's own mutable fields. It is designed for the boot-once /
+// fork-many campaign pattern: capture once at a quiescent point (no
+// in-flight handler program, no pending recovery), then Restore before
+// each run.
+//
+// The snapshot deliberately does NOT capture h.RNG's position — forked
+// runs reseed it via ReseedRun, and a freshly booted hypervisor is already
+// at the same position, so both paths draw identical sequences.
+type Snapshot struct {
+	clock   *simclock.Snapshot
+	machine *hw.Snapshot
+	locks   *locking.Snapshot
+	frames  *mm.FrameTableSnapshot
+	heap    *mm.HeapSnapshot
+	sched   *sched.Snapshot
+	timers  *xentime.Snapshot
+	domains *dom.Snapshot
+	broker  *evtchn.BrokerSnapshot
+
+	percpu []percpuSaved
+	cons   consSaved
+
+	nextGuestFrame int
+	schedTicks     []*xentime.Timer
+	crossCPUWaits  []CrossCPUWait
+
+	injectArmed  bool
+	injectBudget int64
+	injectFn     InjectFunc
+
+	failed     bool
+	failReason string
+
+	panicHook    func(cpu int, reason string)
+	nmiHook      func(cpu int)
+	callDoneHook func(*hypercall.Call, error)
+	eventHook    func(domID, port int)
+	nicRxHook    func(hw.Packet)
+	pauseHook    func()
+	tracer       func(TraceEvent)
+
+	recoveryEpoch  uint64
+	schedFluxProb  float64
+	paused         bool
+	callSeq        uint64
+	staticScratch  []uint64
+	recoveryVector uint64
+	stats          Stats
+}
+
+// Snapshot captures the hypervisor and everything below it (machine,
+// clock, all subsystems). The caller must ensure the simulation is
+// quiescent: between clock events, with no in-flight handler program and
+// no deferred post-resume work. The campaign layer snapshots at
+// boot-complete, which satisfies this by construction.
+func (h *Hypervisor) Snapshot() *Snapshot {
+	s := &Snapshot{
+		clock:   h.Clock.Snapshot(),
+		machine: h.Machine.Snapshot(),
+		locks:   h.Locks.Snapshot(),
+		frames:  h.Frames.Snapshot(),
+		heap:    h.Heap.Snapshot(),
+		sched:   h.Sched.Snapshot(),
+		timers:  h.Timers.Snapshot(),
+		domains: h.Domains.Snapshot(),
+		broker:  h.Broker.Snapshot(),
+
+		percpu: make([]percpuSaved, len(h.percpu)),
+		cons: consSaved{
+			ring:    append([]string(nil), h.Cons.ring...),
+			start:   h.Cons.start,
+			written: h.Cons.Written,
+			dropped: h.Cons.Dropped,
+		},
+
+		nextGuestFrame: h.nextGuestFrame,
+		crossCPUWaits:  append([]CrossCPUWait(nil), h.crossCPUWaits...),
+
+		injectArmed:  h.injectArmed,
+		injectBudget: h.injectBudget,
+		injectFn:     h.injectFn,
+
+		failed:     h.failed,
+		failReason: h.failReason,
+
+		panicHook:    h.panicHook,
+		nmiHook:      h.nmiHook,
+		callDoneHook: h.callDoneHook,
+		eventHook:    h.eventHook,
+		nicRxHook:    h.nicRxHook,
+		pauseHook:    h.pauseHook,
+		tracer:       h.tracer,
+
+		recoveryEpoch:  h.recoveryEpoch,
+		schedFluxProb:  h.schedFluxProb,
+		paused:         h.paused,
+		callSeq:        h.callSeq,
+		staticScratch:  append([]uint64(nil), h.staticScratch...),
+		recoveryVector: h.recoveryVector,
+		stats:          h.Stats,
+	}
+	// Deterministic order for the standing-tick set is not needed (it is
+	// restored into a map), but capture through the timer subsystem's
+	// registered set would drag in inactive timers; iterate the map.
+	for t := range h.schedTicks {
+		s.schedTicks = append(s.schedTicks, t)
+	}
+	for i, pc := range h.percpu {
+		s.percpu[i] = percpuSaved{
+			localIRQCount:        pc.LocalIRQCount,
+			current:              pc.Current,
+			currentProg:          pc.CurrentProg,
+			currentStep:          pc.CurrentStep,
+			inIRQ:                pc.InIRQProgram,
+			irqActivity:          pc.IRQActivity,
+			pendingPanic:         pc.PendingPanic,
+			wedged:               pc.Wedged,
+			spinning:             pc.Spinning,
+			fsgsSaved:            pc.FSGSSaved,
+			wasBusyAtDiscard:     pc.WasBusyAtDiscard,
+			abandonedUnmitigated: pc.abandonedUnmitigated,
+			undoWrites:           pc.Env.Undo.Writes,
+			undoRollbacks:        pc.Env.Undo.Rollbacks,
+		}
+	}
+	return s
+}
+
+// Restore rewinds the hypervisor to the snapshot. Object identity is
+// preserved throughout — every Domain, VCPU, Timer, Lock, heap Object and
+// clock Event the snapshot saw is revived in place, so cross-references
+// (including closures wired during boot) stay valid. State created after
+// the snapshot (domains, timers, heap objects, clock events) is dropped.
+//
+// h.RNG is NOT rewound — callers fork a run by calling ReseedRun next,
+// which puts the stream exactly where a fresh boot would.
+func (h *Hypervisor) Restore(s *Snapshot) {
+	h.Clock.Restore(s.clock)
+	h.Machine.Restore(s.machine)
+	h.Locks.Restore(s.locks)
+	h.Frames.Restore(s.frames)
+	h.Heap.Restore(s.heap)
+	h.Sched.Restore(s.sched)
+	h.Timers.Restore(s.timers)
+	h.Domains.Restore(s.domains)
+	h.Broker.Restore(s.broker)
+
+	h.Cons.ring = append(h.Cons.ring[:0], s.cons.ring...)
+	h.Cons.start = s.cons.start
+	h.Cons.Written = s.cons.written
+	h.Cons.Dropped = s.cons.dropped
+
+	h.nextGuestFrame = s.nextGuestFrame
+	h.crossCPUWaits = append(h.crossCPUWaits[:0], s.crossCPUWaits...)
+
+	for t := range h.schedTicks {
+		delete(h.schedTicks, t)
+	}
+	for _, t := range s.schedTicks {
+		h.schedTicks[t] = true
+	}
+
+	h.injectArmed = s.injectArmed
+	h.injectBudget = s.injectBudget
+	h.injectFn = s.injectFn
+
+	h.failed = s.failed
+	h.failReason = s.failReason
+
+	h.panicHook = s.panicHook
+	h.nmiHook = s.nmiHook
+	h.callDoneHook = s.callDoneHook
+	h.eventHook = s.eventHook
+	h.nicRxHook = s.nicRxHook
+	h.pauseHook = s.pauseHook
+	h.tracer = s.tracer
+
+	h.recoveryEpoch = s.recoveryEpoch
+	h.schedFluxProb = s.schedFluxProb
+	h.paused = s.paused
+	h.afterResume = h.afterResume[:0]
+	h.callSeq = s.callSeq
+	copy(h.staticScratch, s.staticScratch)
+	h.recoveryVector = s.recoveryVector
+	h.Stats = s.stats
+
+	for i, pc := range h.percpu {
+		st := &s.percpu[i]
+		pc.LocalIRQCount = st.localIRQCount
+		pc.Current = st.current
+		pc.CurrentProg = st.currentProg
+		pc.CurrentStep = st.currentStep
+		pc.InIRQProgram = st.inIRQ
+		pc.IRQActivity = st.irqActivity
+		pc.PendingPanic = st.pendingPanic
+		pc.Wedged = st.wedged
+		pc.Spinning = st.spinning
+		pc.FSGSSaved = st.fsgsSaved
+		pc.WasBusyAtDiscard = st.wasBusyAtDiscard
+		pc.abandonedUnmitigated = st.abandonedUnmitigated
+		// The snapshot point is quiescent, so program-transient Env state
+		// resets to its between-calls values.
+		pc.Env.ResetProgramState()
+		pc.Env.Call = nil
+		pc.Env.Undo.Clear()
+		pc.Env.Undo.Writes = st.undoWrites
+		pc.Env.Undo.Rollbacks = st.undoRollbacks
+	}
+}
+
+// ReseedRun rewinds the hypervisor's RNG stream to the position a fresh
+// boot with this seed would have. On a freshly constructed hypervisor it
+// is a no-op (New already seeds the stream identically), which is what
+// makes cold-boot and snapshot-fork runs draw bit-identical sequences.
+func (h *Hypervisor) ReseedRun(seed uint64) {
+	h.rngStream.Reseed(seed, 0xce11)
+}

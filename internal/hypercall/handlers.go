@@ -13,38 +13,86 @@ import (
 // dispatch time (and again at retry time), so a retried multicall skips
 // already-completed components via the completion log.
 //
+// Each op's step sequence is a static template of shared step functions;
+// Build stamps a copy into the Env's reusable buffer, binding each step to
+// its call. Dispatch therefore costs one buffer append instead of a fresh
+// slice plus a closure per step — the difference is most of the campaign
+// executor's allocation profile.
+//
 // Step instruction weights are calibrated: together with the workload mix
 // they determine what fraction of hypervisor execution holds locks, is
 // mid-non-idempotent-update, is inside the scheduler, etc. — the occupancy
 // fractions that the paper's Table I recovery ladder reflects.
 func Build(env *Env, call *Call) (Program, error) {
+	buf, err := appendCall(env.progBuf[:0], env, call)
+	if err != nil {
+		return nil, err
+	}
+	env.progBuf = buf
+	return buf, nil
+}
+
+// appendCall appends call's program steps to buf.
+func appendCall(buf Program, env *Env, call *Call) (Program, error) {
+	if call.Op == OpMulticall {
+		return appendMulticall(buf, env, call)
+	}
+	tmpl, err := templateFor(call)
+	if err != nil {
+		return nil, err
+	}
+	return stampSteps(buf, tmpl, call), nil
+}
+
+// stampSteps appends the template's steps bound to c.
+func stampSteps(buf Program, tmpl []Step, c *Call) Program {
+	n := len(buf)
+	buf = append(buf, tmpl...)
+	for i := n; i < len(buf); i++ {
+		buf[i].C = c
+	}
+	return buf
+}
+
+// templateFor selects the static step template for a non-multicall op.
+func templateFor(call *Call) ([]Step, error) {
 	switch call.Op {
 	case OpMMUUpdate:
-		return buildMMUUpdate(env, call), nil
+		if call.Args[SubOpArg] == MMUPin {
+			return mmuPinTmpl, nil
+		}
+		return mmuUnpinTmpl, nil
 	case OpMemoryOp:
-		return buildMemoryOp(env, call), nil
+		return memoryOpTmpl, nil
 	case OpGrantTableOp:
-		return buildGrantTableOp(env, call), nil
+		if call.Args[SubOpArg] == GrantMap {
+			return grantMapTmpl, nil
+		}
+		return grantUnmapTmpl, nil
 	case OpEventChannelOp:
-		return buildEventChannel(env, call), nil
+		return evtchnTmpl, nil
 	case OpSchedOp:
-		return buildSchedOp(env, call), nil
+		return schedOpTmpl, nil
 	case OpSetTimerOp:
-		return buildSetTimer(env, call), nil
+		return setTimerTmpl, nil
 	case OpConsoleIO:
-		return buildConsoleIO(env, call), nil
+		return consoleIOTmpl, nil
 	case OpVCPUOp:
-		return buildVCPUOp(env, call), nil
-	case OpMulticall:
-		return buildMulticall(env, call)
+		return vcpuOpTmpl, nil
 	case OpDomctl:
-		return buildDomctl(env, call), nil
+		if call.Args[SubOpArg] == DomctlCreate {
+			return domctlCreateTmpl, nil
+		}
+		return domctlDestroyTmpl, nil
 	case OpSyscallForward:
-		return buildSyscallForward(env, call), nil
+		return syscallForwardTmpl, nil
 	case OpEPTViolation:
-		return buildEPTViolation(env, call), nil
+		if call.Args[SubOpArg] == EPTPopulate {
+			return eptPopulateTmpl, nil
+		}
+		return eptUnmapTmpl, nil
 	case OpIOEmulation:
-		return buildIOEmulation(env, call), nil
+		return ioEmulationTmpl, nil
 	default:
 		return nil, fmt.Errorf("hypercall: unknown op %v", call.Op)
 	}
@@ -55,441 +103,511 @@ func assertf(format string, args ...any) error {
 	return fmt.Errorf("ASSERT: "+format, args...)
 }
 
-// buildMMUUpdate models page-table pin/unpin: the canonical non-idempotent
-// hypercall. The reference count and the validation bit are updated in
-// separate steps; re-executing the count update after a partial run trips
-// the validation assertion — exactly the paper's §IV example.
-func buildMMUUpdate(env *Env, call *Call) Program {
-	frame := int(call.Args[1])
-	pin := call.Args[SubOpArg] == MMUPin
-	var d = func() (*mm.PageFrame, error) {
-		if frame < 0 || frame >= env.Frames.Len() {
-			return nil, assertf("mmu_update: bad frame %d", frame)
-		}
-		return env.Frames.Frame(frame), nil
-	}
-	domLock := func() error {
-		dm, err := env.targetDomain(call.Dom)
-		if err != nil {
-			return err
-		}
-		return env.Acquire(dm.PageAllocLock)
-	}
-	domUnlock := func() error {
-		dm, err := env.targetDomain(call.Dom)
-		if err != nil {
-			return err
-		}
-		env.Release(dm.PageAllocLock)
-		return nil
-	}
-	if pin {
-		return Program{
-			{Name: "entry", Instrs: 150, Do: func() error { return nil }},
-			{Name: "lock_page_alloc", Instrs: 40, Do: domLock},
-			{Name: "inc_refcount", Instrs: 60, Do: func() error {
-				f, err := d()
-				if err != nil {
-					return err
-				}
-				env.LogWrite("mmu_pin: undo inc_refcount", LogCostMMU, func() { f.UseCount-- })
-				f.Type = mm.FramePageTable
-				f.IncUse()
-				return nil
-			}},
-			{Name: "write_pte", Instrs: 120, Do: func() error { return nil }},
-			{Name: "validate", Instrs: 80, Do: func() error {
-				f, err := d()
-				if err != nil {
-					return err
-				}
-				if f.UseCount != 1 {
-					return assertf("mmu_pin: refcount %d on validate (retry of partial hypercall?)", f.UseCount)
-				}
-				// The validation bit itself is not logged: a rollback
-				// that leaves it stale is exactly the inconsistency the
-				// recovery-time page-frame scan repairs.
-				f.Validated = true
-				return nil
-			}},
-			{Name: "window", Instrs: 38, Unmitigated: true, Do: func() error { return nil }},
-			{Name: "unlock_page_alloc", Instrs: 30, Do: domUnlock},
-			{Name: "complete", Instrs: 20, Do: func() error { return nil }},
-		}
-	}
-	return Program{
-		{Name: "entry", Instrs: 150, Do: func() error { return nil }},
-		{Name: "lock_page_alloc", Instrs: 40, Do: domLock},
-		{Name: "clear_validated", Instrs: 50, Do: func() error {
-			f, err := d()
-			if err != nil {
-				return err
-			}
-			if !f.Validated {
-				return assertf("mmu_unpin: frame %d not validated (retry of partial hypercall?)", frame)
-			}
-			env.LogWrite("mmu_unpin: undo clear_validated", LogCostMMU, func() { f.Validated = true })
-			f.Validated = false
-			return nil
-		}},
-		{Name: "dec_refcount", Instrs: 60, Do: func() error {
-			f, err := d()
-			if err != nil {
-				return err
-			}
-			env.LogWrite("mmu_unpin: undo dec_refcount", LogCostMMU, func() { f.UseCount++ })
-			if err := f.DecUse(); err != nil {
-				return assertf("mmu_unpin: %v", err)
-			}
-			if f.UseCount == 0 {
-				f.Type = mm.FrameGuest
-			}
-			return nil
-		}},
-		{Name: "window", Instrs: 38, Unmitigated: true, Do: func() error { return nil }},
-		{Name: "unlock_page_alloc", Instrs: 30, Do: domUnlock},
-		{Name: "complete", Instrs: 20, Do: func() error { return nil }},
-	}
+// doNop is the shared body of pure-cost steps.
+func doNop(*Env, *Step) error { return nil }
+
+// doTargetDomainCheck walks the caller's domain structure.
+func doTargetDomainCheck(e *Env, st *Step) error {
+	_, err := e.targetDomain(st.C.Dom)
+	return err
 }
 
-// buildMemoryOp models increase/decrease reservation: adjusts the domain's
+// --- mmu_update -------------------------------------------------------------
+
+// mmuPinTmpl/mmuUnpinTmpl model page-table pin/unpin: the canonical
+// non-idempotent hypercall. The reference count and the validation bit are
+// updated in separate steps; re-executing the count update after a partial
+// run trips the validation assertion — exactly the paper's §IV example.
+var mmuPinTmpl = []Step{
+	{Name: "entry", Instrs: 150, Do: doNop},
+	{Name: "lock_page_alloc", Instrs: 40, Do: doLockPageAlloc},
+	{Name: "inc_refcount", Instrs: 60, Do: doMMUIncRef},
+	{Name: "write_pte", Instrs: 120, Do: doNop},
+	{Name: "validate", Instrs: 80, Do: doMMUValidate},
+	{Name: "window", Instrs: 38, Unmitigated: true, Do: doNop},
+	{Name: "unlock_page_alloc", Instrs: 30, Do: doUnlockPageAlloc},
+	{Name: "complete", Instrs: 20, Do: doNop},
+}
+
+var mmuUnpinTmpl = []Step{
+	{Name: "entry", Instrs: 150, Do: doNop},
+	{Name: "lock_page_alloc", Instrs: 40, Do: doLockPageAlloc},
+	{Name: "clear_validated", Instrs: 50, Do: doMMUClearValidated},
+	{Name: "dec_refcount", Instrs: 60, Do: doMMUDecRef},
+	{Name: "window", Instrs: 38, Unmitigated: true, Do: doNop},
+	{Name: "unlock_page_alloc", Instrs: 30, Do: doUnlockPageAlloc},
+	{Name: "complete", Instrs: 20, Do: doNop},
+}
+
+func mmuFrame(e *Env, c *Call) (*mm.PageFrame, error) {
+	frame := int(c.Args[1])
+	if frame < 0 || frame >= e.Frames.Len() {
+		return nil, assertf("mmu_update: bad frame %d", frame)
+	}
+	return e.Frames.Frame(frame), nil
+}
+
+func doLockPageAlloc(e *Env, st *Step) error {
+	dm, err := e.targetDomain(st.C.Dom)
+	if err != nil {
+		return err
+	}
+	return e.Acquire(dm.PageAllocLock)
+}
+
+func doUnlockPageAlloc(e *Env, st *Step) error {
+	dm, err := e.targetDomain(st.C.Dom)
+	if err != nil {
+		return err
+	}
+	e.Release(dm.PageAllocLock)
+	return nil
+}
+
+func doMMUIncRef(e *Env, st *Step) error {
+	f, err := mmuFrame(e, st.C)
+	if err != nil {
+		return err
+	}
+	e.LogWrite("mmu_pin: undo inc_refcount", LogCostMMU, func() { f.UseCount-- })
+	f.Type = mm.FramePageTable
+	f.IncUse()
+	return nil
+}
+
+func doMMUValidate(e *Env, st *Step) error {
+	f, err := mmuFrame(e, st.C)
+	if err != nil {
+		return err
+	}
+	if f.UseCount != 1 {
+		return assertf("mmu_pin: refcount %d on validate (retry of partial hypercall?)", f.UseCount)
+	}
+	// The validation bit itself is not logged: a rollback that leaves it
+	// stale is exactly the inconsistency the recovery-time page-frame
+	// scan repairs.
+	f.Validated = true
+	return nil
+}
+
+func doMMUClearValidated(e *Env, st *Step) error {
+	f, err := mmuFrame(e, st.C)
+	if err != nil {
+		return err
+	}
+	if !f.Validated {
+		return assertf("mmu_unpin: frame %d not validated (retry of partial hypercall?)", int(st.C.Args[1]))
+	}
+	e.LogWrite("mmu_unpin: undo clear_validated", LogCostMMU, func() { f.Validated = true })
+	f.Validated = false
+	return nil
+}
+
+func doMMUDecRef(e *Env, st *Step) error {
+	f, err := mmuFrame(e, st.C)
+	if err != nil {
+		return err
+	}
+	e.LogWrite("mmu_unpin: undo dec_refcount", LogCostMMU, func() { f.UseCount++ })
+	if err := f.DecUse(); err != nil {
+		return assertf("mmu_unpin: %v", err)
+	}
+	if f.UseCount == 0 {
+		f.Type = mm.FrameGuest
+	}
+	return nil
+}
+
+// --- memory_op --------------------------------------------------------------
+
+// memoryOpTmpl models increase/decrease reservation: adjusts the domain's
 // page accounting under the static heap lock. Non-idempotent via TotPages.
-func buildMemoryOp(env *Env, call *Call) Program {
-	delta := int(int64(call.Args[1]))
-	if call.Args[SubOpArg] == MemRelease {
+var memoryOpTmpl = []Step{
+	{Name: "entry", Instrs: 120, Do: doNop},
+	{Name: "lock_heap", Instrs: 40, Do: doLockHeap},
+	{Name: "adjust_tot_pages", Instrs: 110, Do: doAdjustTotPages},
+	{Name: "update_heap", Instrs: 260, Do: doHeapCheck},
+	{Name: "window", Instrs: 32, Unmitigated: true, Do: doNop},
+	{Name: "unlock_heap", Instrs: 30, Do: doUnlockHeap},
+	{Name: "complete", Instrs: 20, Do: doNop},
+}
+
+func doLockHeap(e *Env, st *Step) error { return e.Acquire(e.Statics.HeapLock) }
+
+func doUnlockHeap(e *Env, st *Step) error {
+	e.Release(e.Statics.HeapLock)
+	return nil
+}
+
+func doHeapCheck(e *Env, st *Step) error { return e.Heap.Check() }
+
+func doAdjustTotPages(e *Env, st *Step) error {
+	dm, err := e.targetDomain(st.C.Dom)
+	if err != nil {
+		return err
+	}
+	delta := int(int64(st.C.Args[1]))
+	if st.C.Args[SubOpArg] == MemRelease {
 		delta = -delta
 	}
-	return Program{
-		{Name: "entry", Instrs: 120, Do: func() error { return nil }},
-		{Name: "lock_heap", Instrs: 40, Do: func() error { return env.Acquire(env.Statics.HeapLock) }},
-		{Name: "adjust_tot_pages", Instrs: 110, Do: func() error {
-			dm, err := env.targetDomain(call.Dom)
-			if err != nil {
-				return err
-			}
-			env.LogWrite("memory_op: undo tot_pages", LogCostMemory, func() { dm.TotPages -= delta })
-			dm.TotPages += delta
-			if dm.TotPages < 0 || dm.TotPages > dm.MemCount {
-				return assertf("memory_op: tot_pages %d out of [0,%d] for d%d (retry of partial hypercall?)",
-					dm.TotPages, dm.MemCount, dm.ID)
-			}
-			return nil
-		}},
-		{Name: "update_heap", Instrs: 260, Do: func() error { return env.Heap.Check() }},
-		{Name: "window", Instrs: 32, Unmitigated: true, Do: func() error { return nil }},
-		{Name: "unlock_heap", Instrs: 30, Do: func() error { env.Release(env.Statics.HeapLock); return nil }},
-		{Name: "complete", Instrs: 20, Do: func() error { return nil }},
+	e.LogWrite("memory_op: undo tot_pages", LogCostMemory, func() { dm.TotPages -= delta })
+	dm.TotPages += delta
+	if dm.TotPages < 0 || dm.TotPages > dm.MemCount {
+		return assertf("memory_op: tot_pages %d out of [0,%d] for d%d (retry of partial hypercall?)",
+			dm.TotPages, dm.MemCount, dm.ID)
 	}
+	return nil
 }
 
-// buildGrantTableOp models grant map/unmap: the block I/O path's mechanism
-// for sharing pages, again with a non-idempotent map count.
-func buildGrantTableOp(env *Env, call *Call) Program {
-	ref := int(call.Args[1])
-	frame := int(call.Args[2])
-	mapOp := call.Args[SubOpArg] == GrantMap
-	if mapOp {
-		return Program{
-			{Name: "entry", Instrs: 130, Do: func() error { return nil }},
-			{Name: "lock_grant", Instrs: 40, Do: func() error {
-				dm, err := env.targetDomain(call.Dom)
-				if err != nil {
-					return err
-				}
-				return env.Acquire(dm.GrantLock)
-			}},
-			{Name: "map_track", Instrs: 50, Do: func() error {
-				dm, err := env.targetDomain(call.Dom)
-				if err != nil {
-					return err
-				}
-				e, err := dm.GrantTab.Entry(ref)
-				if err != nil {
-					return assertf("grant_map: %v", err)
-				}
-				if !e.InUse || e.Frame != frame {
-					return assertf("grant_map: ref %d not granted for frame %d in d%d", ref, frame, dm.ID)
-				}
-				// The I/O rings map each granted buffer exactly once;
-				// a second mapping is the §IV signature of a retried
-				// partial hypercall.
-				if e.MapCount != 0 {
-					return assertf("grant_map: ref %d already mapped in d%d (retry of partial hypercall?)", ref, dm.ID)
-				}
-				h, _, err := dm.Maptrack.Map(dm.GrantTab, ref)
-				if err != nil {
-					return assertf("grant_map: %v", err)
-				}
-				env.LogWrite("grant_map: undo map_track", LogCostGrant, func() {
-					dm.Maptrack.Unmap(h, dm.GrantTab)
-				})
-				return nil
-			}},
-			{Name: "inc_mapcount", Instrs: 50, Do: func() error {
-				if frame < 0 || frame >= env.Frames.Len() {
-					return assertf("grant_map: bad frame %d", frame)
-				}
-				f := env.Frames.Frame(frame)
-				env.LogWrite("grant_map: undo inc_mapcount", LogCostGrant, func() { f.UseCount-- })
-				f.IncUse()
-				return nil
-			}},
-			{Name: "unlock_grant", Instrs: 30, Do: func() error {
-				dm, err := env.targetDomain(call.Dom)
-				if err != nil {
-					return err
-				}
-				env.Release(dm.GrantLock)
-				return nil
-			}},
-			{Name: "complete", Instrs: 20, Do: func() error { return nil }},
-		}
-	}
-	return Program{
-		{Name: "entry", Instrs: 130, Do: func() error { return nil }},
-		{Name: "lock_grant", Instrs: 40, Do: func() error {
-			dm, err := env.targetDomain(call.Dom)
-			if err != nil {
-				return err
-			}
-			return env.Acquire(dm.GrantLock)
-		}},
-		{Name: "unmap_track", Instrs: 50, Do: func() error {
-			dm, err := env.targetDomain(call.Dom)
-			if err != nil {
-				return err
-			}
-			h := dm.Maptrack.HandleForRef(dm.ID, ref)
-			if h < 0 {
-				return assertf("grant_unmap: ref %d not mapped in d%d (retry of partial hypercall?)", ref, dm.ID)
-			}
-			mp, err := dm.Maptrack.Unmap(h, dm.GrantTab)
-			if err != nil {
-				return assertf("grant_unmap: %v", err)
-			}
-			env.LogWrite("grant_unmap: undo unmap_track", LogCostGrant, func() {
-				dm.Maptrack.Map(dm.GrantTab, mp.Ref)
-			})
-			return nil
-		}},
-		{Name: "dec_mapcount", Instrs: 50, Do: func() error {
-			if frame < 0 || frame >= env.Frames.Len() {
-				return assertf("grant_unmap: bad frame %d", frame)
-			}
-			f := env.Frames.Frame(frame)
-			env.LogWrite("grant_unmap: undo dec_mapcount", LogCostGrant, func() { f.UseCount++ })
-			if err := f.DecUse(); err != nil {
-				return assertf("grant_unmap: %v", err)
-			}
-			return nil
-		}},
-		{Name: "window", Instrs: 44, Unmitigated: true, Do: func() error { return nil }},
-		{Name: "unlock_grant", Instrs: 30, Do: func() error {
-			dm, err := env.targetDomain(call.Dom)
-			if err != nil {
-				return err
-			}
-			env.Release(dm.GrantLock)
-			return nil
-		}},
-		{Name: "complete", Instrs: 20, Do: func() error { return nil }},
-	}
+// --- grant_table_op ---------------------------------------------------------
+
+// grantMapTmpl/grantUnmapTmpl model grant map/unmap: the block I/O path's
+// mechanism for sharing pages, again with a non-idempotent map count.
+var grantMapTmpl = []Step{
+	{Name: "entry", Instrs: 130, Do: doNop},
+	{Name: "lock_grant", Instrs: 40, Do: doLockGrant},
+	{Name: "map_track", Instrs: 50, Do: doGrantMapTrack},
+	{Name: "inc_mapcount", Instrs: 50, Do: doGrantIncMap},
+	{Name: "unlock_grant", Instrs: 30, Do: doUnlockGrant},
+	{Name: "complete", Instrs: 20, Do: doNop},
 }
 
-// buildEventChannel models event-channel send: idempotent (the pending
-// bit is level-triggered), so retry is always safe. Setting the peer's
-// pending bit and delivering the upcall are separate steps (an abandoned
-// upcall leaves a pending-but-sleeping vCPU; the scheduling-metadata
-// repair re-enqueues it).
-func buildEventChannel(env *Env, call *Call) Program {
-	port := int(call.Args[2])
-	notified := -1
-	notifiedPort := -1
-	bad := false // invalid port: -EINVAL to the guest, not a panic
-	return Program{
-		{Name: "entry", Instrs: 100, Do: func() error { return nil }},
-		{Name: "lookup_port", Instrs: 60, Do: func() error {
-			// The send path walks the caller's domain structure.
-			dm, err := env.targetDomain(call.Dom)
-			if err != nil {
-				return err
-			}
-			if p, err := dm.Events.Port(port); err != nil || p.State == evtchn.Free || p.State == evtchn.Unbound {
-				bad = true
-			}
-			return nil
-		}},
-		{Name: "set_pending", Instrs: 40, Do: func() error {
-			if bad {
-				return nil
-			}
-			who, err := env.Broker.Send(call.Dom, port)
-			if err != nil {
-				return assertf("evtchn_send: %v", err)
-			}
-			notified = who
-			dm, err := env.targetDomain(who)
-			if err != nil {
-				return err
-			}
-			if ports := dm.Events.PendingPorts(); len(ports) > 0 {
-				notifiedPort = ports[len(ports)-1]
-			}
-			return nil
-		}},
-		{Name: "upcall", Instrs: 50, Do: func() error {
-			if notified < 0 {
-				return nil
-			}
-			dm, err := env.targetDomain(notified)
-			if err != nil {
-				return err
-			}
-			if v := dm.UpcallVCPU(); v != nil {
-				env.Wake(v)
-			}
-			if env.Notify != nil && notifiedPort >= 0 {
-				env.Notify(notified, notifiedPort)
-			}
-			return nil
-		}},
-		{Name: "complete", Instrs: 20, Do: func() error { return nil }},
-	}
+var grantUnmapTmpl = []Step{
+	{Name: "entry", Instrs: 130, Do: doNop},
+	{Name: "lock_grant", Instrs: 40, Do: doLockGrant},
+	{Name: "unmap_track", Instrs: 50, Do: doGrantUnmapTrack},
+	{Name: "dec_mapcount", Instrs: 50, Do: doGrantDecMap},
+	{Name: "window", Instrs: 44, Unmitigated: true, Do: doNop},
+	{Name: "unlock_grant", Instrs: 30, Do: doUnlockGrant},
+	{Name: "complete", Instrs: 20, Do: doNop},
 }
 
-// buildSchedOp models yield/block: the guest gives up the CPU and the
+func doLockGrant(e *Env, st *Step) error {
+	dm, err := e.targetDomain(st.C.Dom)
+	if err != nil {
+		return err
+	}
+	return e.Acquire(dm.GrantLock)
+}
+
+func doUnlockGrant(e *Env, st *Step) error {
+	dm, err := e.targetDomain(st.C.Dom)
+	if err != nil {
+		return err
+	}
+	e.Release(dm.GrantLock)
+	return nil
+}
+
+func doGrantMapTrack(e *Env, st *Step) error {
+	dm, err := e.targetDomain(st.C.Dom)
+	if err != nil {
+		return err
+	}
+	ref := int(st.C.Args[1])
+	frame := int(st.C.Args[2])
+	en, err := dm.GrantTab.Entry(ref)
+	if err != nil {
+		return assertf("grant_map: %v", err)
+	}
+	if !en.InUse || en.Frame != frame {
+		return assertf("grant_map: ref %d not granted for frame %d in d%d", ref, frame, dm.ID)
+	}
+	// The I/O rings map each granted buffer exactly once; a second
+	// mapping is the §IV signature of a retried partial hypercall.
+	if en.MapCount != 0 {
+		return assertf("grant_map: ref %d already mapped in d%d (retry of partial hypercall?)", ref, dm.ID)
+	}
+	h, _, err := dm.Maptrack.Map(dm.GrantTab, ref)
+	if err != nil {
+		return assertf("grant_map: %v", err)
+	}
+	e.LogWrite("grant_map: undo map_track", LogCostGrant, func() {
+		dm.Maptrack.Unmap(h, dm.GrantTab)
+	})
+	return nil
+}
+
+func doGrantIncMap(e *Env, st *Step) error {
+	frame := int(st.C.Args[2])
+	if frame < 0 || frame >= e.Frames.Len() {
+		return assertf("grant_map: bad frame %d", frame)
+	}
+	f := e.Frames.Frame(frame)
+	e.LogWrite("grant_map: undo inc_mapcount", LogCostGrant, func() { f.UseCount-- })
+	f.IncUse()
+	return nil
+}
+
+func doGrantUnmapTrack(e *Env, st *Step) error {
+	dm, err := e.targetDomain(st.C.Dom)
+	if err != nil {
+		return err
+	}
+	ref := int(st.C.Args[1])
+	h := dm.Maptrack.HandleForRef(dm.ID, ref)
+	if h < 0 {
+		return assertf("grant_unmap: ref %d not mapped in d%d (retry of partial hypercall?)", ref, dm.ID)
+	}
+	mp, err := dm.Maptrack.Unmap(h, dm.GrantTab)
+	if err != nil {
+		return assertf("grant_unmap: %v", err)
+	}
+	e.LogWrite("grant_unmap: undo unmap_track", LogCostGrant, func() {
+		dm.Maptrack.Map(dm.GrantTab, mp.Ref)
+	})
+	return nil
+}
+
+func doGrantDecMap(e *Env, st *Step) error {
+	frame := int(st.C.Args[2])
+	if frame < 0 || frame >= e.Frames.Len() {
+		return assertf("grant_unmap: bad frame %d", frame)
+	}
+	f := e.Frames.Frame(frame)
+	e.LogWrite("grant_unmap: undo dec_mapcount", LogCostGrant, func() { f.UseCount++ })
+	if err := f.DecUse(); err != nil {
+		return assertf("grant_unmap: %v", err)
+	}
+	return nil
+}
+
+// --- event_channel_op -------------------------------------------------------
+
+// evtchnTmpl models event-channel send: idempotent (the pending bit is
+// level-triggered), so retry is always safe. Setting the peer's pending
+// bit and delivering the upcall are separate steps (an abandoned upcall
+// leaves a pending-but-sleeping vCPU; the scheduling-metadata repair
+// re-enqueues it).
+var evtchnTmpl = []Step{
+	{Name: "entry", Instrs: 100, Do: doEvtEntry},
+	{Name: "lookup_port", Instrs: 60, Do: doEvtLookup},
+	{Name: "set_pending", Instrs: 40, Do: doEvtSetPending},
+	{Name: "upcall", Instrs: 50, Do: doEvtUpcall},
+	{Name: "complete", Instrs: 20, Do: doNop},
+}
+
+func doEvtEntry(e *Env, st *Step) error {
+	e.scr.notified, e.scr.notifiedPort, e.scr.bad = -1, -1, false
+	return nil
+}
+
+func doEvtLookup(e *Env, st *Step) error {
+	// The send path walks the caller's domain structure.
+	dm, err := e.targetDomain(st.C.Dom)
+	if err != nil {
+		return err
+	}
+	port := int(st.C.Args[2])
+	if p, err := dm.Events.Port(port); err != nil || p.State == evtchn.Free || p.State == evtchn.Unbound {
+		e.scr.bad = true
+	}
+	return nil
+}
+
+func doEvtSetPending(e *Env, st *Step) error {
+	if e.scr.bad {
+		return nil
+	}
+	port := int(st.C.Args[2])
+	who, err := e.Broker.Send(st.C.Dom, port)
+	if err != nil {
+		return assertf("evtchn_send: %v", err)
+	}
+	e.scr.notified = who
+	dm, err := e.targetDomain(who)
+	if err != nil {
+		return err
+	}
+	if ports := dm.Events.PendingPorts(); len(ports) > 0 {
+		e.scr.notifiedPort = ports[len(ports)-1]
+	}
+	return nil
+}
+
+func doEvtUpcall(e *Env, st *Step) error {
+	if e.scr.notified < 0 {
+		return nil
+	}
+	dm, err := e.targetDomain(e.scr.notified)
+	if err != nil {
+		return err
+	}
+	if v := dm.UpcallVCPU(); v != nil {
+		e.Wake(v)
+	}
+	if e.Notify != nil && e.scr.notifiedPort >= 0 {
+		e.Notify(e.scr.notified, e.scr.notifiedPort)
+	}
+	return nil
+}
+
+// --- sched_op ---------------------------------------------------------------
+
+// schedOpTmpl models yield/block: the guest gives up the CPU and the
 // scheduler context-switches. The switch is decomposed into the metadata
 // steps whose windows produce the paper's scheduling inconsistencies.
-func buildSchedOp(env *Env, call *Call) Program {
-	blockOp := call.Args[SubOpArg] == SchedBlock
-	var op *sched.SwitchOp
-	cpu := env.CPU
-	return Program{
-		{Name: "entry", Instrs: 100, Do: func() error { return nil }},
-		{Name: "lock_runq", Instrs: 30, Do: func() error {
-			return env.Acquire(env.Sched.RunqueueLock(cpu))
-		}},
-		{Name: "update_runstate", Instrs: 60, Do: func() error {
-			if blockOp {
-				env.Sched.Block(cpu)
-			}
-			return nil
-		}},
-		{Name: "pick_next", Instrs: 90, Do: func() error {
-			op = env.Sched.BeginSwitch(cpu)
-			return nil
-		}},
-		{Name: "dequeue_next", Instrs: 50, Do: func() error {
-			if op != nil {
-				op.StepDequeueNext()
-			}
-			return nil
-		}},
-		{Name: "requeue_prev", Instrs: 50, Do: func() error {
-			if op != nil && !blockOp {
-				op.StepRequeuePrev()
-			}
-			return nil
-		}},
-		{Name: "set_curr", Instrs: 40, Do: func() error {
-			if op != nil {
-				op.StepSetCurr()
-			}
-			return nil
-		}},
-		{Name: "set_vcpu_state", Instrs: 70, Do: func() error {
-			if op != nil {
-				op.StepSetVCPU()
-			}
-			return nil
-		}},
-		{Name: "unlock_runq", Instrs: 30, Do: func() error {
-			env.Release(env.Sched.RunqueueLock(cpu))
-			return nil
-		}},
-		{Name: "context_restore", Instrs: 110, Do: func() error {
-			if op != nil && env.SwitchContext != nil {
-				env.SwitchContext(cpu, op.Prev(), op.Next())
-			}
-			return nil
-		}},
-		{Name: "complete", Instrs: 20, Do: func() error { return nil }},
-	}
+var schedOpTmpl = []Step{
+	{Name: "entry", Instrs: 100, Do: doSchedEntry},
+	{Name: "lock_runq", Instrs: 30, Do: doSchedLockRunq},
+	{Name: "update_runstate", Instrs: 60, Do: doSchedRunstate},
+	{Name: "pick_next", Instrs: 90, Do: doSchedPickNext},
+	{Name: "dequeue_next", Instrs: 50, Do: doSchedDequeueNext},
+	{Name: "requeue_prev", Instrs: 50, Do: doSchedRequeuePrev},
+	{Name: "set_curr", Instrs: 40, Do: doSchedSetCurr},
+	{Name: "set_vcpu_state", Instrs: 70, Do: doSchedSetVCPU},
+	{Name: "unlock_runq", Instrs: 30, Do: doSchedUnlockRunq},
+	{Name: "context_restore", Instrs: 110, Do: doSchedContextRestore},
+	{Name: "complete", Instrs: 20, Do: doNop},
 }
 
-// buildSetTimer models set_timer_op: replace the vCPU's wakeup timer and
+func doSchedEntry(e *Env, st *Step) error {
+	e.scr.op = nil
+	return nil
+}
+
+func doSchedLockRunq(e *Env, st *Step) error {
+	return e.Acquire(e.Sched.RunqueueLock(e.CPU))
+}
+
+func doSchedUnlockRunq(e *Env, st *Step) error {
+	e.Release(e.Sched.RunqueueLock(e.CPU))
+	return nil
+}
+
+func doSchedRunstate(e *Env, st *Step) error {
+	if st.C.Args[SubOpArg] == SchedBlock {
+		e.Sched.Block(e.CPU)
+	}
+	return nil
+}
+
+func doSchedPickNext(e *Env, st *Step) error {
+	e.scr.op = e.Sched.BeginSwitch(e.CPU)
+	return nil
+}
+
+func doSchedDequeueNext(e *Env, st *Step) error {
+	if e.scr.op != nil {
+		e.scr.op.StepDequeueNext()
+	}
+	return nil
+}
+
+func doSchedRequeuePrev(e *Env, st *Step) error {
+	if e.scr.op != nil && st.C.Args[SubOpArg] != SchedBlock {
+		e.scr.op.StepRequeuePrev()
+	}
+	return nil
+}
+
+func doSchedSetCurr(e *Env, st *Step) error {
+	if e.scr.op != nil {
+		e.scr.op.StepSetCurr()
+	}
+	return nil
+}
+
+func doSchedSetVCPU(e *Env, st *Step) error {
+	if e.scr.op != nil {
+		e.scr.op.StepSetVCPU()
+	}
+	return nil
+}
+
+func doSchedContextRestore(e *Env, st *Step) error {
+	if e.scr.op != nil && e.SwitchContext != nil {
+		e.SwitchContext(e.CPU, e.scr.op.Prev(), e.scr.op.Next())
+	}
+	return nil
+}
+
+// --- set_timer_op -----------------------------------------------------------
+
+// setTimerTmpl models set_timer_op: replace the vCPU's wakeup timer and
 // reprogram the APIC (separate steps — the add/reprogram window).
-func buildSetTimer(env *Env, call *Call) Program {
-	delta := time.Duration(call.Args[1])
-	cpu := env.CPU
-	return Program{
-		{Name: "entry", Instrs: 100, Do: func() error { return nil }},
-		{Name: "stop_old_timer", Instrs: 30, Do: func() error {
-			dm, err := env.targetDomain(call.Dom)
-			if err != nil {
-				return err
-			}
-			if dm.WakeupTimer != nil {
-				env.Timers.StopTimer(dm.WakeupTimer)
-				dm.WakeupTimer = nil
-			}
-			return nil
-		}},
-		{Name: "add_timer", Instrs: 60, Do: func() error {
-			dm, err := env.targetDomain(call.Dom)
-			if err != nil {
-				return err
-			}
-			var v *sched.VCPU
-			if len(dm.VCPUs) > 0 {
-				v = dm.VCPUs[0]
-			}
-			dm.WakeupTimer = env.Timers.AddTimer(cpu, fmt.Sprintf("d%d-wakeup", call.Dom),
-				env.Now()+delta, 0, func() {
-					if v != nil {
-						env.Wake(v)
-					}
-				})
-			return nil
-		}},
-		{Name: "reprogram_apic", Instrs: 40, Do: func() error {
-			env.Timers.ProgramAPIC(cpu)
-			return nil
-		}},
-		{Name: "complete", Instrs: 20, Do: func() error { return nil }},
-	}
+var setTimerTmpl = []Step{
+	{Name: "entry", Instrs: 100, Do: doNop},
+	{Name: "stop_old_timer", Instrs: 30, Do: doStopOldTimer},
+	{Name: "add_timer", Instrs: 60, Do: doAddTimer},
+	{Name: "reprogram_apic", Instrs: 40, Do: doReprogramAPIC},
+	{Name: "complete", Instrs: 20, Do: doNop},
 }
 
-// buildConsoleIO models console output: the message lands in the
+func doStopOldTimer(e *Env, st *Step) error {
+	dm, err := e.targetDomain(st.C.Dom)
+	if err != nil {
+		return err
+	}
+	if dm.WakeupTimer != nil {
+		e.Timers.StopTimer(dm.WakeupTimer)
+		dm.WakeupTimer = nil
+	}
+	return nil
+}
+
+func doAddTimer(e *Env, st *Step) error {
+	dm, err := e.targetDomain(st.C.Dom)
+	if err != nil {
+		return err
+	}
+	var v *sched.VCPU
+	if len(dm.VCPUs) > 0 {
+		v = dm.VCPUs[0]
+	}
+	delta := time.Duration(st.C.Args[1])
+	dm.WakeupTimer = e.Timers.AddTimer(e.CPU, fmt.Sprintf("d%d-wakeup", st.C.Dom),
+		e.Now()+delta, 0, func() {
+			if v != nil {
+				e.Wake(v)
+			}
+		})
+	return nil
+}
+
+func doReprogramAPIC(e *Env, st *Step) error {
+	e.Timers.ProgramAPIC(e.CPU)
+	return nil
+}
+
+// --- console_io -------------------------------------------------------------
+
+// consoleIOTmpl models console output: the message lands in the
 // hypervisor console ring under the console static lock.
-func buildConsoleIO(env *Env, call *Call) Program {
-	return Program{
-		{Name: "entry", Instrs: 80, Do: func() error { return nil }},
-		{Name: "lock_console", Instrs: 30, Do: func() error { return env.Acquire(env.Statics.Console) }},
-		{Name: "emit", Instrs: 100, Do: func() error {
-			if env.ConsoleWrite != nil {
-				env.ConsoleWrite(fmt.Sprintf("d%d: console output (call %d)", call.Dom, call.Seq))
-			}
-			return nil
-		}},
-		{Name: "unlock_console", Instrs: 30, Do: func() error { env.Release(env.Statics.Console); return nil }},
-		{Name: "complete", Instrs: 10, Do: func() error { return nil }},
-	}
+var consoleIOTmpl = []Step{
+	{Name: "entry", Instrs: 80, Do: doNop},
+	{Name: "lock_console", Instrs: 30, Do: doLockConsole},
+	{Name: "emit", Instrs: 100, Do: doConsoleEmit},
+	{Name: "unlock_console", Instrs: 30, Do: doUnlockConsole},
+	{Name: "complete", Instrs: 10, Do: doNop},
 }
 
-// buildVCPUOp models lightweight vCPU state queries (idempotent).
-func buildVCPUOp(env *Env, call *Call) Program {
-	return Program{
-		{Name: "entry", Instrs: 80, Do: func() error { return nil }},
-		{Name: "read_state", Instrs: 60, Do: func() error {
-			_, err := env.targetDomain(call.Dom)
-			return err
-		}},
-		{Name: "complete", Instrs: 20, Do: func() error { return nil }},
-	}
+func doLockConsole(e *Env, st *Step) error { return e.Acquire(e.Statics.Console) }
+
+func doUnlockConsole(e *Env, st *Step) error {
+	e.Release(e.Statics.Console)
+	return nil
 }
 
-// buildMulticall flattens the batch's component programs, inserting a
+func doConsoleEmit(e *Env, st *Step) error {
+	if e.ConsoleWrite != nil {
+		e.ConsoleWrite(fmt.Sprintf("d%d: console output (call %d)", st.C.Dom, st.C.Seq))
+	}
+	return nil
+}
+
+// --- vcpu_op ----------------------------------------------------------------
+
+// vcpuOpTmpl models lightweight vCPU state queries (idempotent).
+var vcpuOpTmpl = []Step{
+	{Name: "entry", Instrs: 80, Do: doNop},
+	{Name: "read_state", Instrs: 60, Do: doTargetDomainCheck},
+	{Name: "complete", Instrs: 20, Do: doNop},
+}
+
+// --- multicall --------------------------------------------------------------
+
+// appendMulticall flattens the batch's component programs, inserting a
 // completion-log step after each component. Components already marked
 // complete (retry of a partial batch) are skipped — the fine-granularity
 // logCompletionLabels covers every batch size the workload generates;
@@ -512,224 +630,218 @@ func logCompletionLabel(i int) string {
 }
 
 // batched-retry enhancement of §IV.
-func buildMulticall(env *Env, call *Call) (Program, error) {
-	prog := Program{
-		{Name: "multicall_entry", Instrs: 60, Do: func() error { return nil }},
-	}
+func appendMulticall(buf Program, env *Env, call *Call) (Program, error) {
+	buf = append(buf, Step{Name: "multicall_entry", Instrs: 60, C: call, Do: doNop})
 	for i := call.Completed; i < len(call.Batch); i++ {
-		comp := call.Batch[i]
-		sub, err := Build(env, comp)
+		var err error
+		buf, err = appendCall(buf, env, call.Batch[i])
 		if err != nil {
 			return nil, err
 		}
-		prog = append(prog, sub...)
 		if env.RecoveryPrep {
 			// Completion logging is recovery machinery (§IV): stock Xen
 			// does not track per-component completion.
-			prog = append(prog, Step{
-				Name:   logCompletionLabel(i),
-				Instrs: 15,
-				Do: func() error {
-					call.Completed++
-					// Commit: a completed component is never rolled
-					// back or re-executed, so its undo records are
-					// discarded here, not at batch completion.
-					env.Undo.Clear()
-					return nil
-				},
-			})
+			buf = append(buf, Step{Name: logCompletionLabel(i), Instrs: 15, C: call, Do: doLogCompletion})
 		}
 	}
-	prog = append(prog, Step{Name: "multicall_exit", Instrs: 30, Do: func() error { return nil }})
-	return prog, nil
+	buf = append(buf, Step{Name: "multicall_exit", Instrs: 30, C: call, Do: doNop})
+	return buf, nil
 }
 
-// buildDomctl models PrivVM management operations: domain creation and
-// destruction. Creation inserts into the global domain list — a logged
-// critical write, since a retried partial create would double-insert.
-func buildDomctl(env *Env, call *Call) Program {
-	sub := call.Args[SubOpArg]
-	if sub == DomctlCreate {
-		spec := call.Create
-		created := false
-		return Program{
-			{Name: "entry", Instrs: 200, Do: func() error {
-				if spec == nil {
-					return assertf("domctl_create: nil spec")
-				}
-				return nil
-			}},
-			{Name: "lock_domlist", Instrs: 40, Do: func() error { return env.Acquire(env.Statics.DomList) }},
-			{Name: "check_exists", Instrs: 60, Do: func() error {
-				if err := env.Domains.CheckLinks(); err != nil {
-					return assertf("domctl_create: %v", err)
-				}
-				if _, err := env.Domains.ByID(spec.ID); err == nil {
-					if created {
-						return nil // our own retry already created it
-					}
-					return assertf("domctl_create: domain %d already exists", spec.ID)
-				}
-				return nil
-			}},
-			{Name: "alloc_and_insert", Instrs: 350, Do: func() error {
-				if created {
-					return nil
-				}
-				env.LogWrite("domctl_create: undo insert", LogCostDomctl, func() {
-					if d, err := env.Domains.ByID(spec.ID); err == nil {
-						_ = env.DestroyDomain(d.ID)
-					}
-					created = false
-				})
-				if err := env.CreateDomain(*spec); err != nil {
-					return assertf("domctl_create: %v", err)
-				}
-				created = true
-				return nil
-			}},
-			{Name: "window", Instrs: 30, Unmitigated: true, Do: func() error { return nil }},
-			{Name: "unlock_domlist", Instrs: 30, Do: func() error { env.Release(env.Statics.DomList); return nil }},
-			{Name: "complete", Instrs: 40, Do: func() error { return nil }},
+func doLogCompletion(e *Env, st *Step) error {
+	st.C.Completed++
+	// Commit: a completed component is never rolled back or re-executed,
+	// so its undo records are discarded here, not at batch completion.
+	e.Undo.Clear()
+	return nil
+}
+
+// --- domctl -----------------------------------------------------------------
+
+// domctlCreateTmpl/domctlDestroyTmpl model PrivVM management operations:
+// domain creation and destruction. Creation inserts into the global domain
+// list — a logged critical write, since a retried partial create would
+// double-insert.
+var domctlCreateTmpl = []Step{
+	{Name: "entry", Instrs: 200, Do: doDomctlEntry},
+	{Name: "lock_domlist", Instrs: 40, Do: doLockDomList},
+	{Name: "check_exists", Instrs: 60, Do: doDomctlCheckExists},
+	{Name: "alloc_and_insert", Instrs: 350, Do: doDomctlInsert},
+	{Name: "window", Instrs: 30, Unmitigated: true, Do: doNop},
+	{Name: "unlock_domlist", Instrs: 30, Do: doUnlockDomList},
+	{Name: "complete", Instrs: 40, Do: doNop},
+}
+
+var domctlDestroyTmpl = []Step{
+	{Name: "entry", Instrs: 150, Do: doNop},
+	{Name: "lock_domlist", Instrs: 40, Do: doLockDomList},
+	{Name: "unlink_and_free", Instrs: 300, Do: doDomctlDestroy},
+	{Name: "unlock_domlist", Instrs: 30, Do: doUnlockDomList},
+	{Name: "complete", Instrs: 40, Do: doNop},
+}
+
+func doLockDomList(e *Env, st *Step) error { return e.Acquire(e.Statics.DomList) }
+
+func doUnlockDomList(e *Env, st *Step) error {
+	e.Release(e.Statics.DomList)
+	return nil
+}
+
+func doDomctlEntry(e *Env, st *Step) error {
+	e.scr.created = false
+	if st.C.Create == nil {
+		return assertf("domctl_create: nil spec")
+	}
+	return nil
+}
+
+func doDomctlCheckExists(e *Env, st *Step) error {
+	if err := e.Domains.CheckLinks(); err != nil {
+		return assertf("domctl_create: %v", err)
+	}
+	if _, err := e.Domains.ByID(st.C.Create.ID); err == nil {
+		if e.scr.created {
+			return nil // our own retry already created it
 		}
+		return assertf("domctl_create: domain %d already exists", st.C.Create.ID)
 	}
-	target := int(call.Args[1])
-	return Program{
-		{Name: "entry", Instrs: 150, Do: func() error { return nil }},
-		{Name: "lock_domlist", Instrs: 40, Do: func() error { return env.Acquire(env.Statics.DomList) }},
-		{Name: "unlink_and_free", Instrs: 300, Do: func() error {
-			if _, err := env.Domains.ByID(target); err != nil {
-				return assertf("domctl_destroy: %v", err)
-			}
-			return env.DestroyDomain(target)
-		}},
-		{Name: "unlock_domlist", Instrs: 30, Do: func() error { env.Release(env.Statics.DomList); return nil }},
-		{Name: "complete", Instrs: 40, Do: func() error { return nil }},
-	}
+	return nil
 }
 
-// buildSyscallForward models the x86-64 syscall path: system calls from
+func doDomctlInsert(e *Env, st *Step) error {
+	if e.scr.created {
+		return nil
+	}
+	spec := st.C.Create
+	e.LogWrite("domctl_create: undo insert", LogCostDomctl, func() {
+		if d, err := e.Domains.ByID(spec.ID); err == nil {
+			_ = e.DestroyDomain(d.ID)
+		}
+		e.scr.created = false
+	})
+	if err := e.CreateDomain(*spec); err != nil {
+		return assertf("domctl_create: %v", err)
+	}
+	e.scr.created = true
+	return nil
+}
+
+func doDomctlDestroy(e *Env, st *Step) error {
+	target := int(st.C.Args[1])
+	if _, err := e.Domains.ByID(target); err != nil {
+		return assertf("domctl_destroy: %v", err)
+	}
+	return e.DestroyDomain(target)
+}
+
+// --- syscall_forward --------------------------------------------------------
+
+// syscallForwardTmpl models the x86-64 syscall path: system calls from
 // guest processes trap into the hypervisor, which forwards them to the
 // guest kernel (§IV "Syscall retry"). No locks, no critical writes —
 // but a fault mid-forward loses the syscall unless it is retried.
-func buildSyscallForward(env *Env, call *Call) Program {
-	return Program{
-		{Name: "entry", Instrs: 90, Do: func() error { return nil }},
-		{Name: "forward", Instrs: 120, Do: func() error {
-			_, err := env.targetDomain(call.Dom)
-			return err
-		}},
-		{Name: "complete", Instrs: 20, Do: func() error { return nil }},
-	}
+var syscallForwardTmpl = []Step{
+	{Name: "entry", Instrs: 90, Do: doNop},
+	{Name: "forward", Instrs: 120, Do: doTargetDomainCheck},
+	{Name: "complete", Instrs: 20, Do: doNop},
 }
 
-// buildEPTViolation models an HVM nested-paging fault (§VI-A): populate
-// or tear down an EPT mapping. Structurally the pin/unpin twin of
+// --- ept_violation ----------------------------------------------------------
+
+// eptPopulateTmpl/eptUnmapTmpl model an HVM nested-paging fault (§VI-A):
+// populate or tear down an EPT mapping. Structurally the pin/unpin twin of
 // mmu_update — a mapping count plus a present bit updated in separate
 // steps — which is why the paper found HVM and PV injection results "very
 // similar": the hazards are the same.
-func buildEPTViolation(env *Env, call *Call) Program {
-	frame := int(call.Args[1])
-	populate := call.Args[SubOpArg] == EPTPopulate
-	fr := func() (*mm.PageFrame, error) {
-		if frame < 0 || frame >= env.Frames.Len() {
-			return nil, assertf("ept_violation: bad frame %d", frame)
-		}
-		return env.Frames.Frame(frame), nil
-	}
-	lock := func() error {
-		dm, err := env.targetDomain(call.Dom)
-		if err != nil {
-			return err
-		}
-		return env.Acquire(dm.PageAllocLock)
-	}
-	unlock := func() error {
-		dm, err := env.targetDomain(call.Dom)
-		if err != nil {
-			return err
-		}
-		env.Release(dm.PageAllocLock)
-		return nil
-	}
-	if populate {
-		return Program{
-			{Name: "vmexit_entry", Instrs: 180, Do: func() error { return nil }},
-			{Name: "lock_p2m", Instrs: 40, Do: lock},
-			{Name: "inc_mapcount", Instrs: 60, Do: func() error {
-				f, err := fr()
-				if err != nil {
-					return err
-				}
-				env.LogWrite("ept_populate: undo inc_mapcount", LogCostMMU, func() { f.UseCount-- })
-				f.Type = mm.FramePageTable
-				f.IncUse()
-				return nil
-			}},
-			{Name: "write_ept_entry", Instrs: 110, Do: func() error { return nil }},
-			{Name: "set_present", Instrs: 70, Do: func() error {
-				f, err := fr()
-				if err != nil {
-					return err
-				}
-				if f.UseCount != 1 {
-					return assertf("ept_populate: mapcount %d on set_present (retry of partial exit?)", f.UseCount)
-				}
-				f.Validated = true
-				return nil
-			}},
-			{Name: "window", Instrs: 34, Unmitigated: true, Do: func() error { return nil }},
-			{Name: "unlock_p2m", Instrs: 30, Do: unlock},
-			{Name: "vmenter", Instrs: 120, Do: func() error { return nil }},
-		}
-	}
-	return Program{
-		{Name: "vmexit_entry", Instrs: 180, Do: func() error { return nil }},
-		{Name: "lock_p2m", Instrs: 40, Do: lock},
-		{Name: "clear_present", Instrs: 50, Do: func() error {
-			f, err := fr()
-			if err != nil {
-				return err
-			}
-			if !f.Validated {
-				return assertf("ept_unmap: frame %d not present (retry of partial exit?)", frame)
-			}
-			env.LogWrite("ept_unmap: undo clear_present", LogCostMMU, func() { f.Validated = true })
-			f.Validated = false
-			return nil
-		}},
-		{Name: "dec_mapcount", Instrs: 60, Do: func() error {
-			f, err := fr()
-			if err != nil {
-				return err
-			}
-			env.LogWrite("ept_unmap: undo dec_mapcount", LogCostMMU, func() { f.UseCount++ })
-			if err := f.DecUse(); err != nil {
-				return assertf("ept_unmap: %v", err)
-			}
-			if f.UseCount == 0 {
-				f.Type = mm.FrameGuest
-			}
-			return nil
-		}},
-		{Name: "window", Instrs: 34, Unmitigated: true, Do: func() error { return nil }},
-		{Name: "unlock_p2m", Instrs: 30, Do: unlock},
-		{Name: "vmenter", Instrs: 120, Do: func() error { return nil }},
-	}
+var eptPopulateTmpl = []Step{
+	{Name: "vmexit_entry", Instrs: 180, Do: doNop},
+	{Name: "lock_p2m", Instrs: 40, Do: doLockPageAlloc},
+	{Name: "inc_mapcount", Instrs: 60, Do: doEPTIncMap},
+	{Name: "write_ept_entry", Instrs: 110, Do: doNop},
+	{Name: "set_present", Instrs: 70, Do: doEPTSetPresent},
+	{Name: "window", Instrs: 34, Unmitigated: true, Do: doNop},
+	{Name: "unlock_p2m", Instrs: 30, Do: doUnlockPageAlloc},
+	{Name: "vmenter", Instrs: 120, Do: doNop},
 }
 
-// buildIOEmulation models an emulated device access by an HVM guest:
+var eptUnmapTmpl = []Step{
+	{Name: "vmexit_entry", Instrs: 180, Do: doNop},
+	{Name: "lock_p2m", Instrs: 40, Do: doLockPageAlloc},
+	{Name: "clear_present", Instrs: 50, Do: doEPTClearPresent},
+	{Name: "dec_mapcount", Instrs: 60, Do: doEPTDecMap},
+	{Name: "window", Instrs: 34, Unmitigated: true, Do: doNop},
+	{Name: "unlock_p2m", Instrs: 30, Do: doUnlockPageAlloc},
+	{Name: "vmenter", Instrs: 120, Do: doNop},
+}
+
+func eptFrame(e *Env, c *Call) (*mm.PageFrame, error) {
+	frame := int(c.Args[1])
+	if frame < 0 || frame >= e.Frames.Len() {
+		return nil, assertf("ept_violation: bad frame %d", frame)
+	}
+	return e.Frames.Frame(frame), nil
+}
+
+func doEPTIncMap(e *Env, st *Step) error {
+	f, err := eptFrame(e, st.C)
+	if err != nil {
+		return err
+	}
+	e.LogWrite("ept_populate: undo inc_mapcount", LogCostMMU, func() { f.UseCount-- })
+	f.Type = mm.FramePageTable
+	f.IncUse()
+	return nil
+}
+
+func doEPTSetPresent(e *Env, st *Step) error {
+	f, err := eptFrame(e, st.C)
+	if err != nil {
+		return err
+	}
+	if f.UseCount != 1 {
+		return assertf("ept_populate: mapcount %d on set_present (retry of partial exit?)", f.UseCount)
+	}
+	f.Validated = true
+	return nil
+}
+
+func doEPTClearPresent(e *Env, st *Step) error {
+	f, err := eptFrame(e, st.C)
+	if err != nil {
+		return err
+	}
+	if !f.Validated {
+		return assertf("ept_unmap: frame %d not present (retry of partial exit?)", int(st.C.Args[1]))
+	}
+	e.LogWrite("ept_unmap: undo clear_present", LogCostMMU, func() { f.Validated = true })
+	f.Validated = false
+	return nil
+}
+
+func doEPTDecMap(e *Env, st *Step) error {
+	f, err := eptFrame(e, st.C)
+	if err != nil {
+		return err
+	}
+	e.LogWrite("ept_unmap: undo dec_mapcount", LogCostMMU, func() { f.UseCount++ })
+	if err := f.DecUse(); err != nil {
+		return assertf("ept_unmap: %v", err)
+	}
+	if f.UseCount == 0 {
+		f.Type = mm.FrameGuest
+	}
+	return nil
+}
+
+// --- io_emulation -----------------------------------------------------------
+
+// ioEmulationTmpl models an emulated device access by an HVM guest:
 // decode the instruction, emulate the device register, re-enter. No
 // locks, no critical writes — the exit is simply re-executed after
 // recovery.
-func buildIOEmulation(env *Env, call *Call) Program {
-	return Program{
-		{Name: "vmexit_entry", Instrs: 180, Do: func() error { return nil }},
-		{Name: "decode", Instrs: 140, Do: func() error {
-			_, err := env.targetDomain(call.Dom)
-			return err
-		}},
-		{Name: "emulate", Instrs: 160, Do: func() error { return nil }},
-		{Name: "vmenter", Instrs: 120, Do: func() error { return nil }},
-	}
+var ioEmulationTmpl = []Step{
+	{Name: "vmexit_entry", Instrs: 180, Do: doNop},
+	{Name: "decode", Instrs: 140, Do: doTargetDomainCheck},
+	{Name: "emulate", Instrs: 160, Do: doNop},
+	{Name: "vmenter", Instrs: 120, Do: doNop},
 }

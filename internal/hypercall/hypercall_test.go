@@ -127,7 +127,7 @@ func (fx *fixture) run(call *Call, stopAfter int) error {
 		return err
 	}
 	for i := range prog {
-		if err := prog[i].Do(); err != nil {
+		if err := prog[i].Do(fx.env, &prog[i]); err != nil {
 			return err
 		}
 		if stopAfter >= 0 && i == stopAfter {

@@ -37,10 +37,20 @@ type Step struct {
 	// occupancy weight.
 	Instrs uint64
 
-	// Do performs the step's state mutation. A non-nil error is a failed
-	// hypervisor assertion (panic). A *SpinError is a spin on a held
-	// lock.
-	Do func() error
+	// C is the call this step operates on — for a multicall batch, the
+	// component call (the completion-log steps bind the outer batch).
+	// Build stamps it when instantiating the op's static step template;
+	// interrupt-handler steps built by the hypervisor leave it nil. The
+	// binding is what lets step bodies be shared package-level functions
+	// instead of per-dispatch closures (the campaign-throughput hot path:
+	// programs are built at every dispatch and retry).
+	C *Call
+
+	// Do performs the step's state mutation against e, reading call
+	// arguments from st.C (st is the step itself). A non-nil error is a
+	// failed hypervisor assertion (panic). A *SpinError is a spin on a
+	// held lock.
+	Do func(e *Env, st *Step) error
 
 	// Unmitigated marks the §IV residual window: a retry after a fault
 	// in this step fails even with undo logging (the paper: "there are
@@ -143,6 +153,35 @@ type Env struct {
 	// heldLocks tracks locks the current program acquired, so an
 	// abandoned program is known to have leaked them.
 	heldLocks []*locking.Lock
+
+	// progBuf is the reusable step buffer Build stamps programs into.
+	// At most one program is ever in flight per CPU (interrupts are
+	// refused and dispatch is non-reentrant while the CPU is busy), so
+	// the buffer is recycled at the next dispatch without copying.
+	progBuf Program
+
+	// scr is the per-program scratch state shared between a handler's
+	// steps (see progScratch).
+	scr progScratch
+}
+
+// progScratch holds the per-program mutable state that a handler's steps
+// share. Each op's entry step resets the fields it uses, which matches
+// the old per-build closure captures exactly: execution (and a rebuild at
+// retry time) always starts from the entry step, so the program begins
+// with a clean slate.
+type progScratch struct {
+	// op is the in-flight context switch (sched_op).
+	op *sched.SwitchOp
+	// notified/notifiedPort carry the event-channel delivery target from
+	// set_pending to upcall (-1 = none).
+	notified     int
+	notifiedPort int
+	// bad marks an invalid event-channel port (-EINVAL, not a panic).
+	bad bool
+	// created marks that domctl_create's insert already ran (its own
+	// retry finds the domain present without tripping the assertion).
+	created bool
 }
 
 // Undo-log write costs in cycles, by record class. Grant-map tracking

@@ -17,8 +17,39 @@ func Scramble(x uint64) uint64 {
 	return x ^ (x >> 31)
 }
 
+// seedWords derives the two scrambled PCG state words for (seed, stream).
+// New and Stream.Reseed must agree exactly: a reseeded stream has to be
+// indistinguishable from a freshly constructed one.
+func seedWords(seed, stream uint64) (uint64, uint64) {
+	return Scramble(seed), Scramble(stream ^ seed<<1 | 1)
+}
+
 // New returns a PCG stream for (seed, stream), decorrelated across
 // neighboring seeds and streams.
 func New(seed, stream uint64) *rand.Rand {
-	return rand.New(rand.NewPCG(Scramble(seed), Scramble(stream^seed<<1|1)))
+	return rand.New(rand.NewPCG(seedWords(seed, stream)))
+}
+
+// Stream is a seeded random stream that can be re-seeded in place.
+// math/rand/v2's Rand keeps no buffered state beyond its source, so
+// re-seeding the retained PCG puts the stream in exactly the state a fresh
+// New(seed, stream) would have — which is what lets a snapshot-forked run
+// reuse the same *rand.Rand aliased throughout a live object graph.
+type Stream struct {
+	*rand.Rand
+	pcg *rand.PCG
+}
+
+// NewStream returns a reseedable stream for (seed, stream), generating the
+// identical sequence to New(seed, stream).
+func NewStream(seed, stream uint64) *Stream {
+	pcg := rand.NewPCG(seedWords(seed, stream))
+	return &Stream{Rand: rand.New(pcg), pcg: pcg}
+}
+
+// Reseed resets the stream in place to the state of a fresh
+// NewStream(seed, stream). Existing aliases of the embedded Rand observe
+// the new sequence immediately.
+func (s *Stream) Reseed(seed, stream uint64) {
+	s.pcg.Seed(seedWords(seed, stream))
 }
