@@ -1,0 +1,117 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"nilihype/internal/core"
+	"nilihype/internal/inject"
+)
+
+func TestParseMechanismAndFault(t *testing.T) {
+	if m, err := parseMechanism("rehype"); err != nil || m != core.Microreboot {
+		t.Fatalf("parseMechanism(rehype) = %v, %v", m, err)
+	}
+	if _, err := parseMechanism("bogus"); err == nil {
+		t.Fatal("parseMechanism accepted bogus")
+	}
+	if f, err := parseFault("Register"); err != nil || f != inject.Register {
+		t.Fatalf("parseFault(Register) = %v, %v", f, err)
+	}
+	if _, err := parseFault("cosmic"); err == nil {
+		t.Fatal("parseFault accepted cosmic")
+	}
+}
+
+func TestBuildRunConfigAdversarial(t *testing.T) {
+	rc, err := buildRunConfig(options{Seed: 5, Fault: "code", Mechanism: "nilihype",
+		Adversarial: true, FlightCap: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc.Recovery.MaxAttempts() <= 1 || !rc.Recovery.Escalation.Audit {
+		t.Fatalf("adversarial config lacks ladder/audit: %+v", rc.Recovery)
+	}
+	if rc.BurstWindow == 0 || !rc.FaultDuringRecovery {
+		t.Fatalf("adversarial config lacks burst/during-recovery: %+v", rc)
+	}
+	if rc.FlightRecorderCapacity != 1024 {
+		t.Fatalf("flight capacity not threaded: %d", rc.FlightRecorderCapacity)
+	}
+}
+
+// chromeDoc mirrors the trace_event JSON shape for the assertions below.
+type chromeDoc struct {
+	TraceEvents []struct {
+		Name  string  `json:"name"`
+		Phase string  `json:"ph"`
+		TS    float64 `json:"ts"`
+		Dur   float64 `json:"dur"`
+		PID   int     `json:"pid"`
+		TID   int     `json:"tid"`
+	} `json:"traceEvents"`
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+}
+
+// TestFailedAdversarialRunRendersChromeTrace is the tool's acceptance bar:
+// scan for an adversarial run that fails or escalates and verify its
+// rendering is valid Chrome trace JSON carrying the injection marker, the
+// detection event, and recovery-phase spans.
+func TestFailedAdversarialRunRendersChromeTrace(t *testing.T) {
+	o := options{Seed: 1, Fault: "code", Mechanism: "nilihype", Adversarial: true,
+		Format: "chrome", FlightCap: 4096, FindFailed: 64}
+	var out, diag bytes.Buffer
+	if err := render(o, &out, &diag); err != nil {
+		t.Fatalf("render: %v", err)
+	}
+	var doc chromeDoc
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	var injects, detects, spans int
+	for _, e := range doc.TraceEvents {
+		switch {
+		case strings.HasPrefix(e.Name, "inject:"):
+			injects++
+		case strings.HasPrefix(e.Name, "detect:"):
+			detects++
+		case e.Phase == "X":
+			spans++
+			if e.Dur < 0 {
+				t.Fatalf("span %q has negative duration", e.Name)
+			}
+		}
+	}
+	if injects == 0 || detects == 0 || spans == 0 {
+		t.Fatalf("trace missing markers: injects=%d detects=%d phase spans=%d\n%s",
+			injects, detects, spans, diag.String())
+	}
+	if !strings.Contains(diag.String(), "seed") {
+		t.Fatalf("diagnostic line missing: %q", diag.String())
+	}
+}
+
+func TestTextFormatIncludesTimelineAndMetrics(t *testing.T) {
+	o := options{Seed: 1, Fault: "failstop", Mechanism: "nilihype",
+		Format: "text", FlightCap: 1024}
+	var out, diag bytes.Buffer
+	if err := render(o, &out, &diag); err != nil {
+		t.Fatalf("render: %v", err)
+	}
+	s := out.String()
+	for _, want := range []string{"inject", "detect", "hv.dispatches", "recovery.attempt_latency_us"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("text output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRenderRejectsUnknownFormat(t *testing.T) {
+	var out, diag bytes.Buffer
+	err := render(options{Fault: "failstop", Mechanism: "nilihype", Format: "svg"}, &out, &diag)
+	if err == nil || !strings.Contains(err.Error(), "unknown format") {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"nilihype/internal/dom"
 	"nilihype/internal/evtchn"
 	"nilihype/internal/hv"
+	"nilihype/internal/telemetry"
 )
 
 // Verdict classifies one violation's disposition.
@@ -212,6 +213,14 @@ func Run(h *hv.Hypervisor, opts Options) *Report {
 
 	auditEvtchn(h, doms, r)
 	auditGrants(h, doms, r)
+
+	degraded := len(r.Violations) - r.Repaired - r.Escalations
+	h.Tel.Inc(telemetry.CtrAuditRuns)
+	h.Tel.Add(telemetry.CtrAuditViolations, uint64(len(r.Violations)))
+	h.Tel.Add(telemetry.CtrAuditRepairs, uint64(r.Repaired))
+	h.Tel.Add(telemetry.CtrAuditDegraded, uint64(degraded))
+	h.Tel.Add(telemetry.CtrAuditEscalate, uint64(r.Escalations))
+	h.Tel.Record(0, telemetry.EvAudit, telemetry.AuditArg(len(r.Violations), r.Repaired, r.Escalations))
 	return r
 }
 

@@ -39,6 +39,31 @@ func BenchmarkCampaignThroughput(b *testing.B) {
 	b.ReportMetric(float64(ms2.TotalAlloc-ms1.TotalAlloc)/total/1024, "KB/run")
 }
 
+// TestForkedRunAllocBudget guards the per-run allocation budget with the
+// always-on telemetry active: metric increments and flight-recorder
+// writes are array stores, so turning observability on must not add
+// per-event allocations. The ceiling sits ~15% above the measured steady
+// state (BENCH_campaign.json) — tight enough to catch a stray per-event
+// allocation (tens of thousands of events per run), loose enough to
+// ignore run-to-run variance in the simulation itself.
+func TestForkedRunAllocBudget(t *testing.T) {
+	rc := ThroughputBenchConfig()
+	img, err := buildImage(rc)
+	if err != nil {
+		t.Fatalf("buildImage: %v", err)
+	}
+	seed := uint64(0)
+	allocs := testing.AllocsPerRun(5, func() {
+		seed++
+		rc.Seed = seed
+		img.run(rc)
+	})
+	const budget = 70000
+	if allocs > budget {
+		t.Fatalf("forked run allocates %.0f objects, budget %d", allocs, budget)
+	}
+}
+
 // BenchmarkSingleRun measures one fault-injection run in isolation
 // (no executor involvement): the per-run floor the executor builds on.
 func BenchmarkSingleRun(b *testing.B) {

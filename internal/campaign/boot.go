@@ -15,18 +15,23 @@ import (
 // hvConfig is the standard campaign machine configuration — the single
 // boot shape shared by fault-injection runs, the latency experiment and
 // the overhead experiment (which alone varies logging/prep).
-func hvConfig(seed uint64, memoryMB int, logging, recoveryPrep bool) hv.Config {
+// MachineCPUs is the campaign machine's CPU count (§VI-A testbed shape);
+// exported so the trace tooling can label all per-CPU timeline lanes.
+const MachineCPUs = 8
+
+func hvConfig(seed uint64, memoryMB int, logging, recoveryPrep bool, flightCap int) hv.Config {
 	return hv.Config{
 		Machine: hw.Config{
-			CPUs:     8,
+			CPUs:     MachineCPUs,
 			MemoryMB: memoryMB,
 			BlockSvc: 200 * time.Microsecond,
 			NICLat:   30 * time.Microsecond,
 		},
-		HeapFrames:     heapFrames,
-		LoggingEnabled: logging,
-		RecoveryPrep:   recoveryPrep,
-		Seed:           seed,
+		HeapFrames:             heapFrames,
+		LoggingEnabled:         logging,
+		RecoveryPrep:           recoveryPrep,
+		FlightRecorderCapacity: flightCap,
+		Seed:                   seed,
 	}
 }
 
@@ -54,6 +59,7 @@ type imageKey struct {
 	BenchDuration time.Duration
 	MemoryMB      int
 	HVM           bool
+	FlightCap     int
 }
 
 func keyOf(rc RunConfig) imageKey {
@@ -65,6 +71,7 @@ func keyOf(rc RunConfig) imageKey {
 		BenchDuration: rc.BenchDuration,
 		MemoryMB:      rc.MemoryMB,
 		HVM:           rc.HVM,
+		FlightCap:     rc.FlightRecorderCapacity,
 	}
 }
 
@@ -106,7 +113,7 @@ type image struct {
 // clock event dispatched.
 func buildImage(rc RunConfig) (*image, error) {
 	rc = rc.withDefaults()
-	clk, h, err := bootHypervisor(hvConfig(rc.Seed, rc.MemoryMB, rc.Logging, true))
+	clk, h, err := bootHypervisor(hvConfig(rc.Seed, rc.MemoryMB, rc.Logging, true, rc.FlightRecorderCapacity))
 	if err != nil {
 		return nil, err
 	}

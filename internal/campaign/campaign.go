@@ -8,6 +8,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"nilihype/internal/telemetry"
 )
 
 // Campaign is a batch of identical runs differing only in seed.
@@ -70,6 +72,29 @@ type Summary struct {
 
 	// FailReasons histograms recovery-failure causes.
 	FailReasons map[string]int
+
+	// LatencyHist histograms total recovery latency (µs) over successful
+	// runs; PhaseHists histograms each itemized recovery-phase duration
+	// (µs) by phase name, over all attempts of all detected runs. Both
+	// are integer power-of-two histograms with commutative, associative
+	// merges, so the summary stays bit-identical at any parallelism.
+	LatencyHist telemetry.Hist
+	PhaseHists  map[string]*telemetry.Hist
+}
+
+// phaseHist returns the named phase histogram, creating it on first use.
+// Laziness keeps PhaseHists nil (not empty) when no run produced phases,
+// so summaries compare deep-equal across execution strategies.
+func (s *Summary) phaseHist(name string) *telemetry.Hist {
+	h := s.PhaseHists[name]
+	if h == nil {
+		if s.PhaseHists == nil {
+			s.PhaseHists = make(map[string]*telemetry.Hist)
+		}
+		h = &telemetry.Hist{}
+		s.PhaseHists[name] = h
+	}
+	return h
 }
 
 // MeanSuccessLatency returns the mean recovery latency of successful runs.
@@ -190,9 +215,16 @@ func (s *Summary) merge(p *Summary) {
 	for k, v := range p.FailReasons {
 		s.FailReasons[k] += v
 	}
+	s.LatencyHist.Merge(&p.LatencyHist)
+	for k, h := range p.PhaseHists {
+		s.phaseHist(k).Merge(h)
+	}
 }
 
 func (s *Summary) add(r Result) {
+	for _, ph := range r.Phases {
+		s.phaseHist(ph.Name).Observe(uint64(ph.Dur / time.Microsecond))
+	}
 	s.AuditViolations += r.AuditViolations
 	s.AuditRepaired += r.AuditRepaired
 	s.SacrificedVMs += len(r.SacrificedVMs)
@@ -215,6 +247,7 @@ func (s *Summary) add(r Result) {
 		if r.Success {
 			s.RecoverySuccess++
 			s.SuccessLatency += r.Latency
+			s.LatencyHist.Observe(uint64(r.Latency / time.Microsecond))
 			n := r.Attempts
 			if n < 1 {
 				n = 1
@@ -327,6 +360,24 @@ func (s Summary) Format() string {
 	if s.AuditViolations > 0 {
 		fmt.Fprintf(&b, "  audit: %d violation(s), %d repaired, %d VM(s) sacrificed\n",
 			s.AuditViolations, s.AuditRepaired, s.SacrificedVMs)
+	}
+	if s.LatencyHist.Count > 0 {
+		fmt.Fprintf(&b, "  recovery latency (µs): p50=%d p99=%d max=%d over %d successful run(s)\n",
+			s.LatencyHist.Quantile(0.50), s.LatencyHist.Quantile(0.99),
+			s.LatencyHist.Max, s.LatencyHist.Count)
+	}
+	if len(s.PhaseHists) > 0 {
+		fmt.Fprintf(&b, "  recovery phase latencies (µs):\n")
+		names := make([]string, 0, len(s.PhaseHists))
+		for k := range s.PhaseHists {
+			names = append(names, k)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			h := s.PhaseHists[n]
+			fmt.Fprintf(&b, "    %-62s n=%-5d p50=%-8d p99=%-8d max=%d\n",
+				n, h.Count, h.Quantile(0.50), h.Quantile(0.99), h.Max)
+		}
 	}
 	if s.BurstFiredRuns > 0 || s.DuringRecoveryFiredRuns > 0 {
 		fmt.Fprintf(&b, "  adversarial: burst fired in %d run(s), during-recovery in %d run(s)\n",

@@ -495,6 +495,42 @@ func adversarialCfg() RunConfig {
 	return base
 }
 
+// TestSummaryMergeShardOrderInvariant: sharded campaigns fold their
+// per-shard Summaries with Merge; the result — including the latency and
+// per-phase histograms — must be bit-identical regardless of the order
+// the shards arrive in. Every Summary field must therefore merge
+// commutatively and associatively.
+func TestSummaryMergeShardOrderInvariant(t *testing.T) {
+	base := adversarialCfg()
+	shards := make([]Summary, 4)
+	for i := range shards {
+		c := Campaign{Base: base, Runs: 3, SeedBase: uint64(i * 3), Parallelism: 2}
+		shards[i] = c.Execute()
+	}
+	mergeAll := func(order ...int) Summary {
+		s := Summary{Config: base,
+			FailReasons: make(map[string]int), SuccessByAttempt: make(map[int]int)}
+		for _, i := range order {
+			s.Merge(shards[i])
+		}
+		return s
+	}
+	ref := mergeAll(0, 1, 2, 3)
+	if ref.Runs != 12 {
+		t.Fatalf("merged Runs = %d, want 12", ref.Runs)
+	}
+	if ref.LatencyHist.Count == 0 || len(ref.PhaseHists) == 0 {
+		t.Fatalf("merged summary has empty histograms: latency n=%d phases=%d",
+			ref.LatencyHist.Count, len(ref.PhaseHists))
+	}
+	for _, order := range [][]int{{3, 2, 1, 0}, {1, 3, 0, 2}, {2, 0, 3, 1}} {
+		if got := mergeAll(order...); !reflect.DeepEqual(ref, got) {
+			t.Fatalf("shard order %v produced a different summary:\n ref: %+v\n got: %+v",
+				order, ref, got)
+		}
+	}
+}
+
 // TestCampaignAuditAdversarialBitIdentity: the audit walks and adversarial
 // triggers must not perturb determinism — the same campaign produces a
 // byte-identical Summary at parallelism 1, 4, and 8.

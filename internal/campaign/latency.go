@@ -74,7 +74,7 @@ func MeasureLatencyCfg(cfg core.Config, memoryMB int, seed uint64) (LatencyResul
 // measureLatencyOnce performs a single latency run with one seed.
 func measureLatencyOnce(cfg core.Config, memoryMB int, seed uint64) (LatencyResult, error) {
 	res := LatencyResult{Mechanism: cfg.Mechanism, MemoryMB: memoryMB}
-	clk, h, err := bootHypervisor(hvConfig(seed, memoryMB, true, true))
+	clk, h, err := bootHypervisor(hvConfig(seed, memoryMB, true, true, 0))
 	if err != nil {
 		return res, fmt.Errorf("campaign: latency %w", err)
 	}

@@ -89,7 +89,7 @@ func MeasureOverhead(cfg OverheadConfig, duration time.Duration, seed uint64) Ov
 // overheadRun executes one variant and returns hypervisor cycles summed
 // over all CPUs for the benchmark window.
 func overheadRun(cfg OverheadConfig, duration time.Duration, seed uint64, logging, prep bool) uint64 {
-	clk, h, err := bootHypervisor(hvConfig(seed, defaultMemoryMB, logging, prep))
+	clk, h, err := bootHypervisor(hvConfig(seed, defaultMemoryMB, logging, prep, 0))
 	if err != nil {
 		panic("campaign: overhead " + err.Error())
 	}

@@ -16,6 +16,7 @@ import (
 	"nilihype/internal/hypercall"
 	"nilihype/internal/inject"
 	"nilihype/internal/prng"
+	"nilihype/internal/telemetry"
 )
 
 // Setup selects the target system configuration (§VI-A).
@@ -95,6 +96,12 @@ type RunConfig struct {
 	// trace events (dispatches, panics, discards, retries) into
 	// Result.Trace — a per-run timeline for debugging and demos.
 	TraceCapacity int
+
+	// FlightRecorderCapacity overrides the always-on telemetry flight
+	// ring size (0 = hv.DefaultFlightRecorderCapacity). The capacity
+	// shapes the boot image, so runs differing in it fork from separate
+	// snapshots.
+	FlightRecorderCapacity int
 }
 
 // Defaults for scaled-down campaign runs.
@@ -223,6 +230,16 @@ type Result struct {
 
 	// Trace is the recorded event timeline (RunConfig.TraceCapacity > 0).
 	Trace []string
+
+	// Phases flattens the recovery attempts' non-group latency steps, in
+	// execution order — the per-phase samples the campaign summary
+	// histograms aggregate.
+	Phases []core.LatencyStep
+
+	// Flight is the telemetry flight-recorder tail, captured for any run
+	// that fails recovery or escalates — the forensic record of what the
+	// system was doing when the recovery story went sideways.
+	Flight []string
 }
 
 // Run executes one fault-injection run on a freshly booted system. It is
@@ -384,6 +401,13 @@ func (img *image) run(rc RunConfig) Result {
 	res.Attempts = len(engine.Attempts)
 	res.Escalated = engine.Escalated()
 	res.PrivVMFailed = world.PrivVMFailed()
+	for i := range engine.Attempts {
+		for _, st := range engine.Attempts[i].Breakdown {
+			if !st.Group {
+				res.Phases = append(res.Phases, st)
+			}
+		}
+	}
 
 	for _, vm := range apps {
 		ok, reason := vm.Verdict()
@@ -436,7 +460,37 @@ func (img *image) run(rc RunConfig) Result {
 			res.NoVMF = res.Success && res.AppVMsFailed == 0
 		}
 	}
+
+	// Sample the end-of-run gauges, and for any run whose recovery story
+	// went wrong, dump the flight-recorder tail as the forensic record.
+	h.Tel.SetGauge(telemetry.GaugeHeldLocks, int64(h.Locks.HeldCount()))
+	h.Tel.SetGauge(telemetry.GaugeLiveDomains, int64(h.Domains.Len()))
+	h.Tel.SetGauge(telemetry.GaugeClockQueueHighWater, int64(clk.QueueHighWater()))
+	h.Tel.SetGauge(telemetry.GaugeHypervisorCycles, int64(h.Machine.HypervisorCycles()))
+	if res.Detected && (!res.Success || res.Escalated) {
+		res.Flight = h.Tel.FlightTail(flightTailLen)
+	}
 	return res
+}
+
+// flightTailLen bounds the flight-recorder tail a failed or escalated run
+// carries in its Result — long enough for the injection, detection, the
+// recovery phases and the failing aftermath; short enough that campaigns
+// with many failures stay cheap.
+const flightTailLen = 64
+
+// TraceRun executes one cold-boot run and returns both the Result and the
+// final telemetry state — the metrics registry, histograms and flight ring
+// the trace tooling renders. Callers wanting a deeper ring set
+// rc.FlightRecorderCapacity.
+func TraceRun(rc RunConfig) (Result, *telemetry.Telemetry) {
+	rc = rc.withDefaults()
+	img, err := buildImage(rc)
+	if err != nil {
+		return Result{Seed: rc.Seed, NewVMOK: true, FailReason: err.Error()}, nil
+	}
+	res := img.run(rc)
+	return res, img.h.Tel
 }
 
 // Horizon components: injection can land as late as BenchDuration/2; each

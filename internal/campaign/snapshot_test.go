@@ -101,6 +101,51 @@ func TestCampaignSummaryIdenticalSnapshotVsColdBoot(t *testing.T) {
 	}
 }
 
+// TestForkedRunTelemetryMatchesColdBoot extends the fork-equivalence bar
+// to the always-on telemetry: a forked run must produce bit-identical
+// metric values (counters, gauges, histograms) AND bit-identical
+// flight-recorder contents to a cold boot with the same seed — i.e. the
+// snapshot restore rewinds the registry and ring to pristine, and the
+// replayed run re-fills them identically (including intern IDs, which the
+// flight events' string arguments embed).
+func TestForkedRunTelemetryMatchesColdBoot(t *testing.T) {
+	rc := adversarialCfg()
+	img, err := buildImage(rc)
+	if err != nil {
+		t.Fatalf("buildImage: %v", err)
+	}
+	for _, seed := range []uint64{1, 2, 3} {
+		rc.Seed = seed
+		_, coldTel := TraceRun(rc) // fresh image every call = cold boot
+		forkedRes := img.run(rc)
+		forkTel := img.h.Tel
+		if forkTel.Counters != coldTel.Counters {
+			t.Fatalf("seed %d: counters differ:\n cold:   %v\n forked: %v",
+				seed, coldTel.Counters, forkTel.Counters)
+		}
+		if forkTel.Gauges != coldTel.Gauges {
+			t.Fatalf("seed %d: gauges differ:\n cold:   %v\n forked: %v",
+				seed, coldTel.Gauges, forkTel.Gauges)
+		}
+		if forkTel.Hists != coldTel.Hists {
+			t.Fatalf("seed %d: histograms differ", seed)
+		}
+		if !reflect.DeepEqual(forkTel.Flight.Events(), coldTel.Flight.Events()) {
+			t.Fatalf("seed %d: flight-recorder contents differ:\n cold:\n%v\n forked:\n%v",
+				seed, coldTel.FlightTail(coldTel.Flight.Len()), forkTel.FlightTail(forkTel.Flight.Len()))
+		}
+		// The rendered tails (which resolve intern IDs to strings) must
+		// agree too — a mismatch here with matching events would mean the
+		// intern table drifted between the paths.
+		if !reflect.DeepEqual(forkTel.FlightTail(forkTel.Flight.Len()), coldTel.FlightTail(coldTel.Flight.Len())) {
+			t.Fatalf("seed %d: rendered flight tails differ", seed)
+		}
+		if forkedRes.Detected && !forkedRes.Success && len(forkedRes.Flight) == 0 {
+			t.Fatalf("seed %d: failed run carried no flight tail", seed)
+		}
+	}
+}
+
 // TestRestoreIsAllocationFree guards the fork path's whole point: rolling
 // a dirty post-run system back to pristine must reuse the pooled arenas,
 // not allocate fresh ones.

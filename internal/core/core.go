@@ -20,6 +20,7 @@ import (
 	"nilihype/internal/audit"
 	"nilihype/internal/detect"
 	"nilihype/internal/hv"
+	"nilihype/internal/telemetry"
 )
 
 // Mechanism selects the recovery mechanism.
@@ -420,6 +421,8 @@ func (en *Engine) OnDetection(e detect.Event) {
 // protocol with its ladder rung.
 func (en *Engine) beginAttempt(trigger string) {
 	mech := en.Cfg.MechanismFor(len(en.Attempts))
+	en.H.Tel.Counters[telemetry.CtrRecoveryAttempts]++
+	en.H.Tel.Record(en.lastEvent.CPU, telemetry.EvAttemptBegin, en.H.Tel.Intern(mech.String()))
 	en.Attempts = append(en.Attempts, Attempt{
 		Mechanism: mech,
 		Trigger:   trigger,
@@ -438,10 +441,14 @@ func (en *Engine) attemptFailed(reason string) {
 	if cur.FailReason == "" {
 		cur.FailReason = reason
 	}
+	en.H.Tel.Record(en.lastEvent.CPU, telemetry.EvAttemptFail, en.H.Tel.Intern(reason))
 	if len(en.Attempts) >= en.Cfg.MaxAttempts() {
 		en.fail(reason)
 		return
 	}
+	en.H.Tel.Counters[telemetry.CtrEscalations]++
+	en.H.Tel.Record(en.lastEvent.CPU, telemetry.EvEscalate,
+		en.H.Tel.Intern(en.Cfg.MechanismFor(len(en.Attempts)).String()))
 	// The failed attempt may already have marked the hypervisor failed
 	// (e.g. a panic path with no recovery hook); the next rung needs a
 	// live simulation to repair.
@@ -458,6 +465,9 @@ func (en *Engine) fail(reason string) {
 	}
 	if n := len(en.Attempts); n > 0 && en.Attempts[n-1].FailReason == "" {
 		en.Attempts[n-1].FailReason = reason
+		// Attempt failures routed through attemptFailed already recorded
+		// their flight event; this branch covers direct terminal paths.
+		en.H.Tel.Record(en.lastEvent.CPU, telemetry.EvAttemptFail, en.H.Tel.Intern(reason))
 	}
 	en.H.MarkFailed(reason)
 }

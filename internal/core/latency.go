@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"strings"
 	"time"
+
+	"nilihype/internal/telemetry"
 )
 
 // LatencyStep is one itemized recovery step (Tables II and III). Group
@@ -70,15 +72,28 @@ func (en *Engine) beginLatency() {
 	en.Latency = 0
 }
 
-// charge appends one itemized step.
+// charge appends one itemized step. The repair work executes while the
+// clock is frozen at the detection instant, but the modeled span occupies
+// [now+cumulative, +d) of virtual time, so the flight recorder gets the
+// span stamped at its computed start — the timeline export then renders
+// the phase sequence in chronological order.
 func (en *Engine) charge(name string, d time.Duration) {
+	at := en.H.Clock.Now() + en.totalLatency()
+	en.H.Tel.RecordAt(at, en.lastEvent.CPU, telemetry.EvPhase,
+		telemetry.PhaseArg(en.H.Tel.Intern(name), d))
 	en.Breakdown = append(en.Breakdown, LatencyStep{Name: name, Dur: d})
 }
 
-// chargeGroup appends a group header followed by its members.
+// chargeGroup appends a group header followed by its members. Only the
+// members are recorded as phase spans (the header would double-cover the
+// same interval).
 func (en *Engine) chargeGroup(name string, members ...LatencyStep) {
+	at := en.H.Clock.Now() + en.totalLatency()
 	var sum time.Duration
 	for _, m := range members {
+		en.H.Tel.RecordAt(at, en.lastEvent.CPU, telemetry.EvPhase,
+			telemetry.PhaseArg(en.H.Tel.Intern(m.Name), m.Dur))
+		at += m.Dur
 		sum += m.Dur
 	}
 	en.Breakdown = append(en.Breakdown, LatencyStep{Name: name, Dur: sum, Group: true})

@@ -8,6 +8,7 @@ import (
 	"nilihype/internal/detect"
 	"nilihype/internal/hv"
 	"nilihype/internal/hypercall"
+	"nilihype/internal/telemetry"
 )
 
 // Probabilities for the DetectingOnly discard-scope ablation (§III-C).
@@ -159,6 +160,7 @@ func (en *Engine) recover(e detect.Event, mech Mechanism) {
 	}
 
 	en.Latency = en.totalLatency()
+	h.Tel.Observe(telemetry.HistAttemptLatencyUs, uint64(en.Latency/time.Microsecond))
 	cur := &en.Attempts[len(en.Attempts)-1]
 	cur.Latency = en.Latency
 	cur.Breakdown = en.Breakdown
@@ -323,6 +325,8 @@ func (en *Engine) complete(mech Mechanism) {
 		return
 	}
 	en.completing = false
+	h.Tel.Counters[telemetry.CtrRecoveries]++
+	h.Tel.Record(en.lastEvent.CPU, telemetry.EvRecovered, uint64(att))
 	en.graceUntil = h.Clock.Now() + en.Cfg.Escalation.GraceWindow
 
 	// Page-frame descriptors left inconsistent (the scan skipped, or

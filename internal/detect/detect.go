@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"nilihype/internal/hv"
+	"nilihype/internal/telemetry"
 	"nilihype/internal/xentime"
 )
 
@@ -167,6 +168,14 @@ func (d *Detector) Reset() {
 
 func (d *Detector) fire(e Event) {
 	d.Detections++
+	d.h.Tel.Counters[telemetry.CtrDetections]++
+	switch e.Kind {
+	case Panic:
+		d.h.Tel.Counters[telemetry.CtrDetectPanic]++
+	case Hang:
+		d.h.Tel.Counters[telemetry.CtrDetectHang]++
+	}
+	d.h.Tel.Record(e.CPU, telemetry.EvDetect, d.h.Tel.Intern(e.Reason))
 	if d.hook != nil {
 		d.hook(e)
 	}

@@ -6,6 +6,7 @@ import (
 
 	"nilihype/internal/hypercall"
 	"nilihype/internal/locking"
+	"nilihype/internal/telemetry"
 )
 
 // InjectionPoint describes where in hypervisor execution a fault landed.
@@ -85,6 +86,9 @@ func (h *Hypervisor) Dispatch(cpu int, call *hypercall.Call) {
 	call.Seq = h.callSeq
 	h.callSeq++
 	h.Stats.Hypercalls++
+	h.Tel.Counters[telemetry.CtrDispatches]++
+	h.Tel.Counters[telemetry.CtrOp(int(call.Op))]++
+	h.Tel.Record(cpu, telemetry.EvDispatch, uint64(call.Op))
 
 	pc.Env.Call = call
 	pc.Env.ResetProgramState()
@@ -93,6 +97,7 @@ func (h *Hypervisor) Dispatch(cpu int, call *hypercall.Call) {
 		h.Panic(cpu, err.Error())
 		return
 	}
+	h.Tel.Hists[telemetry.HistProgramSteps].Observe(uint64(len(prog)))
 	if pc.Env.RecoveryPrep {
 		h.Machine.CPU(cpu).ChargeHypervisor(RetrySetupCycles, RetrySetupCycles)
 	}
@@ -123,6 +128,8 @@ func (h *Hypervisor) runProgram(cpu int) {
 				h.injectArmed = false
 				h.Stats.InjectionFired = true
 				action, reason := h.injectFn(h.injectionPoint(pc, step))
+				h.Tel.Counters[telemetry.CtrInjections]++
+				h.Tel.Record(cpu, telemetry.EvInject, h.Tel.Intern(reason))
 				switch action {
 				case ActionPanic:
 					h.abandonAt(pc, step.Unmitigated)
@@ -226,6 +233,8 @@ func (h *Hypervisor) completeCall(cpu int) {
 	pc.CurrentStep = 0
 	h.clearCrossWaitsRequestedBy(cpu)
 	if call != nil {
+		h.Tel.Counters[telemetry.CtrCompletions]++
+		h.Tel.Record(cpu, telemetry.EvComplete, uint64(call.Op))
 		h.traceCall(cpu, TraceComplete, call)
 		if h.callDoneHook != nil {
 			h.callDoneHook(call, nil)
@@ -243,6 +252,8 @@ func (h *Hypervisor) spin(cpu int, l *locking.Lock) {
 	pc.Spinning = l
 	h.Machine.CPU(cpu).IntrDisabled = true
 	h.Stats.Spins++
+	h.Tel.Counters[telemetry.CtrSpins]++
+	h.Tel.Record(cpu, telemetry.EvSpin, h.Tel.Intern(l.Name()))
 	h.trace(cpu, TraceSpin, l.Name())
 }
 
@@ -252,6 +263,8 @@ func (h *Hypervisor) wedge(cpu int) {
 	pc := h.percpu[cpu]
 	pc.Wedged = true
 	h.Machine.CPU(cpu).IntrDisabled = true
+	h.Tel.Counters[telemetry.CtrWedges]++
+	h.Tel.Record(cpu, telemetry.EvWedge, 0)
 	h.trace(cpu, TraceWedge, "no further progress")
 }
 
@@ -265,6 +278,8 @@ func (h *Hypervisor) Panic(cpu int, reason string) {
 	}
 	h.Stats.Panics++
 	h.percpu[cpu].LocalIRQCount++
+	h.Tel.Counters[telemetry.CtrPanics]++
+	h.Tel.Record(cpu, telemetry.EvPanic, h.Tel.Intern(reason))
 	h.Cons.Write(fmt.Sprintf("(XEN) cpu%d panic: %s", cpu, reason))
 	h.trace(cpu, TracePanic, reason)
 	if h.panicHook != nil {

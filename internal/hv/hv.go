@@ -28,6 +28,7 @@ import (
 	"nilihype/internal/prng"
 	"nilihype/internal/sched"
 	"nilihype/internal/simclock"
+	"nilihype/internal/telemetry"
 	"nilihype/internal/xentime"
 )
 
@@ -50,7 +51,19 @@ type Config struct {
 
 	// Seed drives all randomness in the run.
 	Seed uint64
+
+	// FlightRecorderCapacity sizes the always-on telemetry flight ring
+	// (rounded up to a power of two). Zero selects
+	// DefaultFlightRecorderCapacity. The capacity shapes the boot image,
+	// so campaign image caching keys on it.
+	FlightRecorderCapacity int
 }
+
+// DefaultFlightRecorderCapacity is the always-on flight-ring size: big
+// enough to hold a full detection→recovery→resume sequence plus the
+// activity leading into it, small enough that the per-image footprint
+// (24 bytes/event) stays negligible.
+const DefaultFlightRecorderCapacity = 256
 
 // DefaultConfig returns the paper's testbed configuration.
 func DefaultConfig() Config {
@@ -75,6 +88,10 @@ type Hypervisor struct {
 	Domains *dom.List
 	Statics *hypercall.Statics
 	RNG     *rand.Rand
+
+	// Tel is the always-on telemetry instance: metrics registry plus
+	// flight recorder. Never nil on a constructed hypervisor.
+	Tel *telemetry.Telemetry
 
 	// rngStream is RNG's underlying reseedable stream (see ReseedRun).
 	rngStream *prng.Stream
@@ -200,6 +217,16 @@ func New(clock *simclock.Clock, cfg Config) (*Hypervisor, error) {
 		schedTicks:     make(map[*xentime.Timer]bool),
 		nextGuestFrame: cfg.HeapFrames,
 	}
+	flightCap := cfg.FlightRecorderCapacity
+	if flightCap <= 0 {
+		flightCap = DefaultFlightRecorderCapacity
+	}
+	h.Tel = telemetry.New(flightCap, clock.Now)
+	opNames := make([]string, int(hypercall.OpIOEmulation)+1)
+	for op := 1; op < len(opNames); op++ {
+		opNames[op] = hypercall.Op(op).String()
+	}
+	h.Tel.OpNames = opNames
 	h.staticScratch = make([]uint64, staticScratchWords)
 	for i := range h.staticScratch {
 		h.staticScratch[i] = staticScratchPattern(i)
@@ -210,6 +237,7 @@ func New(clock *simclock.Clock, cfg Config) (*Hypervisor, error) {
 	h.Frames = mm.NewFrameTable(machine.PageFrames())
 	h.Heap = mm.NewHeap(h.Frames, h.Locks, 0, cfg.HeapFrames)
 	h.Sched = sched.NewScheduler(machine.NumCPUs(), h.Locks)
+	h.Sched.SetTelemetry(h.Tel)
 	h.Timers = xentime.NewSubsystem(machine.NumCPUs(), apicAdapter{machine})
 	h.Statics = hypercall.NewStatics(h.Locks)
 
@@ -232,6 +260,7 @@ func New(clock *simclock.Clock, cfg Config) (*Hypervisor, error) {
 			Undo:           hypercall.NewUndoLog(),
 			LoggingEnabled: cfg.LoggingEnabled,
 			RecoveryPrep:   cfg.RecoveryPrep,
+			Tel:            h.Tel,
 		}
 		pc.Env.Notify = func(domID, port int) {
 			if h.eventHook != nil {

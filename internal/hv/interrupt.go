@@ -6,6 +6,7 @@ import (
 	"nilihype/internal/hw"
 	"nilihype/internal/hypercall"
 	"nilihype/internal/sched"
+	"nilihype/internal/telemetry"
 )
 
 // DeliverInterrupt implements hw.InterruptSink. NMIs are always taken
@@ -35,12 +36,15 @@ func (h *Hypervisor) DeliverInterrupt(cpu int, vec hw.Vector) bool {
 	switch vec {
 	case hw.VecTimer:
 		h.Stats.TimerIRQs++
+		h.Tel.Counters[telemetry.CtrTimerIRQs]++
 		h.startIRQProgram(cpu, "timer", h.buildTimerIRQ(cpu))
 	case hw.VecBlock:
 		h.Stats.DeviceIRQs++
+		h.Tel.Counters[telemetry.CtrDeviceIRQs]++
 		h.startIRQProgram(cpu, "block", h.buildDeviceIRQ(cpu, hw.IRQBlock))
 	case hw.VecNIC:
 		h.Stats.DeviceIRQs++
+		h.Tel.Counters[telemetry.CtrDeviceIRQs]++
 		h.startIRQProgram(cpu, "nic", h.buildDeviceIRQ(cpu, hw.IRQNIC))
 	case hw.VecIPI:
 		h.startIRQProgram(cpu, "ipi", h.buildIPIProgram(cpu))
@@ -60,6 +64,7 @@ func (h *Hypervisor) handleNMI(cpu int) {
 	}
 	pc := h.percpu[cpu]
 	pc.LocalIRQCount++
+	h.Tel.Counters[telemetry.CtrNMIs]++
 	h.Machine.CPU(cpu).ChargeHypervisor(nmiHandlerInstrs, nmiHandlerInstrs)
 	epoch := h.recoveryEpoch
 	if h.nmiHook != nil {
@@ -79,6 +84,7 @@ func (h *Hypervisor) startIRQProgram(cpu int, activity string, prog hypercall.Pr
 	pc.Env.ResetProgramState()
 	pc.InIRQProgram = true
 	pc.IRQActivity = activity
+	h.Tel.Record(cpu, telemetry.EvIRQEnter, h.Tel.Intern(activity))
 	pc.CurrentProg = prog
 	pc.CurrentStep = 0
 	h.runProgram(cpu)

@@ -5,6 +5,7 @@ import (
 
 	"nilihype/internal/hypercall"
 	"nilihype/internal/sched"
+	"nilihype/internal/telemetry"
 )
 
 // This file is the state-inspection and state-repair surface the recovery
@@ -17,6 +18,7 @@ import (
 // disabled during recovery").
 func (h *Hypervisor) Pause() {
 	h.paused = true
+	h.Tel.Record(0, telemetry.EvPause, 0)
 	if h.pauseHook != nil {
 		h.pauseHook()
 	}
@@ -29,6 +31,7 @@ func (h *Hypervisor) Paused() bool { return h.paused }
 // interrupts are re-delivered.
 func (h *Hypervisor) ResumeRunnable() {
 	h.paused = false
+	h.Tel.Record(0, telemetry.EvResume, 0)
 	// Drain deferred work by popping from the front: if a deferred action
 	// re-enters recovery (pauses the system again) or fails the
 	// hypervisor, the remainder stays queued — a later recovery attempt's
@@ -112,7 +115,9 @@ func (h *Hypervisor) DiscardThread(cpu int) *PendingCall {
 	pc.abandonedUnmitigated = false
 	pc.Env.ResetProgramState()
 	h.Machine.CPU(cpu).IntrDisabled = true // held until resume
-	if h.tracer != nil {                   // lazy: the concat below must not run untraced
+	h.Tel.Counters[telemetry.CtrDiscards]++
+	h.Tel.Record(cpu, telemetry.EvDiscard, uint64(cpu))
+	if h.tracer != nil { // lazy: the concat below must not run untraced
 		if pending != nil {
 			h.trace(cpu, TraceDiscard, "pending "+pending.Call.String())
 		} else if pc.WasBusyAtDiscard {
@@ -249,6 +254,8 @@ func (h *Hypervisor) RetryPendingCalls(pending []*PendingCall) {
 		h.Stats.RetriedCalls++
 		call := p.Call
 		cpu := p.CPU
+		h.Tel.Counters[telemetry.CtrRetries]++
+		h.Tel.Record(cpu, telemetry.EvRetry, uint64(call.Op))
 		h.traceCall(cpu, TraceRetry, call)
 		h.WhenRunnable(func() { h.Dispatch(cpu, call) })
 	}
@@ -261,6 +268,8 @@ func (h *Hypervisor) DropPendingCalls(pending []*PendingCall) {
 	for _, p := range pending {
 		h.percpu[p.CPU].Env.Undo.Clear()
 		h.Stats.DroppedCalls++
+		h.Tel.Counters[telemetry.CtrDrops]++
+		h.Tel.Record(p.CPU, telemetry.EvDrop, uint64(p.Call.Op))
 		h.traceCall(p.CPU, TraceDrop, p.Call)
 		if d, err := h.Domains.ByID(p.Call.Dom); err == nil {
 			d.Fail(fmt.Sprintf("hypercall %v lost (no retry)", p.Call.Op))

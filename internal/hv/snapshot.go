@@ -9,6 +9,7 @@ import (
 	"nilihype/internal/mm"
 	"nilihype/internal/sched"
 	"nilihype/internal/simclock"
+	"nilihype/internal/telemetry"
 	"nilihype/internal/xentime"
 )
 
@@ -88,6 +89,7 @@ type Snapshot struct {
 	staticScratch  []uint64
 	recoveryVector uint64
 	stats          Stats
+	tel            *telemetry.Snapshot
 }
 
 // Snapshot captures the hypervisor and everything below it (machine,
@@ -140,6 +142,7 @@ func (h *Hypervisor) Snapshot() *Snapshot {
 		staticScratch:  append([]uint64(nil), h.staticScratch...),
 		recoveryVector: h.recoveryVector,
 		stats:          h.Stats,
+		tel:            h.Tel.Snapshot(),
 	}
 	// Deterministic order for the standing-tick set is not needed (it is
 	// restored into a map), but capture through the timer subsystem's
@@ -225,6 +228,7 @@ func (h *Hypervisor) Restore(s *Snapshot) {
 	copy(h.staticScratch, s.staticScratch)
 	h.recoveryVector = s.recoveryVector
 	h.Stats = s.stats
+	h.Tel.Restore(s.tel)
 
 	for i, pc := range h.percpu {
 		st := &s.percpu[i]

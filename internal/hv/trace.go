@@ -98,39 +98,54 @@ func (h *Hypervisor) traceCall(cpu int, kind TraceKind, call *hypercall.Call) {
 // non-trivial detail strings guard on it.
 func (h *Hypervisor) Tracing() bool { return h.tracer != nil }
 
-// TraceRecorder is a bounded in-memory trace sink.
+// TraceRecorder is a bounded in-memory trace sink. It is a ring: once
+// capacity events have been recorded, each new event evicts the oldest, so
+// a long run always retains the most recent window — the events that
+// matter for a post-mortem — instead of freezing on the first cap events.
 type TraceRecorder struct {
 	cap    int
 	events []TraceEvent
-	// Dropped counts events discarded after the buffer filled.
+	start  int // index of the oldest retained event once full
+	// Dropped counts the oldest events evicted after the buffer filled.
 	Dropped int
 }
 
-// NewTraceRecorder returns a recorder holding up to capacity events.
+// NewTraceRecorder returns a recorder retaining the most recent capacity
+// events.
 func NewTraceRecorder(capacity int) *TraceRecorder {
 	return &TraceRecorder{cap: capacity}
 }
 
 // Record is the sink function (pass to SetTracer).
 func (r *TraceRecorder) Record(e TraceEvent) {
-	if len(r.events) >= r.cap {
+	if r.cap <= 0 {
 		r.Dropped++
 		return
 	}
-	r.events = append(r.events, e)
+	if len(r.events) < r.cap {
+		r.events = append(r.events, e)
+		return
+	}
+	r.events[r.start] = e
+	r.start++
+	if r.start == r.cap {
+		r.start = 0
+	}
+	r.Dropped++
 }
 
-// Events returns the recorded events in order.
+// Events returns the retained events, oldest first.
 func (r *TraceRecorder) Events() []TraceEvent {
-	out := make([]TraceEvent, len(r.events))
-	copy(out, r.events)
+	out := make([]TraceEvent, 0, len(r.events))
+	out = append(out, r.events[r.start:]...)
+	out = append(out, r.events[:r.start]...)
 	return out
 }
 
-// Filter returns the recorded events of the given kinds.
+// Filter returns the retained events of the given kinds, oldest first.
 func (r *TraceRecorder) Filter(kinds ...TraceKind) []TraceEvent {
 	var out []TraceEvent
-	for _, e := range r.events {
+	for _, e := range r.Events() {
 		for _, k := range kinds {
 			if e.Kind == k {
 				out = append(out, e)

@@ -66,8 +66,26 @@ func TestTraceRecorderBounded(t *testing.T) {
 	for i := 0; i < 5; i++ {
 		rec.Record(TraceEvent{At: time.Duration(i), Kind: TraceDispatch})
 	}
-	if len(rec.Events()) != 2 || rec.Dropped != 3 {
-		t.Fatalf("events=%d dropped=%d", len(rec.Events()), rec.Dropped)
+	events := rec.Events()
+	if len(events) != 2 || rec.Dropped != 3 {
+		t.Fatalf("events=%d dropped=%d", len(events), rec.Dropped)
+	}
+	// The recorder is a ring: the most recent events are retained (the
+	// oldest are evicted), in chronological order.
+	if events[0].At != 3 || events[1].At != 4 {
+		t.Fatalf("ring should keep newest events in order, got %v", events)
+	}
+	// Filter sees the same retained window.
+	if got := rec.Filter(TraceDispatch); len(got) != 2 || got[0].At != 3 {
+		t.Fatalf("Filter over ring = %v", got)
+	}
+}
+
+func TestTraceRecorderZeroCapacity(t *testing.T) {
+	rec := NewTraceRecorder(0)
+	rec.Record(TraceEvent{Kind: TracePanic})
+	if len(rec.Events()) != 0 || rec.Dropped != 1 {
+		t.Fatalf("zero-cap recorder retained events: %v dropped=%d", rec.Events(), rec.Dropped)
 	}
 }
 

@@ -126,6 +126,17 @@ func (m *Machine) CPU(i int) *CPU { return m.cpus[i] }
 // CPUs returns all CPUs in index order.
 func (m *Machine) CPUs() []*CPU { return m.cpus }
 
+// HypervisorCycles returns the machine-wide total of cycles spent
+// executing hypervisor code — the telemetry gauge behind the
+// processing-overhead trend.
+func (m *Machine) HypervisorCycles() uint64 {
+	var total uint64
+	for _, c := range m.cpus {
+		total += c.Cycles.Hypervisor
+	}
+	return total
+}
+
 // IOAPIC returns the machine's IO-APIC.
 func (m *Machine) IOAPIC() *IOAPIC { return m.ioapic }
 

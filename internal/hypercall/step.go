@@ -10,6 +10,7 @@ import (
 	"nilihype/internal/locking"
 	"nilihype/internal/mm"
 	"nilihype/internal/sched"
+	"nilihype/internal/telemetry"
 	"nilihype/internal/xentime"
 )
 
@@ -147,6 +148,10 @@ type Env struct {
 	// step. This is the hypervisor-processing overhead Figure 3 measures.
 	ExtraCycles uint64
 
+	// Tel, when set, receives lock acquisition/contention counters. Nil
+	// (standalone Env construction in tests) disables the counting.
+	Tel *telemetry.Telemetry
+
 	// Call is the call currently executing on this CPU.
 	Call *Call
 
@@ -201,8 +206,10 @@ const (
 // it is held.
 func (e *Env) Acquire(l *locking.Lock) error {
 	if !l.TryAcquire(e.CPU) {
+		e.Tel.Inc(telemetry.CtrLockContended)
 		return &SpinError{Lock: l}
 	}
+	e.Tel.Inc(telemetry.CtrLockAcquisitions)
 	e.heldLocks = append(e.heldLocks, l)
 	return nil
 }

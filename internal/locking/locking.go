@@ -190,6 +190,24 @@ func (r *Registry) HeldLocks(kinds ...Kind) []*Lock {
 	return out
 }
 
+// HeldCount returns how many registered locks are currently held. Unlike
+// HeldLocks it allocates nothing — it exists for telemetry gauge sampling
+// on the campaign's per-run path.
+func (r *Registry) HeldCount() int {
+	n := 0
+	for _, l := range r.static {
+		if l.held {
+			n++
+		}
+	}
+	for _, l := range r.heap {
+		if l.held {
+			n++
+		}
+	}
+	return n
+}
+
 // UnlockStaticSegment force-releases every held static lock, returning the
 // number released. This is the "Unlock static locks" enhancement (§V-A).
 func (r *Registry) UnlockStaticSegment() int {

@@ -1,9 +1,10 @@
-// Package report renders experiment results as text, Markdown or CSV
-// tables, so the cmd/hyperrecover-* tools can feed plots and documents
-// directly.
+// Package report renders experiment results as text, Markdown, CSV or
+// JSON tables, so the cmd/hyperrecover-* tools can feed plots and
+// documents directly.
 package report
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
 	"time"
@@ -17,6 +18,7 @@ const (
 	Text Format = iota + 1
 	Markdown
 	CSV
+	JSON
 )
 
 // ParseFormat maps a flag value to a Format.
@@ -28,6 +30,8 @@ func ParseFormat(s string) (Format, error) {
 		return Markdown, nil
 	case "csv":
 		return CSV, nil
+	case "json":
+		return JSON, nil
 	default:
 		return 0, fmt.Errorf("report: unknown format %q", s)
 	}
@@ -42,6 +46,8 @@ func (f Format) String() string {
 		return "markdown"
 	case CSV:
 		return "csv"
+	case JSON:
+		return "json"
 	default:
 		return fmt.Sprintf("format(%d)", int(f))
 	}
@@ -81,6 +87,8 @@ func (t *Table) Render(f Format) string {
 		return t.renderMarkdown()
 	case CSV:
 		return t.renderCSV()
+	case JSON:
+		return t.renderJSON()
 	default:
 		return t.renderText()
 	}
@@ -162,6 +170,27 @@ func (t *Table) renderCSV() string {
 		writeRow(row)
 	}
 	return b.String()
+}
+
+// renderJSON emits the table as one self-describing JSON object. Rows are
+// arrays (not objects) so duplicate column names cannot silently drop
+// cells; the output ends in a newline like the other renderers.
+func (t *Table) renderJSON() string {
+	rows := t.rows
+	if rows == nil {
+		rows = [][]string{}
+	}
+	doc := struct {
+		Title   string     `json:"title"`
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+	}{Title: t.Title, Columns: t.Columns, Rows: rows}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		// A [][]string cannot fail to marshal; keep the renderer total.
+		return fmt.Sprintf(`{"error":%q}`, err.Error()) + "\n"
+	}
+	return string(out) + "\n"
 }
 
 // BarChart renders labeled values as horizontal ASCII bars — a terminal

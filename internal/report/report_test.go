@@ -1,6 +1,7 @@
 package report
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -20,7 +21,8 @@ func TestParseFormat(t *testing.T) {
 	}{
 		{"text", Text, false}, {"", Text, false},
 		{"md", Markdown, false}, {"markdown", Markdown, false},
-		{"CSV", CSV, false}, {"xml", 0, true},
+		{"CSV", CSV, false}, {"json", JSON, false}, {"JSON", JSON, false},
+		{"xml", 0, true},
 	}
 	for _, tt := range tests {
 		got, err := ParseFormat(tt.in)
@@ -29,7 +31,7 @@ func TestParseFormat(t *testing.T) {
 		}
 	}
 	if Text.String() != "text" || Markdown.String() != "markdown" ||
-		CSV.String() != "csv" || Format(9).String() != "format(9)" {
+		CSV.String() != "csv" || JSON.String() != "json" || Format(9).String() != "format(9)" {
 		t.Fatal("format names wrong")
 	}
 }
@@ -86,6 +88,47 @@ func TestRenderCSV(t *testing.T) {
 	got := tb.Render(CSV)
 	if !strings.Contains(got, `"with,comma","with""quote"`) {
 		t.Fatalf("quoting wrong: %q", got)
+	}
+}
+
+func TestRenderJSON(t *testing.T) {
+	out := sample().Render(JSON)
+	var doc struct {
+		Title   string     `json:"title"`
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("Render(JSON) is not valid JSON: %v\n%s", err, out)
+	}
+	if doc.Title != "Recovery rates" {
+		t.Fatalf("title = %q", doc.Title)
+	}
+	if len(doc.Columns) != 3 || doc.Columns[0] != "mechanism" {
+		t.Fatalf("columns = %v", doc.Columns)
+	}
+	if len(doc.Rows) != 2 || doc.Rows[1][2] != "96.8%" {
+		t.Fatalf("rows = %v", doc.Rows)
+	}
+	if !strings.HasSuffix(out, "\n") {
+		t.Fatal("JSON output must end in a newline like the other renderers")
+	}
+	// Cells needing escaping survive the round trip.
+	tb := NewTable("t", "a")
+	tb.AddRow("quote\" and\nnewline")
+	var doc2 struct {
+		Rows [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal([]byte(tb.Render(JSON)), &doc2); err != nil {
+		t.Fatalf("escaped cell broke JSON: %v", err)
+	}
+	if doc2.Rows[0][0] != "quote\" and\nnewline" {
+		t.Fatalf("cell round trip = %q", doc2.Rows[0][0])
+	}
+	// An empty table still renders an array, not null.
+	empty := NewTable("e", "a")
+	if s := empty.Render(JSON); strings.Contains(s, `"rows": null`) {
+		t.Fatalf("empty table rows must be [], got:\n%s", s)
 	}
 }
 

@@ -19,6 +19,7 @@ import (
 
 	"nilihype/internal/hw"
 	"nilihype/internal/locking"
+	"nilihype/internal/telemetry"
 )
 
 // State is a vCPU execution state.
@@ -97,7 +98,15 @@ type percpu struct {
 type Scheduler struct {
 	cpus  []percpu
 	vcpus []*VCPU
+
+	// tel, when set (SetTelemetry), counts scheduling decisions. Nil
+	// (standalone construction in tests) disables the counting.
+	tel *telemetry.Telemetry
 }
+
+// SetTelemetry installs the telemetry sink for scheduler-decision
+// counters.
+func (s *Scheduler) SetTelemetry(tel *telemetry.Telemetry) { s.tel = tel }
 
 // NewScheduler builds the scheduler. Per-CPU schedule locks are
 // heap-allocated (Xen 4.x allocates schedule_data dynamically in
@@ -193,6 +202,7 @@ func (s *Scheduler) Wake(v *VCPU) {
 	if v.State != Blocked {
 		return
 	}
+	s.tel.Inc(telemetry.CtrSchedWakes)
 	v.State = Runnable
 	s.enqueue(v.Processor, v)
 }
@@ -224,6 +234,7 @@ func (s *Scheduler) BeginSwitch(cpu int) *SwitchOp {
 	if len(pc.runq) == 0 {
 		return nil
 	}
+	s.tel.Inc(telemetry.CtrSchedSwitches)
 	next := pc.runq[0]
 	return &SwitchOp{s: s, cpu: cpu, prev: pc.curr, next: next}
 }
@@ -296,6 +307,7 @@ func (s *Scheduler) Block(cpu int) {
 	if pc.curr == nil {
 		return
 	}
+	s.tel.Inc(telemetry.CtrSchedBlocks)
 	pc.curr.State = Blocked
 	pc.curr.RunningOn = NoCPU
 	pc.curr = nil

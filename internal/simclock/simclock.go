@@ -67,6 +67,9 @@ type Clock struct {
 	free       []*Event
 	halted     bool
 	dispatched uint64
+	// highWater is the peak pending-event queue depth — a passive
+	// telemetry gauge sampled by the campaign layer.
+	highWater int
 }
 
 // New returns a Clock positioned at virtual time zero.
@@ -83,6 +86,10 @@ func (c *Clock) Dispatched() uint64 { return c.dispatched }
 
 // Len returns the number of pending events.
 func (c *Clock) Len() int { return len(c.queue) }
+
+// QueueHighWater returns the peak pending-event queue depth observed so
+// far (since construction or the last Restore).
+func (c *Clock) QueueHighWater() int { return c.highWater }
 
 // alloc takes an Event from the free list, or allocates a fresh one.
 // Events rescued from the free list by Reschedule are skipped lazily here
@@ -122,6 +129,9 @@ func (c *Clock) At(t time.Duration, tag string, fn Func) *Event {
 	e.tag = tag
 	c.seq++
 	c.queue.push(e)
+	if len(c.queue) > c.highWater {
+		c.highWater = len(c.queue)
+	}
 	return e
 }
 
@@ -158,6 +168,9 @@ func (c *Clock) Reschedule(e *Event, t time.Duration) {
 	e.seq = c.seq
 	c.seq++
 	c.queue.push(e)
+	if len(c.queue) > c.highWater {
+		c.highWater = len(c.queue)
+	}
 }
 
 // Step dispatches the single next event and returns true, or returns false

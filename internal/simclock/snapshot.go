@@ -22,6 +22,7 @@ type Snapshot struct {
 	seq        uint64
 	dispatched uint64
 	halted     bool
+	highWater  int
 	events     []savedEvent
 }
 
@@ -32,6 +33,7 @@ func (c *Clock) Snapshot() *Snapshot {
 		seq:        c.seq,
 		dispatched: c.dispatched,
 		halted:     c.halted,
+		highWater:  c.highWater,
 		events:     make([]savedEvent, len(c.queue)),
 	}
 	for i, e := range c.queue {
@@ -52,6 +54,7 @@ func (c *Clock) Restore(s *Snapshot) {
 	c.seq = s.seq
 	c.dispatched = s.dispatched
 	c.halted = s.halted
+	c.highWater = s.highWater
 
 	// Revive the snapshot's events in place. Setting index to the saved
 	// heap position also marks them "queued", and clearing recycled marks
