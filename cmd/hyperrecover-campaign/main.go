@@ -8,12 +8,23 @@
 //	hyperrecover-campaign -mechanism rehype -fault code -runs 400
 //	hyperrecover-campaign -all -runs 300          # full Figure 2 grid
 //	hyperrecover-campaign -all -paper             # paper-scale campaign sizes
+//	hyperrecover-campaign -runs 2000 -shards 8    # 8 worker processes
+//
+// With -shards N the campaign is split into N contiguous seed-range shards,
+// each executed by a worker subprocess (this binary re-execed in a hidden
+// -shard-worker mode), and the shard summaries are merged — bit-identical
+// to the single-process result, but scaling across cores without sharing a
+// Go runtime.
 package main
 
 import (
+	"bytes"
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"strings"
 	"time"
 
@@ -43,9 +54,16 @@ func run() error {
 		all      = flag.Bool("all", false, "run the full Figure 2 grid (both mechanisms, all fault types)")
 		traceRun = flag.Uint64("trace-run", 0, "run a single seed and print its recovery timeline instead of a campaign")
 		paper    = flag.Bool("paper", false, "paper-scale campaigns (1000/5000/2000 runs, 24s benchmarks)")
-		parallel = flag.Int("parallel", 0, "concurrent runs (0 = GOMAXPROCS)")
+		parallel = flag.Int("parallel", 0, "concurrent runs per process (0 = GOMAXPROCS)")
+		shards   = flag.Int("shards", 0, "split the campaign across this many worker processes (0 = in-process)")
+		shardTO  = flag.Duration("shard-timeout", 30*time.Minute, "per-shard worker deadline (with -shards)")
+		worker   = flag.Bool("shard-worker", false, "internal: run as a shard worker (spec on stdin, summary on stdout)")
 	)
 	flag.Parse()
+
+	if *worker {
+		return campaign.RunShardWorker(os.Stdin, os.Stdout)
+	}
 
 	mech, err := parseMechanism(*mechName)
 	if err != nil {
@@ -65,7 +83,7 @@ func run() error {
 		benchDur = 24 * time.Second
 	}
 
-	execOne := func(m core.Mechanism, ft inject.FaultType, n int) {
+	execOne := func(m core.Mechanism, ft inject.FaultType, n int) error {
 		c := campaign.Campaign{
 			Base: campaign.RunConfig{
 				Setup:         setup,
@@ -79,8 +97,12 @@ func run() error {
 			Runs:        n,
 			Parallelism: *parallel,
 		}
+		if *shards > 0 {
+			return execSharded(c, *shards, *shardTO)
+		}
 		fmt.Print(c.Execute().Format())
 		fmt.Println()
+		return nil
 	}
 
 	if *traceRun > 0 {
@@ -122,7 +144,9 @@ func run() error {
 						inject.Failstop: 1000, inject.Register: 5000, inject.Code: 2000,
 					}[ft]
 				}
-				execOne(m, ft, n)
+				if err := execOne(m, ft, n); err != nil {
+					return err
+				}
 			}
 		}
 		return nil
@@ -138,8 +162,61 @@ func run() error {
 			inject.Failstop: 1000, inject.Register: 5000, inject.Code: 2000,
 		}[ft]
 	}
-	execOne(mech, ft, n)
-	return nil
+	return execOne(mech, ft, n)
+}
+
+// execSharded runs the campaign across n worker subprocesses and prints
+// the merged report plus the aggregate-throughput line.
+func execSharded(c campaign.Campaign, n int, timeout time.Duration) error {
+	start := time.Now()
+	sum, statuses, err := campaign.ExecuteSharded(c, n, campaign.ShardOptions{
+		Spawn:   spawnShard,
+		Timeout: timeout,
+		OnShardDone: func(st campaign.ShardStatus) {
+			if st.Err != "" {
+				fmt.Fprintf(os.Stderr, "shard %d: FAILED after %d attempt(s): %s\n",
+					st.Index, st.Attempts, st.Err)
+				return
+			}
+			note := ""
+			if st.Attempts > 1 {
+				note = fmt.Sprintf(" (after %d attempts)", st.Attempts)
+			}
+			fmt.Fprintf(os.Stderr, "shard %d: done, %d runs%s\n", st.Index, st.Runs, note)
+		},
+	})
+	wall := time.Since(start)
+	fmt.Print(sum.Format())
+	fmt.Printf("  sharded: %d shard(s), %d runs in %v wall (%.2f runs/sec aggregate)\n\n",
+		len(statuses), sum.Runs, wall.Round(time.Millisecond),
+		float64(sum.Runs)/wall.Seconds())
+	return err
+}
+
+// spawnShard launches one shard worker: this binary re-execed with
+// -shard-worker, the spec on stdin, the summary envelope on stdout, stderr
+// passed through. ctx expiry (the per-shard deadline) kills the worker.
+func spawnShard(ctx context.Context, spec campaign.ShardSpec) (campaign.Summary, error) {
+	exe, err := os.Executable()
+	if err != nil {
+		return campaign.Summary{}, fmt.Errorf("shard %d: locate executable: %w", spec.Index, err)
+	}
+	specJSON, err := json.Marshal(spec)
+	if err != nil {
+		return campaign.Summary{}, fmt.Errorf("shard %d: encode spec: %w", spec.Index, err)
+	}
+	cmd := exec.CommandContext(ctx, exe, "-shard-worker")
+	cmd.Stdin = bytes.NewReader(specJSON)
+	cmd.Stderr = os.Stderr
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	if err := cmd.Run(); err != nil {
+		if ctx.Err() != nil {
+			return campaign.Summary{}, fmt.Errorf("shard %d: worker killed at deadline: %v", spec.Index, ctx.Err())
+		}
+		return campaign.Summary{}, fmt.Errorf("shard %d: worker: %w", spec.Index, err)
+	}
+	return campaign.DecodeShardSummary(&out, spec.Index)
 }
 
 func parseMechanism(s string) (core.Mechanism, error) {

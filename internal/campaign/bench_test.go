@@ -58,9 +58,61 @@ func TestForkedRunAllocBudget(t *testing.T) {
 		rc.Seed = seed
 		img.run(rc)
 	})
-	const budget = 70000
+	// Measured steady state is ~252 allocs/run (scheduler switch records
+	// dominate; everything else — guest workloads, IRQ/softirq programs,
+	// undo records, Results — runs on recycled storage), rising to ~306
+	// under the race detector's instrumentation. The ceiling clears both
+	// with ~30% headroom; the sub-10k-allocs/run goal has more than an
+	// order of magnitude of slack before this trips.
+	const budget = 400
 	if allocs > budget {
 		t.Fatalf("forked run allocates %.0f objects, budget %d", allocs, budget)
+	}
+}
+
+// BenchmarkGuestReseed measures the per-run guest re-arm path in isolation:
+// snapshot restore, RNG rewind, and re-seeding every AppVM's workload state
+// (file stores, process tables, scratch). This is the path the guest pools
+// exist for — allocs/op is the regression signal.
+func BenchmarkGuestReseed(b *testing.B) {
+	rc := throughputConfig()
+	img, err := buildImage(rc)
+	if err != nil {
+		b.Fatalf("buildImage: %v", err)
+	}
+	world, h := img.world, img.h
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Restore(img.snap)
+		world.Restore(img.wsnap)
+		h.ReseedRun(uint64(i + 1))
+		world.Reseed(uint64(i+1) ^ 0x5eed)
+		for _, cfg := range img.appCfgs {
+			world.SeedAppVM(cfg.Dom)
+		}
+	}
+}
+
+// BenchmarkResultRecycle measures the executor-shaped consumption loop:
+// forked runs whose Result records are recycled through the image scratch
+// and aggregated in place, exactly as Campaign.Execute's workers do.
+// allocs/op is the whole per-run budget (TestForkedRunAllocBudget enforces
+// the ceiling; this reports the trend).
+func BenchmarkResultRecycle(b *testing.B) {
+	rc := throughputConfig()
+	img, err := buildImage(rc)
+	if err != nil {
+		b.Fatalf("buildImage: %v", err)
+	}
+	s := Summary{FailReasons: make(map[string]int), SuccessByAttempt: make(map[int]int)}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rc.Seed = uint64(i + 1)
+		r := img.run(rc)
+		s.add(r)
+	}
+	if int(s.Runs)+s.NonManifested+s.SDCCount+s.DetectedCount == 0 && b.N > 0 {
+		b.Fatal("no outcomes aggregated")
 	}
 }
 

@@ -102,6 +102,14 @@ type image struct {
 	snap  *hv.Snapshot
 	wsnap *guest.WorldSnapshot
 
+	// res and apps are per-run scratch recycled across runs of this image:
+	// run() rebuilds them in place and returns a shallow copy of res, so a
+	// campaign's steady state appends into already-grown backing arrays
+	// instead of reallocating them every run. The copy-on-retain contract
+	// (see Result.Clone) is what makes the aliasing safe.
+	res  Result
+	apps []*guest.AppVM
+
 	// used marks that a run has consumed the pristine state, so the next
 	// run must restore first.
 	used bool

@@ -26,7 +26,9 @@ type Campaign struct {
 	// completion order (not seed order), serialized — implementations
 	// need no locking. It lets callers stream per-run output without
 	// the executor retaining results; keep it fast, it is on the
-	// aggregation path.
+	// aggregation path. The Result's backing arrays are recycled into
+	// the worker's next run once the callback returns (copy-on-retain):
+	// retain r.Clone(), never r itself.
 	OnResult func(Result)
 	// ColdBoot forces every run to boot its own system instead of
 	// forking the per-worker pristine snapshot. The Summary is

@@ -174,6 +174,13 @@ type VMResult struct {
 }
 
 // Result is one run's outcome.
+//
+// Recycling contract (copy-on-retain): the campaign executor reuses one
+// Result's backing arrays per boot image, so a Result delivered through
+// Campaign.OnResult — and its slice fields — is valid only until the
+// callback returns. Consumers that aggregate in place (the Summary) need
+// nothing; consumers that retain a Result past the callback must keep a
+// Clone.
 type Result struct {
 	Seed    uint64
 	Outcome Outcome
@@ -242,6 +249,53 @@ type Result struct {
 	Flight []string
 }
 
+// Clone returns a deep copy whose slices alias nothing: the copy to keep
+// when retaining a Result past an OnResult callback (the executor recycles
+// the original's backing arrays into the next run).
+func (r Result) Clone() Result {
+	r.VMs = append([]VMResult(nil), r.VMs...)
+	r.SacrificedVMs = append([]int(nil), r.SacrificedVMs...)
+	r.InvariantViolations = append([]string(nil), r.InvariantViolations...)
+	r.Trace = append([]string(nil), r.Trace...)
+	r.Phases = append([]core.LatencyStep(nil), r.Phases...)
+	r.Flight = append([]string(nil), r.Flight...)
+	return r
+}
+
+// reset rewinds r for the next run, retaining the backing arrays grown by
+// previous runs. InvariantViolations and Flight are handed over whole by
+// their producers, so they restart nil rather than recycling.
+func (r *Result) reset(seed uint64) {
+	*r = Result{
+		Seed:          seed,
+		NewVMOK:       true,
+		VMs:           r.VMs[:0],
+		SacrificedVMs: r.SacrificedVMs[:0],
+		Trace:         r.Trace[:0],
+		Phases:        r.Phases[:0],
+	}
+}
+
+// normalized nils out empty slice fields, so a Result assembled in recycled
+// scratch is bit-identical (reflect.DeepEqual) to one assembled cold — a
+// leftover non-nil zero-length array from a busier previous run must not
+// show through.
+func (r Result) normalized() Result {
+	if len(r.VMs) == 0 {
+		r.VMs = nil
+	}
+	if len(r.SacrificedVMs) == 0 {
+		r.SacrificedVMs = nil
+	}
+	if len(r.Trace) == 0 {
+		r.Trace = nil
+	}
+	if len(r.Phases) == 0 {
+		r.Phases = nil
+	}
+	return r
+}
+
 // Run executes one fault-injection run on a freshly booted system. It is
 // the cold-boot path: the campaign executor instead builds one image per
 // configuration shape and forks every run from its snapshot, which is
@@ -261,7 +315,8 @@ func Run(rc RunConfig) Result {
 // injector), run to completion and classify.
 func (img *image) run(rc RunConfig) Result {
 	rc = rc.withDefaults()
-	res := Result{Seed: rc.Seed, NewVMOK: true}
+	res := &img.res
+	res.reset(rc.Seed)
 	clk, h, world := img.clk, img.h, img.world
 
 	if img.used {
@@ -298,11 +353,12 @@ func (img *image) run(rc RunConfig) Result {
 	// Benchmarks: seed each pre-created VM in creation order (consuming
 	// the world stream exactly like the legacy boot-per-run path), then
 	// start the external sender and the workloads.
-	var apps []*guest.AppVM
+	apps := img.apps[:0]
 	for _, cfg := range img.appCfgs {
 		world.SeedAppVM(cfg.Dom)
 		apps = append(apps, world.App(cfg.Dom))
 	}
+	img.apps = apps
 	switch rc.Setup {
 	case OneAppVM:
 		if rc.Workload == guest.NetBench {
@@ -387,7 +443,7 @@ func (img *image) run(rc RunConfig) Result {
 	}
 	res.AuditViolations = engine.AuditViolations
 	res.AuditRepaired = engine.AuditRepaired
-	res.SacrificedVMs = append([]int(nil), engine.SacrificedVMs...)
+	res.SacrificedVMs = append(res.SacrificedVMs, engine.SacrificedVMs...)
 	res.Detected = engine.FirstDetection != nil
 	res.Recovered = engine.Recovered()
 	res.FailReason = engine.FailReason
@@ -429,9 +485,9 @@ func (img *image) run(rc RunConfig) Result {
 		res.InvariantViolations = auditInvariants(h)
 	}
 	if recorder != nil {
-		for _, e := range recorder.Events() {
+		recorder.Do(func(e hv.TraceEvent) {
 			res.Trace = append(res.Trace, e.String())
-		}
+		})
 	}
 
 	switch {
@@ -470,7 +526,7 @@ func (img *image) run(rc RunConfig) Result {
 	if res.Detected && (!res.Success || res.Escalated) {
 		res.Flight = h.Tel.FlightTail(flightTailLen)
 	}
-	return res
+	return res.normalized()
 }
 
 // flightTailLen bounds the flight-recorder tail a failed or escalated run

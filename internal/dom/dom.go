@@ -76,6 +76,13 @@ type Domain struct {
 	// keeps one per vCPU; setting it replaces the previous deadline).
 	WakeupTimer *xentime.Timer
 
+	// WakeupPool caches the wakeup Timer record across set_timer_op
+	// calls: each set replaces the schedule, so the handler re-adds the
+	// same record (name, labels and callback are domain-invariant)
+	// instead of allocating a timer per call. Allocation state only —
+	// never consulted for semantics, so it is not snapshotted.
+	WakeupPool *xentime.Timer
+
 	// Failed marks the domain as crashed (its guest kernel died). The
 	// campaign layer reads this to classify outcomes.
 	Failed bool

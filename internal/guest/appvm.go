@@ -46,6 +46,9 @@ type AppVM struct {
 	// pinScratch is reused across iterations for the fork batch's frame
 	// exclusion list (never retained past the iteration).
 	pinScratch []int
+	// gotScratch is reused across HVM iterations for the frames that
+	// actually mapped (copied into the forked process's record).
+	gotScratch []int
 }
 
 // Start launches the benchmark: it runs for Cfg.Duration of virtual time.
@@ -54,10 +57,14 @@ func (vm *AppVM) Start() {
 		return
 	}
 	vm.Started = true
-	vm.inFlight = make(map[int]int)
+	if vm.inFlight == nil {
+		vm.inFlight = make(map[int]int)
+	}
 	vm.finishAt = vm.W.H.Clock.Now() + vm.Cfg.Duration
-	vm.iterFn = vm.iterate
-	vm.runFn = vm.runIteration
+	if vm.iterFn == nil {
+		vm.iterFn = vm.iterate
+		vm.runFn = vm.runIteration
+	}
 	if vm.Cfg.Kind != NetBench {
 		vm.scheduleNext()
 		return
@@ -172,14 +179,10 @@ func (vm *AppVM) blkIteration() {
 	if ref < 0 {
 		return
 	}
-	vm.W.dispatch(cpu, &hypercall.Call{
-		Op: hypercall.OpGrantTableOp, Dom: domID,
-		Args: [4]uint64{hypercall.GrantMap, uint64(ref), uint64(frame)},
-	})
-	vm.W.dispatch(cpu, &hypercall.Call{
-		Op: hypercall.OpEventChannelOp, Dom: domID,
-		Args: [4]uint64{0, 0, uint64(vm.ringPort())},
-	})
+	vm.W.call(cpu, hypercall.OpGrantTableOp, domID,
+		[4]uint64{hypercall.GrantMap, uint64(ref), uint64(frame)})
+	vm.W.call(cpu, hypercall.OpEventChannelOp, domID,
+		[4]uint64{0, 0, uint64(vm.ringPort())})
 	if vm.gone() {
 		return
 	}
@@ -207,10 +210,8 @@ func (vm *AppVM) onBlockComplete() {
 	}
 	frame := vm.inFlight[ref]
 	delete(vm.inFlight, ref)
-	vm.W.dispatch(vm.Cfg.CPU, &hypercall.Call{
-		Op: hypercall.OpGrantTableOp, Dom: vm.Cfg.Dom,
-		Args: [4]uint64{hypercall.GrantUnmap, uint64(ref), uint64(frame)},
-	})
+	vm.W.call(vm.Cfg.CPU, hypercall.OpGrantTableOp, vm.Cfg.Dom,
+		[4]uint64{hypercall.GrantUnmap, uint64(ref), uint64(frame)})
 	vm.revokeBuffer(ref)
 	if vm.Files != nil {
 		id := vm.Files.WriteNext()
@@ -269,37 +270,39 @@ func (vm *AppVM) unixIteration() {
 	// fork: pin the new process's page tables in one batched hypercall.
 	// The frame picks must be distinct within the batch: the counts only
 	// change when the batch executes.
-	batch := &hypercall.Call{Op: hypercall.OpMulticall, Dom: domID}
+	batch := w.getCall()
+	batch.Op, batch.Dom = hypercall.OpMulticall, domID
 	n := 2 + vm.rng.IntN(4)
 	newPins := vm.pinScratch[:0]
 	for i := 0; i < n; i++ {
 		frame := vm.pickGuestFrameExcluding(newPins)
 		newPins = append(newPins, frame)
-		batch.Batch = append(batch.Batch, &hypercall.Call{
-			Op: hypercall.OpMMUUpdate, Dom: domID,
-			Args: [4]uint64{hypercall.MMUPin, uint64(frame)},
-		})
+		c := w.getCall()
+		c.Op, c.Dom = hypercall.OpMMUUpdate, domID
+		c.Args = [4]uint64{hypercall.MMUPin, uint64(frame)}
+		batch.Batch = append(batch.Batch, c)
 	}
 	vm.pinScratch = newPins
 	w.dispatch(cpu, batch)
+	w.putBatch(batch)
 	if vm.gone() {
 		return
 	}
 	// Record the pins that actually took effect by inspecting the
 	// guest's own page tables (not recovery bookkeeping, which stock Xen
-	// lacks); they become the new process's address space. The slice is
-	// freshly allocated: fork retains it for the process's lifetime.
-	var got []int
+	// lacks); they become the new process's address space, appended
+	// straight into the (pooled) process record.
+	p := vm.procs.fork()
 	for _, f := range newPins {
 		if vm.W.H.Frames.Frame(f).Validated {
-			got = append(got, f)
+			p.PageTables = append(p.PageTables, f)
 		}
 	}
-	vm.procs.fork(got)
+	p.doneFill()
 
 	// The running processes issue system calls (x86-64 forwarded path).
 	for i := 0; i < 2+vm.rng.IntN(5); i++ {
-		w.dispatch(cpu, &hypercall.Call{Op: hypercall.OpSyscallForward, Dom: domID})
+		w.call(cpu, hypercall.OpSyscallForward, domID, [4]uint64{})
 		if vm.gone() {
 			return
 		}
@@ -313,10 +316,8 @@ func (vm *AppVM) unixIteration() {
 		for len(p.PageTables) > 0 {
 			frame := p.PageTables[0]
 			p.PageTables = p.PageTables[1:]
-			w.dispatch(cpu, &hypercall.Call{
-				Op: hypercall.OpMMUUpdate, Dom: domID,
-				Args: [4]uint64{hypercall.MMUUnpin, uint64(frame)},
-			})
+			w.call(cpu, hypercall.OpMMUUpdate, domID,
+				[4]uint64{hypercall.MMUUnpin, uint64(frame)})
 			if vm.gone() {
 				return
 			}
@@ -327,17 +328,13 @@ func (vm *AppVM) unixIteration() {
 	// Reservation adjustments (balloon-ish) ~20% of iterations.
 	if vm.rng.IntN(5) == 0 {
 		if vm.reserved > 0 {
-			w.dispatch(cpu, &hypercall.Call{
-				Op: hypercall.OpMemoryOp, Dom: domID,
-				Args: [4]uint64{hypercall.MemRelease, uint64(vm.reserved)},
-			})
+			w.call(cpu, hypercall.OpMemoryOp, domID,
+				[4]uint64{hypercall.MemRelease, uint64(vm.reserved)})
 			vm.reserved = 0
 		} else {
 			k := 4 + vm.rng.IntN(8)
-			w.dispatch(cpu, &hypercall.Call{
-				Op: hypercall.OpMemoryOp, Dom: domID,
-				Args: [4]uint64{hypercall.MemPopulate, uint64(k)},
-			})
+			w.call(cpu, hypercall.OpMemoryOp, domID,
+				[4]uint64{hypercall.MemPopulate, uint64(k)})
 			vm.reserved = k
 		}
 		if vm.gone() {
@@ -348,22 +345,14 @@ func (vm *AppVM) unixIteration() {
 	// Scheduling: yield; occasionally a timed block (sleep).
 	switch vm.rng.IntN(20) {
 	case 0:
-		w.dispatch(cpu, &hypercall.Call{
-			Op: hypercall.OpSetTimerOp, Dom: domID,
-			Args: [4]uint64{0, uint64(2 * time.Millisecond)},
-		})
+		w.call(cpu, hypercall.OpSetTimerOp, domID,
+			[4]uint64{0, uint64(2 * time.Millisecond)})
 		if vm.gone() {
 			return
 		}
-		w.dispatch(cpu, &hypercall.Call{
-			Op: hypercall.OpSchedOp, Dom: domID,
-			Args: [4]uint64{hypercall.SchedBlock},
-		})
+		w.call(cpu, hypercall.OpSchedOp, domID, [4]uint64{hypercall.SchedBlock})
 	case 1, 2:
-		w.dispatch(cpu, &hypercall.Call{
-			Op: hypercall.OpSchedOp, Dom: domID,
-			Args: [4]uint64{hypercall.SchedYield},
-		})
+		w.call(cpu, hypercall.OpSchedOp, domID, [4]uint64{hypercall.SchedYield})
 	}
 	if vm.gone() {
 		return
@@ -371,7 +360,7 @@ func (vm *AppVM) unixIteration() {
 
 	// Console output, rare.
 	if vm.rng.IntN(50) == 0 {
-		w.dispatch(cpu, &hypercall.Call{Op: hypercall.OpConsoleIO, Dom: domID})
+		w.call(cpu, hypercall.OpConsoleIO, domID, [4]uint64{})
 		if vm.gone() {
 			return
 		}
@@ -390,10 +379,8 @@ func (vm *AppVM) onNetPacket(p hw.Packet) {
 	if vm.gone() || vm.Finished {
 		return
 	}
-	vm.W.dispatch(vm.Cfg.CPU, &hypercall.Call{
-		Op: hypercall.OpEventChannelOp, Dom: vm.Cfg.Dom,
-		Args: [4]uint64{0, 0, uint64(vm.ringPort())},
-	})
+	vm.W.call(vm.Cfg.CPU, hypercall.OpEventChannelOp, vm.Cfg.Dom,
+		[4]uint64{0, 0, uint64(vm.ringPort())})
 	if vm.gone() {
 		return
 	}
@@ -405,17 +392,13 @@ func (vm *AppVM) onNetPacket(p hw.Packet) {
 		if ref < 0 {
 			return
 		}
-		vm.W.dispatch(vm.Cfg.CPU, &hypercall.Call{
-			Op: hypercall.OpGrantTableOp, Dom: vm.Cfg.Dom,
-			Args: [4]uint64{hypercall.GrantMap, uint64(ref), uint64(frame)},
-		})
+		vm.W.call(vm.Cfg.CPU, hypercall.OpGrantTableOp, vm.Cfg.Dom,
+			[4]uint64{hypercall.GrantMap, uint64(ref), uint64(frame)})
 		if vm.gone() {
 			return
 		}
-		vm.W.dispatch(vm.Cfg.CPU, &hypercall.Call{
-			Op: hypercall.OpGrantTableOp, Dom: vm.Cfg.Dom,
-			Args: [4]uint64{hypercall.GrantUnmap, uint64(ref), uint64(frame)},
-		})
+		vm.W.call(vm.Cfg.CPU, hypercall.OpGrantTableOp, vm.Cfg.Dom,
+			[4]uint64{hypercall.GrantUnmap, uint64(ref), uint64(frame)})
 		if vm.gone() {
 			return
 		}
@@ -495,29 +478,34 @@ func (vm *AppVM) hvmUnixIteration() {
 	w := vm.W
 
 	// fork: the new process's working set faults in as EPT violations.
+	// The frames that actually mapped accumulate in a scratch slice — the
+	// process record is only registered once the fault loop completes, so
+	// an iteration aborted by recovery leaves no half-forked process.
 	n := 2 + vm.rng.IntN(4)
 	chosen := vm.pinScratch[:0]
-	var got []int
+	got := vm.gotScratch[:0]
 	for i := 0; i < n; i++ {
 		frame := vm.pickGuestFrameExcluding(chosen)
 		chosen = append(chosen, frame)
 		vm.pinScratch = chosen
-		w.dispatch(cpu, &hypercall.Call{
-			Op: hypercall.OpEPTViolation, Dom: domID,
-			Args: [4]uint64{hypercall.EPTPopulate, uint64(frame)},
-		})
+		w.call(cpu, hypercall.OpEPTViolation, domID,
+			[4]uint64{hypercall.EPTPopulate, uint64(frame)})
 		if vm.gone() {
+			vm.gotScratch = got
 			return
 		}
 		if vm.W.H.Frames.Frame(frame).Validated {
 			got = append(got, frame)
 		}
 	}
-	vm.procs.fork(got)
+	vm.gotScratch = got
+	p := vm.procs.fork()
+	p.PageTables = append(p.PageTables, got...)
+	p.doneFill()
 
 	// Emulated device accesses.
 	for i := 0; i < 2+vm.rng.IntN(5); i++ {
-		w.dispatch(cpu, &hypercall.Call{Op: hypercall.OpIOEmulation, Dom: domID})
+		w.call(cpu, hypercall.OpIOEmulation, domID, [4]uint64{})
 		if vm.gone() {
 			return
 		}
@@ -530,10 +518,8 @@ func (vm *AppVM) hvmUnixIteration() {
 		for len(p.PageTables) > 0 {
 			frame := p.PageTables[0]
 			p.PageTables = p.PageTables[1:]
-			w.dispatch(cpu, &hypercall.Call{
-				Op: hypercall.OpEPTViolation, Dom: domID,
-				Args: [4]uint64{hypercall.EPTUnmap, uint64(frame)},
-			})
+			w.call(cpu, hypercall.OpEPTViolation, domID,
+				[4]uint64{hypercall.EPTUnmap, uint64(frame)})
 			if vm.gone() {
 				return
 			}
@@ -544,17 +530,13 @@ func (vm *AppVM) hvmUnixIteration() {
 	// Reservation adjustments (PVHVM balloon) ~20% of iterations.
 	if vm.rng.IntN(5) == 0 {
 		if vm.reserved > 0 {
-			w.dispatch(cpu, &hypercall.Call{
-				Op: hypercall.OpMemoryOp, Dom: domID,
-				Args: [4]uint64{hypercall.MemRelease, uint64(vm.reserved)},
-			})
+			w.call(cpu, hypercall.OpMemoryOp, domID,
+				[4]uint64{hypercall.MemRelease, uint64(vm.reserved)})
 			vm.reserved = 0
 		} else {
 			k := 4 + vm.rng.IntN(8)
-			w.dispatch(cpu, &hypercall.Call{
-				Op: hypercall.OpMemoryOp, Dom: domID,
-				Args: [4]uint64{hypercall.MemPopulate, uint64(k)},
-			})
+			w.call(cpu, hypercall.OpMemoryOp, domID,
+				[4]uint64{hypercall.MemPopulate, uint64(k)})
 			vm.reserved = k
 		}
 		if vm.gone() {
@@ -565,22 +547,14 @@ func (vm *AppVM) hvmUnixIteration() {
 	// HLT exits / yields.
 	switch vm.rng.IntN(20) {
 	case 0:
-		w.dispatch(cpu, &hypercall.Call{
-			Op: hypercall.OpSetTimerOp, Dom: domID,
-			Args: [4]uint64{0, uint64(2 * time.Millisecond)},
-		})
+		w.call(cpu, hypercall.OpSetTimerOp, domID,
+			[4]uint64{0, uint64(2 * time.Millisecond)})
 		if vm.gone() {
 			return
 		}
-		w.dispatch(cpu, &hypercall.Call{
-			Op: hypercall.OpSchedOp, Dom: domID,
-			Args: [4]uint64{hypercall.SchedBlock},
-		})
+		w.call(cpu, hypercall.OpSchedOp, domID, [4]uint64{hypercall.SchedBlock})
 	case 1, 2:
-		w.dispatch(cpu, &hypercall.Call{
-			Op: hypercall.OpSchedOp, Dom: domID,
-			Args: [4]uint64{hypercall.SchedYield},
-		})
+		w.call(cpu, hypercall.OpSchedOp, domID, [4]uint64{hypercall.SchedYield})
 	}
 	if vm.gone() {
 		return

@@ -31,6 +31,16 @@ func NewFileStore(seed uint64) *FileStore {
 	return &FileStore{seed: seed, stored: make(map[int]uint64)}
 }
 
+// Reset rewinds the store to the state NewFileStore(seed) would produce,
+// keeping the stored map's capacity — the forked-run path reseeds the same
+// store every run instead of reallocating it.
+func (fs *FileStore) Reset(seed uint64) {
+	fs.seed = seed
+	clear(fs.stored)
+	fs.nextID = 0
+	fs.pathCorrupted = false
+}
+
 // contentDigest is the deterministic "random content" of file id.
 func (fs *FileStore) contentDigest(id int) uint64 {
 	return prng.Scramble(fs.seed ^ uint64(id)*0x9e3779b97f4a7c15)

@@ -76,6 +76,15 @@ type World struct {
 	Sender *NetSender
 
 	rng *prng.Stream
+
+	// callFree recycles completed hypercall records (see pool.go).
+	callFree []*hypercall.Call
+
+	// privTickFn/privTickBodyFn are the PrivVM housekeeping callbacks
+	// cached as method values: the tick fires every 5 ms of virtual time,
+	// and rebuilding its closures each period would allocate on every tick.
+	privTickFn     func()
+	privTickBodyFn func()
 }
 
 // NewWorld builds the guest world over a booted hypervisor and registers
@@ -88,6 +97,8 @@ func NewWorld(h *hv.Hypervisor, seed uint64) *World {
 	}
 	h.SetEventHook(w.onEvent)
 	h.SetNICRxHook(w.onPacket)
+	w.privTickFn = w.privTick
+	w.privTickBodyFn = w.privTickBody
 	w.Sender = newNetSender(w)
 	return w
 }
@@ -139,7 +150,13 @@ func (w *World) SeedAppVM(dom int) {
 	}
 	vm.rng = prng.New(w.rng.Uint64(), uint64(vm.Cfg.Dom))
 	if vm.Cfg.Kind == BlkBench {
-		vm.Files = NewFileStore(w.rng.Uint64())
+		if vm.Files != nil {
+			// Forked-run path: the store survives resetForRun so its map
+			// is reused instead of reallocated every run.
+			vm.Files.Reset(w.rng.Uint64())
+		} else {
+			vm.Files = NewFileStore(w.rng.Uint64())
+		}
 	}
 }
 

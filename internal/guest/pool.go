@@ -1,0 +1,69 @@
+package guest
+
+import "nilihype/internal/hypercall"
+
+// The world's hypercall free list. Guests issue tens of thousands of calls
+// per run; almost all complete synchronously within the dispatch, so the
+// records can be recycled immediately instead of allocated fresh each time.
+// The recycling gate is Call.Done: the hypervisor core sets it only when a
+// call completes cleanly, so a call retained by recovery machinery (a
+// pause-deferred dispatch, a pending-retry record) is simply abandoned to
+// the garbage collector — rare, and never double-used.
+//
+// Worlds are confined to one campaign worker goroutine, so the free list
+// needs no locking.
+
+// getCall returns a zeroed call record, reusing a recycled one when
+// available. A recycled multicall's Batch keeps its capacity.
+func (w *World) getCall() *hypercall.Call {
+	if n := len(w.callFree); n > 0 {
+		c := w.callFree[n-1]
+		w.callFree[n-1] = nil
+		w.callFree = w.callFree[:n-1]
+		return c
+	}
+	return &hypercall.Call{}
+}
+
+// putCall recycles a dispatched call if the hypervisor marked it Done.
+func (w *World) putCall(c *hypercall.Call) {
+	if !c.Done {
+		return
+	}
+	resetCall(c)
+	w.callFree = append(w.callFree, c)
+}
+
+// putBatch recycles a dispatched multicall and its components. Components
+// are never marked Done individually — they live and die with the outer
+// batch, so the outer Done flag gates the whole group.
+func (w *World) putBatch(b *hypercall.Call) {
+	if !b.Done {
+		return
+	}
+	for i, c := range b.Batch {
+		resetCall(c)
+		w.callFree = append(w.callFree, c)
+		b.Batch[i] = nil
+	}
+	resetCall(b)
+	w.callFree = append(w.callFree, b)
+}
+
+// resetCall zeroes a call, keeping its Batch capacity.
+func resetCall(c *hypercall.Call) {
+	batch := c.Batch[:0]
+	*c = hypercall.Call{}
+	c.Batch = batch
+}
+
+// call dispatches a simple (non-batched, spec-free) hypercall from a
+// pooled record and recycles it on completion — the guest fast path.
+func (w *World) call(cpu int, op hypercall.Op, domID int, args [4]uint64) {
+	c := w.getCall()
+	c.Op = op
+	c.Dom = domID
+	c.Args = args
+	w.H.Dispatch(cpu, c)
+	w.putCall(c)
+}

@@ -16,30 +16,38 @@ func (w *World) StartPrivVM() {
 const privTickPeriod = 5 * time.Millisecond
 
 func (w *World) schedulePrivTick() {
-	w.H.Clock.After(privTickPeriod, "privvm-tick", func() {
-		if failed, _ := w.H.Failed(); failed {
-			return
-		}
-		w.H.WhenRunnable(func() {
-			d, err := w.H.Domain(0)
-			if err != nil || d.Failed {
-				return
-			}
-			w.dispatch(0, &hypercall.Call{Op: hypercall.OpVCPUOp, Dom: 0})
-			if failed, _ := w.H.Failed(); failed {
-				return
-			}
-			// The console daemon drains the hypervisor ring.
-			w.H.Cons.Drain()
-			if w.rng.IntN(20) == 0 {
-				w.dispatch(0, &hypercall.Call{Op: hypercall.OpConsoleIO, Dom: 0})
-			}
-			if failed, _ := w.H.Failed(); failed {
-				return
-			}
-			w.schedulePrivTick()
-		})
-	})
+	w.H.Clock.After(privTickPeriod, "privvm-tick", w.privTickFn)
+}
+
+// privTick fires every housekeeping period (cached as w.privTickFn).
+func (w *World) privTick() {
+	if failed, _ := w.H.Failed(); failed {
+		return
+	}
+	w.H.WhenRunnable(w.privTickBodyFn)
+}
+
+// privTickBody is the tick's work, entered once the hypervisor is runnable
+// (cached as w.privTickBodyFn).
+func (w *World) privTickBody() {
+	d, err := w.H.Domain(0)
+	if err != nil || d.Failed {
+		return
+	}
+	w.call(0, hypercall.OpVCPUOp, 0, [4]uint64{})
+	if failed, _ := w.H.Failed(); failed {
+		return
+	}
+	// The console daemon drains the hypervisor ring; nothing records the
+	// output, so the messages are discarded without rendering.
+	w.H.Cons.Discard()
+	if w.rng.IntN(20) == 0 {
+		w.call(0, hypercall.OpConsoleIO, 0, [4]uint64{})
+	}
+	if failed, _ := w.H.Failed(); failed {
+		return
+	}
+	w.schedulePrivTick()
 }
 
 // PrivCreateDomain issues a domctl domain-creation hypercall from the

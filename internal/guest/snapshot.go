@@ -35,23 +35,24 @@ func (w *World) Restore(s *WorldSnapshot) {
 	w.Sender.reset()
 }
 
-// resetForRun returns the VM to its freshly created, never-started state
-// (everything CreateAppVM leaves zero).
+// resetForRun returns the VM to a state indistinguishable (to the
+// workload) from freshly created: all benchmark-visible state rewinds,
+// while allocation pools — the process free list, the in-flight map, the
+// file store's map, the cached iterate method values — keep their capacity
+// for the next run. SeedAppVM reseeds rng and Files afterwards, so a
+// forked run draws exactly what a cold boot would.
 func (vm *AppVM) resetForRun() {
 	vm.OpsCompleted = 0
 	vm.OpsAfterMark = 0
 	vm.Started = false
 	vm.Finished = false
 	vm.OutputCorrupted = false
-	vm.Files = nil
 	vm.rng = nil
 	vm.finishAt = 0
-	vm.procs = procTable{}
+	vm.procs.reset()
 	vm.nextRef = 0
-	vm.inFlight = nil
+	clear(vm.inFlight)
 	vm.reserved = 0
-	vm.iterFn = nil
-	vm.runFn = nil
 }
 
 // reset returns the sender to its pre-Start state, keeping the slice

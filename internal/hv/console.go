@@ -49,5 +49,16 @@ func (c *Console) Drain() []string {
 	return out
 }
 
+// Discard clears the buffered messages without rendering them — Drain for
+// consumers that ignore the output (the PrivVM's console daemon on the
+// campaign hot path), so draining never allocates.
+func (c *Console) Discard() {
+	for i := range c.ring {
+		c.ring[i] = ""
+	}
+	c.ring = c.ring[:0]
+	c.start = 0
+}
+
 // Len returns the number of buffered messages.
 func (c *Console) Len() int { return len(c.ring) }

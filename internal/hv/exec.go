@@ -84,6 +84,7 @@ func (h *Hypervisor) Dispatch(cpu int, call *hypercall.Call) {
 		return
 	}
 	call.Seq = h.callSeq
+	call.Done = false
 	h.callSeq++
 	h.Stats.Hypercalls++
 	h.Tel.Counters[telemetry.CtrDispatches]++
@@ -233,6 +234,7 @@ func (h *Hypervisor) completeCall(cpu int) {
 	pc.CurrentStep = 0
 	h.clearCrossWaitsRequestedBy(cpu)
 	if call != nil {
+		call.Done = true
 		h.Tel.Counters[telemetry.CtrCompletions]++
 		h.Tel.Record(cpu, telemetry.EvComplete, uint64(call.Op))
 		h.traceCall(cpu, TraceComplete, call)

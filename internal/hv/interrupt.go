@@ -90,6 +90,92 @@ func (h *Hypervisor) startIRQProgram(cpu int, activity string, prog hypercall.Pr
 	h.runProgram(cpu)
 }
 
+// Timer-IRQ step bodies. These are package-level functions, not closures:
+// the handler is rebuilt on every tick, and per-build closures were the
+// campaign's single largest allocation source. Per-invocation state rides
+// on the step itself (Step.T carries the due timer) or in the per-CPU Env
+// (the pending context switch). The clock does not advance inside a
+// handler program (event-atomic execution), so e.Now() in the rearm step
+// equals the time the handler was built at — the same value the old
+// closures captured.
+
+func doIRQNop(*hypercall.Env, *hypercall.Step) error { return nil }
+
+func doIRQRunTimer(_ *hypercall.Env, st *hypercall.Step) error {
+	if st.T.Fn != nil {
+		st.T.Fn()
+	}
+	return nil
+}
+
+func doIRQRearmTimer(e *hypercall.Env, st *hypercall.Step) error {
+	e.Timers.FinishTimer(st.T, e.Now())
+	return nil
+}
+
+func doSoftirqPickNext(e *hypercall.Env, _ *hypercall.Step) error {
+	e.SetSwitchOp(e.Sched.BeginSwitch(e.CPU))
+	return nil
+}
+
+func doSoftirqDequeueNext(e *hypercall.Env, _ *hypercall.Step) error {
+	if op := e.SwitchOp(); op != nil {
+		op.StepDequeueNext()
+	}
+	return nil
+}
+
+func doSoftirqRequeuePrev(e *hypercall.Env, _ *hypercall.Step) error {
+	if op := e.SwitchOp(); op != nil {
+		op.StepRequeuePrev()
+	}
+	return nil
+}
+
+func doSoftirqSetCurr(e *hypercall.Env, _ *hypercall.Step) error {
+	if op := e.SwitchOp(); op != nil {
+		op.StepSetCurr()
+	}
+	return nil
+}
+
+func doSoftirqSetVCPU(e *hypercall.Env, _ *hypercall.Step) error {
+	if op := e.SwitchOp(); op != nil {
+		op.StepSetVCPU()
+	}
+	return nil
+}
+
+func doSoftirqContextSwitch(e *hypercall.Env, _ *hypercall.Step) error {
+	if op := e.SwitchOp(); op != nil && e.SwitchContext != nil {
+		e.SwitchContext(e.CPU, op.Prev(), op.Next())
+	}
+	return nil
+}
+
+// Fixed timer-IRQ steps that carry no state at all.
+var (
+	// Walking the software timer heap and reading the hardware clock
+	// dominate the handler body; the APIC stays unarmed throughout (the
+	// §V-A window).
+	stepScanTimerHeap = hypercall.Step{Name: "scan_timer_heap", Instrs: 1500, Do: doIRQNop}
+	stepAckLAPIC      = hypercall.Step{Name: "ack_lapic", Instrs: 260, Do: doIRQNop}
+	// RCU, time calibration, accounting audits: substantial hypervisor
+	// work that holds no locks and leaves no partial state — faults
+	// landing here are the recoverable-with-few-enhancements cases of the
+	// Table I ladder.
+	stepSoftirqTimerAccounting = hypercall.Step{Name: "softirq_timer_accounting", Instrs: 1850, Do: doIRQNop}
+	stepSoftirqRCU             = hypercall.Step{Name: "softirq_rcu", Instrs: 1850, Do: doIRQNop}
+	stepSoftirqTimeCalibration = hypercall.Step{Name: "softirq_time_calibration", Instrs: 1750, Do: doIRQNop}
+
+	stepPickNext      = hypercall.Step{Name: "pick_next", Instrs: 90, Do: doSoftirqPickNext}
+	stepDequeueNext   = hypercall.Step{Name: "dequeue_next", Instrs: 50, Do: doSoftirqDequeueNext}
+	stepRequeuePrev   = hypercall.Step{Name: "requeue_prev", Instrs: 50, Do: doSoftirqRequeuePrev}
+	stepSetCurr       = hypercall.Step{Name: "set_curr", Instrs: 40, Do: doSoftirqSetCurr}
+	stepSetVCPUState  = hypercall.Step{Name: "set_vcpu_state", Instrs: 70, Do: doSoftirqSetVCPU}
+	stepContextSwitch = hypercall.Step{Name: "context_switch", Instrs: 90, Do: doSoftirqContextSwitch}
+)
+
 // buildTimerIRQ constructs the timer interrupt handler for cpu, following
 // Xen's structure: the interrupt handler itself pops due software timers,
 // re-arms the recurring ones, and reprograms the APIC one-shot; the bulk
@@ -98,60 +184,38 @@ func (h *Hypervisor) startIRQProgram(cpu int, activity string, prog hypercall.Pr
 // entry and the reprogram step is the §V-A "Reprogram hardware timer"
 // hazard; the windows between a timer's run and re-arm steps are the
 // "Reactivate recurring timer events" hazard.
+//
+// The program is stamped into the CPU's reusable step buffer (see
+// PerCPU.irqProg for why that is safe).
 func (h *Hypervisor) buildTimerIRQ(cpu int) hypercall.Program {
+	pc := h.percpu[cpu]
 	fx := h.irqFixed(cpu)
-	now := h.Clock.Now()
-	due := h.Timers.PopDue(cpu, now)
-	prog := make(hypercall.Program, 0, 12+2*len(due))
-	prog = append(prog,
-		fx.enterIRQ,
-		// Walking the software timer heap and reading the hardware
-		// clock dominate the handler body; the APIC stays unarmed
-		// throughout (the §V-A window).
-		hypercall.Step{Name: "scan_timer_heap", Instrs: 1500, Do: func(*hypercall.Env, *hypercall.Step) error { return nil }},
-	)
+	due := h.Timers.PopDue(cpu, h.Clock.Now())
+	prog := append(pc.irqProg[:0], fx.enterIRQ, stepScanTimerHeap)
 	runSched := false
 	for _, t := range due {
-		t := t
 		if h.schedTicks[t] {
 			runSched = true
-			prog = append(prog, hypercall.Step{
-				Name: t.RearmLabel(), Instrs: 30,
-				Do: func(*hypercall.Env, *hypercall.Step) error { h.Timers.FinishTimer(t, now); return nil },
-			})
+			prog = append(prog, hypercall.Step{Name: t.RearmLabel(), Instrs: 30, T: t, Do: doIRQRearmTimer})
 			continue
 		}
 		prog = append(prog,
-			hypercall.Step{Name: t.RunLabel(), Instrs: 30, Do: func(*hypercall.Env, *hypercall.Step) error {
-				if t.Fn != nil {
-					t.Fn()
-				}
-				return nil
-			}},
-			hypercall.Step{Name: t.RearmLabel(), Instrs: 18, Do: func(*hypercall.Env, *hypercall.Step) error {
-				h.Timers.FinishTimer(t, now)
-				return nil
-			}},
+			hypercall.Step{Name: t.RunLabel(), Instrs: 30, T: t, Do: doIRQRunTimer},
+			hypercall.Step{Name: t.RearmLabel(), Instrs: 18, T: t, Do: doIRQRearmTimer},
 		)
 	}
-	prog = append(prog,
-		hypercall.Step{Name: "ack_lapic", Instrs: 260, Do: func(*hypercall.Env, *hypercall.Step) error { return nil }},
-		fx.reprogramAPIC,
-	)
+	prog = append(prog, stepAckLAPIC, fx.reprogramAPIC)
 	// Softirq context: the APIC is re-armed from here on.
 	if runSched {
-		prog = append(prog, h.buildSchedSoftirq(cpu)...)
+		prog = h.appendSchedSoftirq(cpu, prog)
 	}
 	prog = append(prog,
-		// RCU, time calibration, accounting audits: substantial
-		// hypervisor work that holds no locks and leaves no partial
-		// state — faults landing here are the recoverable-with-few-
-		// enhancements cases of the Table I ladder.
-		hypercall.Step{Name: "softirq_timer_accounting", Instrs: 1850, Do: func(*hypercall.Env, *hypercall.Step) error { return nil }},
-		hypercall.Step{Name: "softirq_rcu", Instrs: 1850, Do: func(*hypercall.Env, *hypercall.Step) error { return nil }},
-		hypercall.Step{Name: "softirq_time_calibration", Instrs: 1750, Do: func(*hypercall.Env, *hypercall.Step) error { return nil }},
+		stepSoftirqTimerAccounting,
+		stepSoftirqRCU,
+		stepSoftirqTimeCalibration,
 		fx.exitIRQ,
 	)
+	pc.irqProg = prog
 	return prog
 }
 
@@ -191,54 +255,26 @@ func (h *Hypervisor) irqFixed(cpu int) *irqFixedSteps {
 	return fx
 }
 
-// buildSchedSoftirq constructs the scheduler softirq: credit accounting
-// and, when another vCPU is waiting, a context switch decomposed into the
-// metadata steps of §V-A. The runqueue lock is held throughout.
-func (h *Hypervisor) buildSchedSoftirq(cpu int) []hypercall.Step {
+// appendSchedSoftirq appends the scheduler softirq to a timer-IRQ program:
+// credit accounting and, when another vCPU is waiting, a context switch
+// decomposed into the metadata steps of §V-A. The runqueue lock is held
+// throughout. The switch steps share the in-flight SwitchOp through the
+// CPU's Env scratch (pick_next assigns it), mirroring the hypercall
+// sched_op program.
+func (h *Hypervisor) appendSchedSoftirq(cpu int, prog hypercall.Program) hypercall.Program {
 	fx := h.irqFixed(cpu)
-	var op *sched.SwitchOp
-	steps := make([]hypercall.Step, 0, 9)
-	steps = append(steps, fx.lockRunq, fx.creditTick)
+	prog = append(prog, fx.lockRunq, fx.creditTick)
 	if h.Sched.RunqueueLen(cpu) > 0 {
-		steps = append(steps,
-			hypercall.Step{Name: "pick_next", Instrs: 90, Do: func(*hypercall.Env, *hypercall.Step) error {
-				op = h.Sched.BeginSwitch(cpu)
-				return nil
-			}},
-			hypercall.Step{Name: "dequeue_next", Instrs: 50, Do: func(*hypercall.Env, *hypercall.Step) error {
-				if op != nil {
-					op.StepDequeueNext()
-				}
-				return nil
-			}},
-			hypercall.Step{Name: "requeue_prev", Instrs: 50, Do: func(*hypercall.Env, *hypercall.Step) error {
-				if op != nil {
-					op.StepRequeuePrev()
-				}
-				return nil
-			}},
-			hypercall.Step{Name: "set_curr", Instrs: 40, Do: func(*hypercall.Env, *hypercall.Step) error {
-				if op != nil {
-					op.StepSetCurr()
-				}
-				return nil
-			}},
-			hypercall.Step{Name: "set_vcpu_state", Instrs: 70, Do: func(*hypercall.Env, *hypercall.Step) error {
-				if op != nil {
-					op.StepSetVCPU()
-				}
-				return nil
-			}},
-			hypercall.Step{Name: "context_switch", Instrs: 90, Do: func(*hypercall.Env, *hypercall.Step) error {
-				if op != nil {
-					h.switchRegisterContext(cpu, op.Prev(), op.Next())
-				}
-				return nil
-			}},
+		prog = append(prog,
+			stepPickNext,
+			stepDequeueNext,
+			stepRequeuePrev,
+			stepSetCurr,
+			stepSetVCPUState,
+			stepContextSwitch,
 		)
 	}
-	steps = append(steps, fx.unlockRunq)
-	return steps
+	return append(prog, fx.unlockRunq)
 }
 
 // switchRegisterContext saves the outgoing vCPU's architectural registers

@@ -63,10 +63,14 @@ type PerCPU struct {
 	// irqFixedSteps caches the timer-IRQ program steps whose closures
 	// capture only per-CPU state. The handler is rebuilt on every timer
 	// tick; without the cache each rebuild re-allocates these closures.
-	// Steps carrying per-invocation state (the due timers, the pending
-	// context switch) are NOT cached — an interrupted program retained
-	// across recovery must keep its own copies.
 	irqFixedSteps irqFixedSteps
+
+	// irqProg is the reusable step buffer the timer interrupt handler is
+	// built into on every tick (the hypercall analogue is Env's program
+	// buffer). Safe to recycle because at most one program is in flight
+	// per CPU — a busy or stuck CPU refuses further interrupts — and an
+	// interrupted IRQ program is discarded by recovery, never resumed.
+	irqProg hypercall.Program
 }
 
 // irqFixedSteps holds a CPU's cached fixed IRQ program steps (see the

@@ -134,24 +134,40 @@ func (r *TraceRecorder) Record(e TraceEvent) {
 	r.Dropped++
 }
 
-// Events returns the retained events, oldest first.
+// Events returns the retained events, oldest first, in a fresh slice.
+// Render paths that only need to walk the window (the campaign trace dump,
+// the escalated-run tail) should use Do instead: it visits the ring in
+// place, so an empty recorder — the common case, tracing off or nothing
+// recorded — costs nothing.
 func (r *TraceRecorder) Events() []TraceEvent {
 	out := make([]TraceEvent, 0, len(r.events))
-	out = append(out, r.events[r.start:]...)
-	out = append(out, r.events[:r.start]...)
+	r.Do(func(e TraceEvent) { out = append(out, e) })
 	return out
 }
+
+// Do calls fn for each retained event, oldest first, without allocating.
+func (r *TraceRecorder) Do(fn func(TraceEvent)) {
+	for _, e := range r.events[r.start:] {
+		fn(e)
+	}
+	for _, e := range r.events[:r.start] {
+		fn(e)
+	}
+}
+
+// Len returns the number of retained events.
+func (r *TraceRecorder) Len() int { return len(r.events) }
 
 // Filter returns the retained events of the given kinds, oldest first.
 func (r *TraceRecorder) Filter(kinds ...TraceKind) []TraceEvent {
 	var out []TraceEvent
-	for _, e := range r.Events() {
+	r.Do(func(e TraceEvent) {
 		for _, k := range kinds {
 			if e.Kind == k {
 				out = append(out, e)
 				break
 			}
 		}
-	}
+	})
 	return out
 }

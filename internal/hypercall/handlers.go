@@ -7,6 +7,7 @@ import (
 	"nilihype/internal/evtchn"
 	"nilihype/internal/mm"
 	"nilihype/internal/sched"
+	"nilihype/internal/xentime"
 )
 
 // Build constructs the handler program for a call. Programs are built at
@@ -169,7 +170,7 @@ func doMMUIncRef(e *Env, st *Step) error {
 	if err != nil {
 		return err
 	}
-	e.LogWrite("mmu_pin: undo inc_refcount", LogCostMMU, func() { f.UseCount-- })
+	e.logWriteRecord(LogCostMMU, UndoRecord{Desc: "mmu_pin: undo inc_refcount", Kind: UndoFrameUseDelta, Frame: f, Arg: -1})
 	f.Type = mm.FramePageTable
 	f.IncUse()
 	return nil
@@ -198,7 +199,7 @@ func doMMUClearValidated(e *Env, st *Step) error {
 	if !f.Validated {
 		return assertf("mmu_unpin: frame %d not validated (retry of partial hypercall?)", int(st.C.Args[1]))
 	}
-	e.LogWrite("mmu_unpin: undo clear_validated", LogCostMMU, func() { f.Validated = true })
+	e.logWriteRecord(LogCostMMU, UndoRecord{Desc: "mmu_unpin: undo clear_validated", Kind: UndoFrameRevalidate, Frame: f})
 	f.Validated = false
 	return nil
 }
@@ -208,7 +209,7 @@ func doMMUDecRef(e *Env, st *Step) error {
 	if err != nil {
 		return err
 	}
-	e.LogWrite("mmu_unpin: undo dec_refcount", LogCostMMU, func() { f.UseCount++ })
+	e.logWriteRecord(LogCostMMU, UndoRecord{Desc: "mmu_unpin: undo dec_refcount", Kind: UndoFrameUseDelta, Frame: f, Arg: 1})
 	if err := f.DecUse(); err != nil {
 		return assertf("mmu_unpin: %v", err)
 	}
@@ -250,7 +251,7 @@ func doAdjustTotPages(e *Env, st *Step) error {
 	if st.C.Args[SubOpArg] == MemRelease {
 		delta = -delta
 	}
-	e.LogWrite("memory_op: undo tot_pages", LogCostMemory, func() { dm.TotPages -= delta })
+	e.logWriteRecord(LogCostMemory, UndoRecord{Desc: "memory_op: undo tot_pages", Kind: UndoTotPagesDelta, Dom: dm, Arg: -delta})
 	dm.TotPages += delta
 	if dm.TotPages < 0 || dm.TotPages > dm.MemCount {
 		return assertf("memory_op: tot_pages %d out of [0,%d] for d%d (retry of partial hypercall?)",
@@ -322,9 +323,7 @@ func doGrantMapTrack(e *Env, st *Step) error {
 	if err != nil {
 		return assertf("grant_map: %v", err)
 	}
-	e.LogWrite("grant_map: undo map_track", LogCostGrant, func() {
-		dm.Maptrack.Unmap(h, dm.GrantTab)
-	})
+	e.logWriteRecord(LogCostGrant, UndoRecord{Desc: "grant_map: undo map_track", Kind: UndoMaptrackUnmap, Dom: dm, Arg: int(h)})
 	return nil
 }
 
@@ -334,7 +333,7 @@ func doGrantIncMap(e *Env, st *Step) error {
 		return assertf("grant_map: bad frame %d", frame)
 	}
 	f := e.Frames.Frame(frame)
-	e.LogWrite("grant_map: undo inc_mapcount", LogCostGrant, func() { f.UseCount-- })
+	e.logWriteRecord(LogCostGrant, UndoRecord{Desc: "grant_map: undo inc_mapcount", Kind: UndoFrameUseDelta, Frame: f, Arg: -1})
 	f.IncUse()
 	return nil
 }
@@ -353,9 +352,7 @@ func doGrantUnmapTrack(e *Env, st *Step) error {
 	if err != nil {
 		return assertf("grant_unmap: %v", err)
 	}
-	e.LogWrite("grant_unmap: undo unmap_track", LogCostGrant, func() {
-		dm.Maptrack.Map(dm.GrantTab, mp.Ref)
-	})
+	e.logWriteRecord(LogCostGrant, UndoRecord{Desc: "grant_unmap: undo unmap_track", Kind: UndoMaptrackMap, Dom: dm, Arg: mp.Ref})
 	return nil
 }
 
@@ -365,7 +362,7 @@ func doGrantDecMap(e *Env, st *Step) error {
 		return assertf("grant_unmap: bad frame %d", frame)
 	}
 	f := e.Frames.Frame(frame)
-	e.LogWrite("grant_unmap: undo dec_mapcount", LogCostGrant, func() { f.UseCount++ })
+	e.logWriteRecord(LogCostGrant, UndoRecord{Desc: "grant_unmap: undo dec_mapcount", Kind: UndoFrameUseDelta, Frame: f, Arg: 1})
 	if err := f.DecUse(); err != nil {
 		return assertf("grant_unmap: %v", err)
 	}
@@ -551,17 +548,27 @@ func doAddTimer(e *Env, st *Step) error {
 	if err != nil {
 		return err
 	}
-	var v *sched.VCPU
-	if len(dm.VCPUs) > 0 {
-		v = dm.VCPUs[0]
-	}
 	delta := time.Duration(st.C.Args[1])
-	dm.WakeupTimer = e.Timers.AddTimer(e.CPU, fmt.Sprintf("d%d-wakeup", st.C.Dom),
-		e.Now()+delta, 0, func() {
+	t := dm.WakeupPool
+	if t == nil {
+		// First set_timer_op for this domain: build the record once. The
+		// upcall vCPU and wake binding are domain/hypervisor-invariant
+		// (vCPU identity survives snapshot restore), so the callback can
+		// be captured with the record.
+		var v *sched.VCPU
+		if len(dm.VCPUs) > 0 {
+			v = dm.VCPUs[0]
+		}
+		wake := e.Wake
+		t = xentime.NewTimer(e.CPU, fmt.Sprintf("d%d-wakeup", st.C.Dom), func() {
 			if v != nil {
-				e.Wake(v)
+				wake(v)
 			}
 		})
+		dm.WakeupPool = t
+	}
+	e.Timers.Readd(t, e.CPU, e.Now()+delta, 0)
+	dm.WakeupTimer = t
 	return nil
 }
 
@@ -787,7 +794,7 @@ func doEPTIncMap(e *Env, st *Step) error {
 	if err != nil {
 		return err
 	}
-	e.LogWrite("ept_populate: undo inc_mapcount", LogCostMMU, func() { f.UseCount-- })
+	e.logWriteRecord(LogCostMMU, UndoRecord{Desc: "ept_populate: undo inc_mapcount", Kind: UndoFrameUseDelta, Frame: f, Arg: -1})
 	f.Type = mm.FramePageTable
 	f.IncUse()
 	return nil
@@ -813,7 +820,7 @@ func doEPTClearPresent(e *Env, st *Step) error {
 	if !f.Validated {
 		return assertf("ept_unmap: frame %d not present (retry of partial exit?)", int(st.C.Args[1]))
 	}
-	e.LogWrite("ept_unmap: undo clear_present", LogCostMMU, func() { f.Validated = true })
+	e.logWriteRecord(LogCostMMU, UndoRecord{Desc: "ept_unmap: undo clear_present", Kind: UndoFrameRevalidate, Frame: f})
 	f.Validated = false
 	return nil
 }
@@ -823,7 +830,7 @@ func doEPTDecMap(e *Env, st *Step) error {
 	if err != nil {
 		return err
 	}
-	e.LogWrite("ept_unmap: undo dec_mapcount", LogCostMMU, func() { f.UseCount++ })
+	e.logWriteRecord(LogCostMMU, UndoRecord{Desc: "ept_unmap: undo dec_mapcount", Kind: UndoFrameUseDelta, Frame: f, Arg: 1})
 	if err := f.DecUse(); err != nil {
 		return assertf("ept_unmap: %v", err)
 	}

@@ -141,6 +141,16 @@ type Call struct {
 
 	// Seq is a per-run unique sequence number assigned at dispatch.
 	Seq uint64
+
+	// Done is set by the hypervisor core when the call completes cleanly.
+	// It is the guest layer's recycling gate: a dispatched call whose Done
+	// flag is still false on return is referenced by recovery machinery
+	// (pause-deferred dispatch, a pending-retry record) and must not be
+	// reused; a Done call is referenced by nothing and goes back to the
+	// issuing world's free list. Multicall components are never marked
+	// individually — they recycle with their batch when the outer call
+	// completes.
+	Done bool
 }
 
 // String formats the call for diagnostics.

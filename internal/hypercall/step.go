@@ -47,6 +47,12 @@ type Step struct {
 	// programs are built at every dispatch and retry).
 	C *Call
 
+	// T is the software timer a step operates on — the timer interrupt
+	// handler emits a run/rearm step pair per due timer, and binding the
+	// timer here (like C above) lets those bodies be shared functions
+	// instead of per-tick closures. Nil outside timer-IRQ programs.
+	T *xentime.Timer
+
 	// Do performs the step's state mutation against e, reading call
 	// arguments from st.C (st is the step itself). A non-nil error is a
 	// failed hypervisor assertion (panic). A *SpinError is a spin on a
@@ -253,6 +259,27 @@ func (e *Env) LogWrite(desc string, cycles uint64, undo func()) {
 	e.Undo.Record(desc, undo)
 	e.ExtraCycles += cycles
 }
+
+// logWriteRecord is LogWrite for data-driven undo records: the hot handlers
+// use it so a critical write logs plain data instead of allocating a
+// closure capture (the campaign fast path logs tens of thousands of undo
+// records per run).
+func (e *Env) logWriteRecord(cycles uint64, r UndoRecord) {
+	if !e.LoggingEnabled {
+		return
+	}
+	e.Undo.RecordData(r)
+	e.ExtraCycles += cycles
+}
+
+// SwitchOp returns the in-flight context switch shared between a scheduler
+// program's steps. The hypervisor's scheduler-softirq steps read it; the
+// program's pick_next entry step assigns it (acting as the reset — every
+// execution and every retry rebuild starts there).
+func (e *Env) SwitchOp() *sched.SwitchOp { return e.scr.op }
+
+// SetSwitchOp records the in-flight context switch (see SwitchOp).
+func (e *Env) SetSwitchOp(op *sched.SwitchOp) { e.scr.op = op }
 
 // targetDomain resolves a domain by ID.
 func (e *Env) targetDomain(id int) (*dom.Domain, error) {

@@ -1,9 +1,71 @@
 package hypercall
 
-// UndoRecord is one logged critical-variable write.
+import (
+	"nilihype/internal/dom"
+	"nilihype/internal/grant"
+	"nilihype/internal/mm"
+)
+
+// UndoKind selects a data-driven undo action. The hot handlers (MMU
+// pin/unpin, memory_op, grant map/unmap, EPT populate/unmap) log one undo
+// record per critical write on the campaign fast path; closure-based
+// records would allocate a capture per write, so the common reversals are
+// encoded as plain data applied by UndoRecord.apply instead. UndoFunc
+// remains for the rare records (domctl) whose reversal is irreducibly a
+// callback.
+type UndoKind uint8
+
+// Undo record kinds.
+const (
+	// UndoFunc runs the record's Undo closure (legacy/rare path).
+	UndoFunc UndoKind = iota
+	// UndoFrameUseDelta adds Arg to Frame.UseCount (raw counter reversal,
+	// deliberately bypassing the IncUse/DecUse assertions: rollback must
+	// restore state even when the forward path's invariants no longer
+	// hold).
+	UndoFrameUseDelta
+	// UndoFrameRevalidate sets Frame.Validated back to true.
+	UndoFrameRevalidate
+	// UndoTotPagesDelta adds Arg to Dom.TotPages.
+	UndoTotPagesDelta
+	// UndoMaptrackUnmap reverses a grant map: Dom.Maptrack.Unmap(Arg,
+	// Dom.GrantTab) with Arg holding the map handle.
+	UndoMaptrackUnmap
+	// UndoMaptrackMap reverses a grant unmap: Dom.Maptrack.Map(Dom.GrantTab,
+	// Arg) with Arg holding the grant ref.
+	UndoMaptrackMap
+)
+
+// UndoRecord is one logged critical-variable write. Kind selects how the
+// write is reversed; the pointer/Arg fields carry the target state.
 type UndoRecord struct {
 	Desc string
+	Kind UndoKind
+
+	// Undo is the UndoFunc reversal callback (nil for data-driven kinds).
 	Undo func()
+
+	Frame *mm.PageFrame
+	Dom   *dom.Domain
+	Arg   int
+}
+
+// apply performs the reversal.
+func (r *UndoRecord) apply() {
+	switch r.Kind {
+	case UndoFunc:
+		r.Undo()
+	case UndoFrameUseDelta:
+		r.Frame.UseCount += r.Arg
+	case UndoFrameRevalidate:
+		r.Frame.Validated = true
+	case UndoTotPagesDelta:
+		r.Dom.TotPages += r.Arg
+	case UndoMaptrackUnmap:
+		r.Dom.Maptrack.Unmap(grant.Handle(r.Arg), r.Dom.GrantTab)
+	case UndoMaptrackMap:
+		r.Dom.Maptrack.Map(r.Dom.GrantTab, r.Arg)
+	}
 }
 
 // UndoLog holds the undo records of the call currently executing on one
@@ -27,26 +89,38 @@ type UndoLog struct {
 // NewUndoLog returns an empty log.
 func NewUndoLog() *UndoLog { return &UndoLog{} }
 
-// Record appends an undo action.
+// Record appends a closure-based undo action.
 func (u *UndoLog) Record(desc string, undo func()) {
-	u.records = append(u.records, UndoRecord{Desc: desc, Undo: undo})
+	u.records = append(u.records, UndoRecord{Desc: desc, Kind: UndoFunc, Undo: undo})
+	u.Writes++
+}
+
+// RecordData appends a data-driven undo record.
+func (u *UndoLog) RecordData(r UndoRecord) {
+	u.records = append(u.records, r)
 	u.Writes++
 }
 
 // Len returns the number of pending records.
 func (u *UndoLog) Len() int { return len(u.records) }
 
-// Clear discards all records (call completed successfully).
-func (u *UndoLog) Clear() { u.records = u.records[:0] }
+// Clear discards all records (call completed successfully). Capacity is
+// kept: the log belongs to a per-CPU Env that lives for the whole run.
+func (u *UndoLog) Clear() {
+	for i := range u.records {
+		u.records[i] = UndoRecord{}
+	}
+	u.records = u.records[:0]
+}
 
 // Rollback applies all records in reverse order and clears the log.
 // Returns the number of records applied.
 func (u *UndoLog) Rollback() int {
 	n := len(u.records)
 	for i := n - 1; i >= 0; i-- {
-		u.records[i].Undo()
+		u.records[i].apply()
 	}
-	u.records = u.records[:0]
+	u.Clear()
 	if n > 0 {
 		u.Rollbacks++
 	}

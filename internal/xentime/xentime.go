@@ -102,6 +102,34 @@ func (s *Subsystem) AddTimer(cpu int, name string, deadline, period time.Duratio
 	return t
 }
 
+// NewTimer builds an unregistered timer for later Readd. Callers that set
+// the same logical timer over and over (a domain's set_timer_op wakeup
+// timer) keep one record — and its precomputed step labels — instead of
+// allocating a fresh Timer per set.
+func NewTimer(cpu int, name string, fn Func) *Timer {
+	return &Timer{Name: name, CPU: cpu, Fn: fn,
+		runLabel: "run_timer:" + name, rearmLabel: "rearm:" + name}
+}
+
+// Readd registers and arms a reusable timer with a new schedule,
+// equivalent to AddTimer with the record recycled. A still-queued timer is
+// removed first; the registration check guards against a stale active flag
+// on a record that a snapshot restore dropped from the subsystem.
+func (s *Subsystem) Readd(t *Timer, cpu int, deadline, period time.Duration) {
+	if cpu < 0 || cpu >= len(s.heaps) {
+		panic(fmt.Sprintf("xentime: bad cpu %d", cpu))
+	}
+	if _, registered := s.all[t]; registered && t.active {
+		heap.Remove(&s.heaps[t.CPU], t.index)
+	}
+	t.CPU = cpu
+	t.Deadline = deadline
+	t.Period = period
+	t.active = true
+	heap.Push(&s.heaps[cpu], t)
+	s.all[t] = struct{}{}
+}
+
 // StopTimer deactivates and forgets a timer.
 func (s *Subsystem) StopTimer(t *Timer) {
 	if t.active {
