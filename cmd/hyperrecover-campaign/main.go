@@ -43,21 +43,23 @@ func main() {
 
 func run() error {
 	var (
-		mechName = flag.String("mechanism", "nilihype", "recovery mechanism: nilihype | rehype | checkpoint")
-		faultStr = flag.String("fault", "failstop", "fault type: failstop | register | code")
-		setupStr = flag.String("setup", "3appvm", "target system: 1appvm | 3appvm")
-		workload = flag.String("workload", "unixbench", "1AppVM benchmark: blkbench | unixbench | netbench")
-		runs     = flag.Int("runs", 300, "number of injection runs")
-		duration = flag.Duration("duration", 3*time.Second, "benchmark duration (virtual time)")
-		logging  = flag.Bool("logging", true, "enable §IV retry-mitigation logging (off = NiLiHype*)")
-		hvm      = flag.Bool("hvm", false, "run AppVMs under full hardware virtualization (§VI-A)")
-		all      = flag.Bool("all", false, "run the full Figure 2 grid (both mechanisms, all fault types)")
-		traceRun = flag.Uint64("trace-run", 0, "run a single seed and print its recovery timeline instead of a campaign")
-		paper    = flag.Bool("paper", false, "paper-scale campaigns (1000/5000/2000 runs, 24s benchmarks)")
-		parallel = flag.Int("parallel", 0, "concurrent runs per process (0 = GOMAXPROCS)")
-		shards   = flag.Int("shards", 0, "split the campaign across this many worker processes (0 = in-process)")
-		shardTO  = flag.Duration("shard-timeout", 30*time.Minute, "per-shard worker deadline (with -shards)")
-		worker   = flag.Bool("shard-worker", false, "internal: run as a shard worker (spec on stdin, summary on stdout)")
+		mechName   = flag.String("mechanism", "nilihype", "recovery mechanism: nilihype | rehype | checkpoint")
+		faultStr   = flag.String("fault", "failstop", "fault type: failstop | register | code")
+		setupStr   = flag.String("setup", "3appvm", "target system: 1appvm | 3appvm")
+		workload   = flag.String("workload", "unixbench", "1AppVM benchmark: blkbench | unixbench | netbench")
+		runs       = flag.Int("runs", 300, "number of injection runs")
+		duration   = flag.Duration("duration", 3*time.Second, "benchmark duration (virtual time)")
+		logging    = flag.Bool("logging", true, "enable §IV retry-mitigation logging (off = NiLiHype*)")
+		hvm        = flag.Bool("hvm", false, "run AppVMs under full hardware virtualization (§VI-A)")
+		all        = flag.Bool("all", false, "run the full Figure 2 grid (both mechanisms, all fault types)")
+		traceRun   = flag.Uint64("trace-run", 0, "run a single seed and print its recovery timeline instead of a campaign")
+		paper      = flag.Bool("paper", false, "paper-scale campaigns (1000/5000/2000 runs, 24s benchmarks)")
+		parallel   = flag.Int("parallel", 0, "concurrent runs per process (0 = GOMAXPROCS)")
+		repairCPUs = flag.Int("repair-cpus", 0, "partition non-reboot repair+audit into recovery domains over this many CPUs (0/1 = serial; implies audit)")
+		serialExec = flag.Bool("serial-repair-exec", false, "execute the partitioned repair plan on one goroutine (equivalence baseline; identical results)")
+		shards     = flag.Int("shards", 0, "split the campaign across this many worker processes (0 = in-process)")
+		shardTO    = flag.Duration("shard-timeout", 30*time.Minute, "per-shard worker deadline (with -shards)")
+		worker     = flag.Bool("shard-worker", false, "internal: run as a shard worker (spec on stdin, summary on stdout)")
 	)
 	flag.Parse()
 
@@ -83,6 +85,19 @@ func run() error {
 		benchDur = 24 * time.Second
 	}
 
+	// recoveryCfg builds the per-run recovery config, folding in the
+	// recovery-domain flags: partitioned repair needs the audit gate, since
+	// the domain walk is the audit.
+	recoveryCfg := func(m core.Mechanism) core.Config {
+		rc := core.Config{Mechanism: m, Enhancements: core.AllEnhancements}
+		if *repairCPUs > 1 {
+			rc.RepairCPUs = *repairCPUs
+			rc.SerialRepairExec = *serialExec
+			rc.Escalation.Audit = true
+		}
+		return rc
+	}
+
 	execOne := func(m core.Mechanism, ft inject.FaultType, n int) error {
 		c := campaign.Campaign{
 			Base: campaign.RunConfig{
@@ -91,7 +106,7 @@ func run() error {
 				Workload:      wl,
 				Logging:       *logging,
 				HVM:           *hvm,
-				Recovery:      core.Config{Mechanism: m, Enhancements: core.AllEnhancements},
+				Recovery:      recoveryCfg(m),
 				BenchDuration: benchDur,
 			},
 			Runs:        n,
@@ -117,7 +132,7 @@ func run() error {
 			Workload:      wl,
 			Logging:       *logging,
 			HVM:           *hvm,
-			Recovery:      core.Config{Mechanism: mech, Enhancements: core.AllEnhancements},
+			Recovery:      recoveryCfg(mech),
 			BenchDuration: benchDur,
 			TraceCapacity: 4096,
 		})

@@ -34,6 +34,8 @@ func main() {
 		"adversarial run: hybrid escalation ladder, audit gate, burst fault, fault-during-recovery")
 	flag.StringVar(&o.Format, "format", "chrome", "output format: chrome | text")
 	flag.IntVar(&o.FlightCap, "flight", 4096, "flight recorder capacity (events retained)")
+	flag.IntVar(&o.RepairCPUs, "repair-cpus", 0,
+		"partition repair+audit into recovery domains over this many CPUs; per-domain phase spans appear in the trace (0/1 = serial; implies audit)")
 	flag.IntVar(&o.FindFailed, "find-failed", 0,
 		"scan up to N seeds from -seed for a run that fails recovery or escalates, and render that run")
 	flag.Parse()
@@ -53,6 +55,7 @@ type options struct {
 	Adversarial bool
 	Format      string
 	FlightCap   int
+	RepairCPUs  int
 	FindFailed  int
 }
 
@@ -78,6 +81,10 @@ func buildRunConfig(o options) (campaign.RunConfig, error) {
 		rc.BurstWindow = 100 * time.Millisecond
 		rc.BurstFault = inject.Register
 		rc.FaultDuringRecovery = true
+	}
+	if o.RepairCPUs > 1 {
+		rc.Recovery.RepairCPUs = o.RepairCPUs
+		rc.Recovery.Escalation.Audit = true
 	}
 	return rc, nil
 }

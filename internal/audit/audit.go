@@ -23,10 +23,12 @@ package audit
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"nilihype/internal/dom"
 	"nilihype/internal/evtchn"
 	"nilihype/internal/hv"
+	"nilihype/internal/recdomain"
 	"nilihype/internal/telemetry"
 )
 
@@ -87,6 +89,10 @@ type Report struct {
 	Escalations int
 	// Sacrificed lists the domain IDs failed by degradation.
 	Sacrificed []int
+	// Timing is the recovery-domain latency accounting of the
+	// partitioned walk (Options.RepairCPUs > 1); zero for the monolithic
+	// walk.
+	Timing recdomain.Timing
 }
 
 func (r *Report) add(class, detail string, v Verdict) {
@@ -111,12 +117,33 @@ type Options struct {
 	// SkipSched skips the scheduler-consistency walk, likewise for
 	// EnhSchedRepair.
 	SkipSched bool
+
+	// RepairCPUs > 1 selects the recovery-domain-partitioned walk: the
+	// audit is decomposed into per-CPU, per-guest-domain and global
+	// units, independent units run concurrently, and Report.Timing
+	// charges each phase as the max over parallel domains plus the
+	// serialized global work on that many simulated CPUs. 0/1 keeps the
+	// historical monolithic serial walk.
+	RepairCPUs int
+	// SerialExec executes the partitioned walk's units sequentially
+	// while keeping the identical parallel latency model — the
+	// equivalence suite's serial baseline. Reports are bit-identical
+	// either way; only host-side goroutine use differs.
+	SerialExec bool
+	// FrameScanCost is the modeled cost of the partitioned walk's
+	// page-frame unit (the engine computes it from memory size and scan
+	// parallelism). Ignored by the monolithic walk, which derives the
+	// cost in the engine.
+	FrameScanCost time.Duration
 }
 
 // Run audits the paused hypervisor and repairs what it can. It must be
 // called while recovery holds the system paused, after the attempt's own
 // repair enhancements have run.
 func Run(h *hv.Hypervisor, opts Options) *Report {
+	if opts.RepairCPUs > 1 {
+		return runPartitioned(h, opts)
+	}
 	r := &Report{}
 	now := h.Clock.Now()
 	doms := h.Domains.Preserved()

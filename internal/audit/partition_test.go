@@ -1,0 +1,139 @@
+package audit
+
+import (
+	"math/rand/v2"
+	"reflect"
+	"testing"
+	"time"
+
+	"nilihype/internal/hv"
+)
+
+// corruptBroadly damages one structure family per recovery-domain kind:
+// global (domain list, scratch, free list, locks), per-CPU (timer heaps),
+// and per-guest (event-channel linkage, grant counts, the AppVM's heap
+// object). The shared rng keeps two targets' damage identical.
+func corruptBroadly(t *testing.T, h *hv.Hypervisor, r *rand.Rand) {
+	t.Helper()
+	h.Domains.CorruptLink(r)
+	h.CorruptStaticScratchWord(r)
+	h.Heap.CorruptFreeList(r)
+	h.Locks.CorruptRandomHold(r)
+	h.Broker.CorruptRandomLink(r)
+	h.Timers.CorruptRandom(r)
+	h.Frames.CorruptRandomDescriptor(r)
+	h.Sched.CorruptRandom(r)
+	d, err := h.Domain(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Obj.Corrupt(r)
+	e, err := d.GrantTab.Entry(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.MapCount = 17
+}
+
+// TestPartitionedSerialVsParallelExecIdentical is the package-level half
+// of the PR's equivalence guarantee: executing the partitioned walk's
+// units on one goroutine or on RepairCPUs goroutines yields byte-identical
+// Reports — violations in the same order with the same text, the same
+// sacrifices, and the same Timing. Run under -race this also proves the
+// concurrent level's units touch disjoint state.
+func TestPartitionedSerialVsParallelExecIdentical(t *testing.T) {
+	build := func(serialExec bool) *Report {
+		h, _ := newTarget(t)
+		corruptBroadly(t, h, rng())
+		return Run(h, Options{
+			RepairCPUs:    4,
+			SerialExec:    serialExec,
+			FrameScanCost: 700 * time.Microsecond,
+		})
+	}
+	serial := build(true)
+	for i := 0; i < 5; i++ {
+		parallel := build(false)
+		if !reflect.DeepEqual(serial, parallel) {
+			t.Fatalf("parallel execution %d diverged from serial:\nserial:   %+v\nparallel: %+v", i, serial, parallel)
+		}
+	}
+	if serial.Timing.Units == 0 || serial.Timing.Domains < 3 {
+		t.Fatalf("partitioned walk reported no timing: %+v", serial.Timing)
+	}
+}
+
+// TestPartitionedRepairsConvergeWithMonolithic checks the two walks agree
+// on substance for identical damage: same violation classes with the same
+// verdict multisets, same sacrifices, and both leave the system clean
+// enough that a follow-up monolithic audit finds nothing.
+func TestPartitionedRepairsConvergeWithMonolithic(t *testing.T) {
+	runWith := func(opts Options) (*Report, *hv.Hypervisor) {
+		h, _ := newTarget(t)
+		corruptBroadly(t, h, rng())
+		return Run(h, opts), h
+	}
+	mono, hm := runWith(Options{})
+	part, hp := runWith(Options{RepairCPUs: 4, FrameScanCost: 700 * time.Microsecond})
+
+	if !reflect.DeepEqual(classes(mono), classes(part)) {
+		t.Fatalf("verdicts by class diverge:\nmonolithic:  %v\npartitioned: %v", classes(mono), classes(part))
+	}
+	if !reflect.DeepEqual(mono.Sacrificed, part.Sacrificed) {
+		t.Fatalf("sacrifices diverge: monolithic %v, partitioned %v", mono.Sacrificed, part.Sacrificed)
+	}
+	for name, h := range map[string]*hv.Hypervisor{"monolithic": hm, "partitioned": hp} {
+		if r := Run(h, Options{}); len(r.Violations) != len(leftoverEscalations(r)) {
+			t.Fatalf("%s walk left repairable damage: %+v", name, r.Violations)
+		}
+	}
+}
+
+// leftoverEscalations filters a re-audit's violations down to the ones
+// neither walk claims to repair (escalation-class damage persists by
+// design: the unowned/Priv heap object stays damaged).
+func leftoverEscalations(r *Report) []Violation {
+	var out []Violation
+	for _, v := range r.Violations {
+		if v.Verdict == Escalate {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// TestPartitionedCleanSystem pins the no-damage case: no violations, and
+// the timing still accounts for every walked unit (the walk itself is the
+// cost, findings are free).
+func TestPartitionedCleanSystem(t *testing.T) {
+	h, _ := newTarget(t)
+	r := Run(h, Options{RepairCPUs: 4, FrameScanCost: 700 * time.Microsecond})
+	if len(r.Violations) != 0 || r.Repaired != 0 || len(r.Sacrificed) != 0 || r.MustEscalate() {
+		t.Fatalf("clean system produced report %+v", r)
+	}
+	// 6 global units + sched + 4 CPU timer units + per-guest scans/grants
+	// + the linkage apply.
+	if r.Timing.Units < 12 {
+		t.Fatalf("clean walk scheduled %d units, want the full plan", r.Timing.Units)
+	}
+	if r.Timing.Parallel >= r.Timing.Serial {
+		t.Fatalf("parallel charge %v not below serialized %v", r.Timing.Parallel, r.Timing.Serial)
+	}
+}
+
+// TestPartitionedTimingScalesWithCPUs: more simulated repair CPUs must
+// never increase the charged makespan, and the serialized total must be
+// invariant.
+func TestPartitionedTimingScalesWithCPUs(t *testing.T) {
+	at := func(n int) *Report {
+		h, _ := newTarget(t)
+		return Run(h, Options{RepairCPUs: n, FrameScanCost: 700 * time.Microsecond})
+	}
+	r2, r8 := at(2), at(8)
+	if r8.Timing.Parallel > r2.Timing.Parallel {
+		t.Fatalf("8 repair CPUs charged %v, more than 2 CPUs' %v", r8.Timing.Parallel, r2.Timing.Parallel)
+	}
+	if r2.Timing.Serial != r8.Timing.Serial {
+		t.Fatalf("serialized totals differ with lane count: %v vs %v", r2.Timing.Serial, r8.Timing.Serial)
+	}
+}

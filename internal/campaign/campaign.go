@@ -67,6 +67,17 @@ type Summary struct {
 	AuditRepaired   int
 	SacrificedVMs   int
 
+	// Recovery-domain totals (Recovery.RepairCPUs > 1): runs that used the
+	// partitioned repair path, the largest distinct-domain count any run's
+	// recovery touched, and — summed over those runs — what the repair and
+	// audit phases would have cost serialized vs what the parallel domain
+	// schedule charged. All are counters or maxima, so they merge
+	// commutatively like every other Summary field.
+	ParallelRepairRuns    int
+	RepairDomains         int
+	SerialRepairLatency   time.Duration
+	ParallelRepairLatency time.Duration
+
 	// Adversarial-injection totals: runs whose burst fault fired, and
 	// runs whose fault-during-recovery trigger fired.
 	BurstFiredRuns          int
@@ -209,6 +220,12 @@ func (s *Summary) merge(p *Summary) {
 	s.AuditViolations += p.AuditViolations
 	s.AuditRepaired += p.AuditRepaired
 	s.SacrificedVMs += p.SacrificedVMs
+	s.ParallelRepairRuns += p.ParallelRepairRuns
+	if p.RepairDomains > s.RepairDomains {
+		s.RepairDomains = p.RepairDomains
+	}
+	s.SerialRepairLatency += p.SerialRepairLatency
+	s.ParallelRepairLatency += p.ParallelRepairLatency
 	s.BurstFiredRuns += p.BurstFiredRuns
 	s.DuringRecoveryFiredRuns += p.DuringRecoveryFiredRuns
 	for k, v := range p.SuccessByAttempt {
@@ -230,6 +247,14 @@ func (s *Summary) add(r Result) {
 	s.AuditViolations += r.AuditViolations
 	s.AuditRepaired += r.AuditRepaired
 	s.SacrificedVMs += len(r.SacrificedVMs)
+	if r.RepairDomains > 0 {
+		s.ParallelRepairRuns++
+		if r.RepairDomains > s.RepairDomains {
+			s.RepairDomains = r.RepairDomains
+		}
+		s.SerialRepairLatency += r.SerialRepairLatency
+		s.ParallelRepairLatency += r.ParallelRepairLatency
+	}
 	if r.BurstFired {
 		s.BurstFiredRuns++
 	}
@@ -362,6 +387,12 @@ func (s Summary) Format() string {
 	if s.AuditViolations > 0 {
 		fmt.Fprintf(&b, "  audit: %d violation(s), %d repaired, %d VM(s) sacrificed\n",
 			s.AuditViolations, s.AuditRepaired, s.SacrificedVMs)
+	}
+	if s.ParallelRepairRuns > 0 {
+		fmt.Fprintf(&b, "  parallel repair: %d run(s) over up to %d recovery domains; serialized %v vs parallel %v charged\n",
+			s.ParallelRepairRuns, s.RepairDomains,
+			s.SerialRepairLatency.Round(10*time.Microsecond),
+			s.ParallelRepairLatency.Round(10*time.Microsecond))
 	}
 	if s.LatencyHist.Count > 0 {
 		fmt.Fprintf(&b, "  recovery latency (µs): p50=%d p99=%d max=%d over %d successful run(s)\n",

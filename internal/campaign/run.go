@@ -231,6 +231,15 @@ type Result struct {
 	AuditRepaired   int
 	SacrificedVMs   []int
 
+	// Recovery-domain accounting (Recovery.RepairCPUs > 1): the distinct
+	// domains the partitioned repair and audit phases touched across all
+	// attempts, what those phases would have cost fully serialized, and
+	// what the parallel schedule actually charged. Zero on the serial
+	// path.
+	RepairDomains         int
+	SerialRepairLatency   time.Duration
+	ParallelRepairLatency time.Duration
+
 	// InvariantViolations lists post-recovery system-invariant breaches
 	// found when RunConfig.CheckInvariants is set (empty = clean).
 	InvariantViolations []string
@@ -444,6 +453,9 @@ func (img *image) run(rc RunConfig) Result {
 	res.AuditViolations = engine.AuditViolations
 	res.AuditRepaired = engine.AuditRepaired
 	res.SacrificedVMs = append(res.SacrificedVMs, engine.SacrificedVMs...)
+	res.RepairDomains = engine.RepairTiming.Domains
+	res.SerialRepairLatency = engine.RepairTiming.Serial
+	res.ParallelRepairLatency = engine.RepairTiming.Parallel
 	res.Detected = engine.FirstDetection != nil
 	res.Recovered = engine.Recovered()
 	res.FailReason = engine.FailReason

@@ -200,12 +200,20 @@ func ExecuteSharded(c Campaign, n int, opt ShardOptions) (Summary, []ShardStatus
 					ctx, cancel = context.WithTimeout(ctx, opt.Timeout)
 				}
 				sum, err := opt.Spawn(ctx, spec)
+				expired := ctx.Err() == context.DeadlineExceeded
 				cancel()
 				if err == nil {
 					sums[i], ok[i], lastErr = sum, true, nil
 					break
 				}
 				lastErr = err
+				if expired {
+					// Deadline expiry is terminal, not transient: the shard's
+					// work does not shrink on a respawn, so an identical fresh
+					// worker would burn another full Timeout reaching the same
+					// kill. Retries exist for crashes and protocol faults.
+					break
+				}
 			}
 			st := ShardStatus{Index: spec.Index, Runs: spec.Runs, Attempts: attempts}
 			if lastErr != nil {

@@ -220,8 +220,11 @@ func TestShardPermanentFailureIsLoud(t *testing.T) {
 }
 
 // TestShardHangKilledAtDeadline checks the per-shard deadline: a worker
-// that never answers is killed via its context and reported, instead of
-// wedging the whole campaign.
+// that never answers is killed via its context, reported, and NOT
+// respawned — the shard's work does not shrink on retry, so an identical
+// fresh worker would only burn another full Timeout reaching the same
+// kill. Retries stay at the default to prove deadline expiry is terminal
+// on its own.
 func TestShardHangKilledAtDeadline(t *testing.T) {
 	c := Campaign{Base: fastCfg(inject.Failstop, core.Microreset), Runs: 2, SeedBase: 11}
 	hang := func(ctx context.Context, spec ShardSpec) (Summary, error) {
@@ -232,7 +235,6 @@ func TestShardHangKilledAtDeadline(t *testing.T) {
 	_, statuses, err := ExecuteSharded(c, 2, ShardOptions{
 		Spawn:   hang,
 		Timeout: 20 * time.Millisecond,
-		Retries: -1, // no respawn: the test bounds wall time
 	})
 	if err == nil {
 		t.Fatal("hung shards reported no error")
@@ -241,8 +243,118 @@ func TestShardHangKilledAtDeadline(t *testing.T) {
 		if !strings.Contains(st.Err, "deadline") {
 			t.Fatalf("shard %d error %q does not mention the deadline", st.Index, st.Err)
 		}
+		if st.Attempts != 1 {
+			t.Fatalf("shard %d killed at its deadline was respawned (%d attempts); deadline expiry must be terminal", st.Index, st.Attempts)
+		}
 	}
 	if wall := time.Since(start); wall > 5*time.Second {
 		t.Fatalf("deadline did not bound the hang (%v)", wall)
+	}
+}
+
+// TestShardDeadlineTerminalCrashRetried pins the retry policy's split in
+// one campaign: a shard that hangs to its deadline consumes exactly one
+// attempt, while a shard that crashes is respawned and completes — the
+// deadline fix must not take crash retries down with it.
+func TestShardDeadlineTerminalCrashRetried(t *testing.T) {
+	c := Campaign{Base: fastCfg(inject.Failstop, core.Microreset), Runs: 4, SeedBase: 11}
+	var calls atomic.Int32
+	spawn := func(ctx context.Context, spec ShardSpec) (Summary, error) {
+		if spec.Index == 0 {
+			<-ctx.Done()
+			return Summary{}, fmt.Errorf("worker killed: %w", ctx.Err())
+		}
+		if calls.Add(1) == 1 {
+			return Summary{}, errors.New("exit status 2")
+		}
+		return jsonSpawn(ctx, spec)
+	}
+	_, statuses, err := ExecuteSharded(c, 2, ShardOptions{
+		Spawn:   spawn,
+		Timeout: 20 * time.Millisecond,
+	})
+	if err == nil {
+		t.Fatal("hung shard reported no error")
+	}
+	if statuses[0].Attempts != 1 || !strings.Contains(statuses[0].Err, "deadline") {
+		t.Fatalf("deadline shard status = %+v, want 1 terminal attempt", statuses[0])
+	}
+	if statuses[1].Attempts != 2 || statuses[1].Err != "" {
+		t.Fatalf("crashed shard status = %+v, want clean completion on attempt 2", statuses[1])
+	}
+}
+
+// TestPlanShardsProperty sweeps arbitrary (Runs, n) pairs — n greater
+// than Runs, Runs of zero, wildly uneven splits — and checks the
+// partition invariants: every plan tiles seeds SeedBase+1..SeedBase+Runs
+// contiguously with no overlap and no empty shard, and carries the
+// campaign fields through unchanged.
+func TestPlanShardsProperty(t *testing.T) {
+	base := fastCfg(inject.Failstop, core.Microreset)
+	for _, runs := range []int{0, 1, 2, 3, 7, 10, 16, 97} {
+		for _, n := range []int{-3, 0, 1, 2, 3, 5, 8, 31, 100} {
+			c := Campaign{Base: base, Runs: runs, Parallelism: 3, SeedBase: uint64(1000 * (runs + 1)), ColdBoot: runs%2 == 0}
+			specs := PlanShards(c, n)
+			if runs <= 0 {
+				if specs != nil {
+					t.Fatalf("runs=%d n=%d: planned %d shards for empty campaign", runs, n, len(specs))
+				}
+				continue
+			}
+			want := n
+			if want < 1 {
+				want = 1
+			}
+			if want > runs {
+				want = runs
+			}
+			if len(specs) != want {
+				t.Fatalf("runs=%d n=%d: %d shards, want %d", runs, n, len(specs), want)
+			}
+			next := c.SeedBase
+			total := 0
+			for i, sp := range specs {
+				if sp.Index != i || sp.Shards != want {
+					t.Fatalf("runs=%d n=%d shard %d: identity (%d of %d)", runs, n, i, sp.Index, sp.Shards)
+				}
+				if sp.Runs <= 0 {
+					t.Fatalf("runs=%d n=%d shard %d: empty", runs, n, i)
+				}
+				// Uneven remainders go to earlier shards; sizes may differ
+				// by at most one and never increase.
+				if i > 0 && sp.Runs > specs[i-1].Runs {
+					t.Fatalf("runs=%d n=%d shard %d: %d runs after %d", runs, n, i, sp.Runs, specs[i-1].Runs)
+				}
+				if sp.SeedBase != next {
+					t.Fatalf("runs=%d n=%d shard %d: SeedBase %d, want %d (gap or overlap)", runs, n, i, sp.SeedBase, next)
+				}
+				if sp.Parallelism != c.Parallelism || sp.ColdBoot != c.ColdBoot || !reflect.DeepEqual(sp.Base, c.Base) {
+					t.Fatalf("runs=%d n=%d shard %d: campaign fields mutated", runs, n, i)
+				}
+				next += uint64(sp.Runs)
+				total += sp.Runs
+			}
+			if total != runs {
+				t.Fatalf("runs=%d n=%d: shards cover %d runs", runs, n, total)
+			}
+		}
+	}
+}
+
+// TestUnevenShardMergeMatchesExecute executes an uneven split (7 runs
+// over 3 shards: 3+2+2) through the real wire protocol and checks the
+// merged Summary is bit-identical to the unsharded Execute.
+func TestUnevenShardMergeMatchesExecute(t *testing.T) {
+	c := Campaign{Base: fastCfg(inject.Failstop, core.Microreset), Runs: 7, Parallelism: 2, SeedBase: 23}
+	want := c.Execute()
+	got, statuses, err := ExecuteSharded(c, 3, ShardOptions{Spawn: jsonSpawn})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(statuses) != 3 {
+		t.Fatalf("%d statuses, want 3", len(statuses))
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("uneven shard merge differs from Execute:\n want: %+v\n got:  %+v", want, got)
 	}
 }

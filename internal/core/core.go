@@ -20,6 +20,7 @@ import (
 	"nilihype/internal/audit"
 	"nilihype/internal/detect"
 	"nilihype/internal/hv"
+	"nilihype/internal/recdomain"
 	"nilihype/internal/telemetry"
 )
 
@@ -178,6 +179,20 @@ type Config struct {
 	// multiple cores to perform the operation."
 	ScanCPUs int
 
+	// RepairCPUs > 1 partitions the repair and audit phases of non-reboot
+	// rungs into recovery domains — per-CPU state, per-guest-domain state,
+	// and a global domain with an explicit dependency order — and runs
+	// independent domains concurrently, charging the latency as the max
+	// over parallel domains plus the serialized global work on that many
+	// simulated CPUs. When ScanCPUs is unset it also parallelizes the
+	// page-frame scan. 0/1 keeps the historical serial path, bit for bit.
+	RepairCPUs int
+	// SerialRepairExec executes the partitioned path's units on a single
+	// host goroutine while keeping the identical latency model — the
+	// equivalence suite's serial baseline. Results and Summaries are
+	// bit-identical with or without it; no effect when RepairCPUs <= 1.
+	SerialRepairExec bool
+
 	// Escalation enables multi-attempt recovery (zero value = one shot).
 	Escalation EscalationPolicy
 }
@@ -209,6 +224,16 @@ func (c Config) MechanismFor(i int) Mechanism {
 // DefaultConfig returns the full NiLiHype configuration.
 func DefaultConfig() Config {
 	return Config{Mechanism: Microreset, Enhancements: AllEnhancements, Scope: AllThreads}
+}
+
+// ParallelRecoveryConfig returns the full NiLiHype configuration with the
+// post-recovery audit enabled and the repair and audit phases partitioned
+// across n recovery CPUs.
+func ParallelRecoveryConfig(n int) Config {
+	c := DefaultConfig()
+	c.RepairCPUs = n
+	c.Escalation.Audit = true
+	return c
 }
 
 // DefaultGraceWindow covers re-detection of a superficially successful
@@ -284,6 +309,11 @@ type Attempt struct {
 	// Audit is the attempt's audit report (nil unless
 	// EscalationPolicy.Audit is set).
 	Audit *audit.Report
+	// Timing is the attempt's recovery-domain accounting — serial vs
+	// parallel modeled latency, unit and domain counts, and per-domain
+	// phase spans — combined over the attempt's repair and audit plans.
+	// Zero unless Config.RepairCPUs > 1 on a non-reboot rung.
+	Timing recdomain.Timing
 }
 
 // Engine is one run's recovery engine.
@@ -313,6 +343,11 @@ type Engine struct {
 	AuditViolations int
 	AuditRepaired   int
 	SacrificedVMs   []int
+	// RepairTiming accumulates the recovery-domain accounting across every
+	// attempt that used the partitioned path (RepairCPUs > 1): what the
+	// same repairs would have cost serialized vs what the parallel domains
+	// were charged, plus distinct-domain counts and phase spans.
+	RepairTiming recdomain.Timing
 
 	// OnResume, if set, is invoked at the end of every completed attempt
 	// when the system resumes (the campaign layer annotates the NetBench

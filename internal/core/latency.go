@@ -5,6 +5,7 @@ import (
 	"strings"
 	"time"
 
+	"nilihype/internal/recdomain"
 	"nilihype/internal/telemetry"
 )
 
@@ -82,6 +83,59 @@ func (en *Engine) charge(name string, d time.Duration) {
 	en.H.Tel.RecordAt(at, en.lastEvent.CPU, telemetry.EvPhase,
 		telemetry.PhaseArg(en.H.Tel.Intern(name), d))
 	en.Breakdown = append(en.Breakdown, LatencyStep{Name: name, Dur: d})
+}
+
+// chargeParallel appends one breakdown step whose duration is a
+// recovery-domain plan's parallel makespan — the max over concurrent
+// domains plus the serialized global levels — and records every unit's
+// span in the flight recorder at its scheduled offset, so the timeline
+// export shows the per-domain phases overlapping where charge would
+// render one serialized block.
+func (en *Engine) chargeParallel(name string, tm recdomain.Timing) {
+	at := en.H.Clock.Now() + en.totalLatency()
+	for _, sp := range tm.Spans {
+		en.H.Tel.RecordAt(at+sp.Start, en.lastEvent.CPU, telemetry.EvPhase,
+			telemetry.PhaseArg(en.H.Tel.Intern(sp.Name), sp.Dur))
+	}
+	en.Breakdown = append(en.Breakdown, LatencyStep{Name: name, Dur: tm.Parallel})
+}
+
+// runRepairPlan executes the rung's IRQ and scheduler repairs as one
+// concurrent recovery-domain level: each CPU's local_irq_count clear is a
+// per-CPU unit and the scheduler-metadata rewrite a global-domain unit —
+// they touch disjoint state, so the level needs no internal order. State
+// effects equal the serial blocks exactly; the charged latency is the
+// level's makespan on RepairCPUs simulated lanes.
+func (en *Engine) runRepairPlan(enh Enhancements) {
+	h := en.H
+	lv := recdomain.Level{Name: "repair"}
+	if enh.Has(EnhClearIRQCount) {
+		ncpu := h.NumCPUs()
+		per := clearIRQCost / time.Duration(ncpu)
+		for cpu := 0; cpu < ncpu; cpu++ {
+			cpu := cpu
+			lv.Units = append(lv.Units, recdomain.Unit{
+				Dom:  recdomain.Domain{Kind: recdomain.PerCPU, ID: cpu},
+				Name: fmt.Sprintf("repair.irq.cpu%d", cpu), Cost: per,
+				Run:  func() { h.ClearIRQCountOn(cpu) },
+			})
+		}
+	}
+	if enh.Has(EnhSchedConsistency) {
+		lv.Units = append(lv.Units, recdomain.Unit{
+			Dom:  recdomain.Domain{Kind: recdomain.Global},
+			Name: "repair.sched", Cost: schedRepairCost,
+			Run:  func() { h.Sched.RepairFromPerCPU() },
+		})
+	}
+	workers := en.Cfg.RepairCPUs
+	if en.Cfg.SerialRepairExec {
+		workers = 1
+	}
+	tm := recdomain.Plan{Levels: []recdomain.Level{lv}}.Execute(en.Cfg.RepairCPUs, workers)
+	en.chargeParallel("Parallel domain repair", tm)
+	cur := &en.Attempts[len(en.Attempts)-1]
+	cur.Timing.Merge(tm)
 }
 
 // chargeGroup appends a group header followed by its members. Only the
@@ -180,6 +234,13 @@ func (c Config) WorstCaseLatency(frames int) time.Duration {
 		total += mechanismWorstLatency(c.MechanismFor(i), frames)
 		if c.Escalation.Audit {
 			total += auditBaseCost + scaleByFrames(pfScanCostAt8GB, frames)
+			if c.RepairCPUs > 1 {
+				// The partitioned walk pays fixed per-domain and
+				// linkage-apply overheads the monolithic base cost does
+				// not; at small memory sizes they can exceed the scan
+				// savings.
+				total += 2 * parallelScanCoordCost
+			}
 		}
 	}
 	total += time.Duration(n-1) * c.Escalation.GraceWindow

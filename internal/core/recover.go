@@ -57,6 +57,10 @@ func (en *Engine) recover(e detect.Event, mech Mechanism) {
 
 	enh := en.Cfg.Enhancements
 	reboot := mech.Reboots()
+	// Recovery-domain-partitioned repair applies to in-place rungs only: a
+	// reboot rung re-initializes whole state families at once, so there is
+	// nothing to partition (and Table II's boot costs dwarf any overlap).
+	parallel := en.Cfg.RepairCPUs > 1 && !reboot
 
 	// --- state repair, charged to the latency breakdown ------------------
 
@@ -93,7 +97,13 @@ func (en *Engine) recover(e detect.Event, mech Mechanism) {
 		if !reboot {
 			cost := scaleByFrames(pfScanCostAt8GB, h.Machine.PageFrames())
 			label := "Restore and check consistency of page frame entries"
-			if n := en.Cfg.ScanCPUs; n > 1 {
+			n := en.Cfg.ScanCPUs
+			if parallel && n <= 1 {
+				// Partitioned repair has the recovery CPUs idle during the
+				// scan; use them for the §VII-B sharded walk too.
+				n = en.Cfg.RepairCPUs
+			}
+			if n > 1 {
 				// §VII-B mitigation: shard the descriptor walk across
 				// cores. The recovery CPU coordinates; near-linear
 				// speedup since the walk is embarrassingly parallel.
@@ -104,21 +114,28 @@ func (en *Engine) recover(e detect.Event, mech Mechanism) {
 		}
 	}
 
-	if enh.Has(EnhClearIRQCount) || reboot {
-		// Reboot re-initializes the per-CPU area, so ReHype gets this
-		// inherently.
-		h.ClearIRQCounts()
-		if !reboot {
-			en.charge("Clear IRQ counts", clearIRQCost)
+	if parallel && (enh.Has(EnhClearIRQCount) || enh.Has(EnhSchedConsistency)) {
+		// The partitioned path performs the same IRQ and scheduler repairs
+		// as the serial blocks below, as one concurrent recovery-domain
+		// level charged at its makespan.
+		en.runRepairPlan(enh)
+	} else {
+		if enh.Has(EnhClearIRQCount) || reboot {
+			// Reboot re-initializes the per-CPU area, so ReHype gets this
+			// inherently.
+			h.ClearIRQCounts()
+			if !reboot {
+				en.charge("Clear IRQ counts", clearIRQCost)
+			}
 		}
-	}
 
-	if enh.Has(EnhSchedConsistency) || reboot {
-		// Reboot rebuilds scheduler structures while re-integrating
-		// vCPUs, giving ReHype the equivalent repair.
-		h.Sched.RepairFromPerCPU()
-		if !reboot {
-			en.charge("Ensure consistency within scheduling metadata", schedRepairCost)
+		if enh.Has(EnhSchedConsistency) || reboot {
+			// Reboot rebuilds scheduler structures while re-integrating
+			// vCPUs, giving ReHype the equivalent repair.
+			h.Sched.RepairFromPerCPU()
+			if !reboot {
+				en.charge("Ensure consistency within scheduling metadata", schedRepairCost)
+			}
 		}
 	}
 
@@ -137,22 +154,38 @@ func (en *Engine) recover(e detect.Event, mech Mechanism) {
 	// complete() to trip over. Runs after the rung's own enhancements so
 	// it only pays for (and finds) what they missed.
 	if en.Cfg.Escalation.Audit {
-		rep := audit.Run(h, audit.Options{
+		aOpts := audit.Options{
 			SkipFrames: enh.Has(EnhPFScan),
 			SkipSched:  enh.Has(EnhSchedConsistency) || reboot,
-		})
+		}
+		if parallel {
+			aOpts.RepairCPUs = en.Cfg.RepairCPUs
+			aOpts.SerialExec = en.Cfg.SerialRepairExec
+			if !aOpts.SkipFrames {
+				// The audit's descriptor walk, sharded like the PF-scan
+				// enhancement's.
+				aOpts.FrameScanCost = scaleByFrames(pfScanCostAt8GB, h.Machine.PageFrames())/
+					time.Duration(en.Cfg.RepairCPUs) + parallelScanCoordCost
+			}
+		}
+		rep := audit.Run(h, aOpts)
 		cur := &en.Attempts[len(en.Attempts)-1]
 		cur.Audit = rep
 		en.AuditViolations += len(rep.Violations)
 		en.AuditRepaired += rep.Repaired
 		en.SacrificedVMs = append(en.SacrificedVMs, rep.Sacrificed...)
-		cost := auditBaseCost
-		if !enh.Has(EnhPFScan) {
-			// The audit's own descriptor walk; same cost model as the
-			// PF-scan enhancement.
-			cost += scaleByFrames(pfScanCostAt8GB, h.Machine.PageFrames())
+		if parallel {
+			en.chargeParallel("Post-recovery state audit and repair (parallel domains)", rep.Timing)
+			cur.Timing.Merge(rep.Timing)
+		} else {
+			cost := auditBaseCost
+			if !enh.Has(EnhPFScan) {
+				// The audit's own descriptor walk; same cost model as the
+				// PF-scan enhancement.
+				cost += scaleByFrames(pfScanCostAt8GB, h.Machine.PageFrames())
+			}
+			en.charge("Post-recovery state audit and repair", cost)
 		}
-		en.charge("Post-recovery state audit and repair", cost)
 	}
 
 	if !reboot {
@@ -164,6 +197,9 @@ func (en *Engine) recover(e detect.Event, mech Mechanism) {
 	cur := &en.Attempts[len(en.Attempts)-1]
 	cur.Latency = en.Latency
 	cur.Breakdown = en.Breakdown
+	if cur.Timing.Units > 0 {
+		en.RepairTiming.Merge(cur.Timing)
+	}
 
 	// The repair operations above execute while the virtual clock is
 	// frozen at the detection instant; the recovery completes — and the

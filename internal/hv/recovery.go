@@ -211,6 +211,14 @@ func (h *Hypervisor) ClearIRQCounts() {
 	}
 }
 
+// ClearIRQCountOn zeroes one CPU's local_irq_count — the per-CPU slice of
+// ClearIRQCounts the recovery-domain-partitioned repair path schedules as
+// an independent unit. It writes only that CPU's private area, so
+// concurrent calls for distinct CPUs are safe.
+func (h *Hypervisor) ClearIRQCountOn(cpu int) {
+	h.percpu[cpu].LocalIRQCount = 0
+}
+
 // SaveFSGS captures the guest FS/GS bases on every CPU at detection time
 // (§IV "Save FS/GS"). Only microreboot actually clobbers them (the boot
 // path reloads segment state); saving makes the post-reboot restore

@@ -1,0 +1,260 @@
+// Package recdomain partitions post-detection repair and audit work into
+// recovery domains — per-CPU state (timer heaps, IRQ nesting, local
+// APICs), per-guest-domain state (event-channel and grant linkage), and
+// the global domain (heap, static locks, scheduler, IO-APIC) — and
+// schedules the resulting units over simulated CPUs.
+//
+// A Plan is an ordered list of Levels; the level order is the dependency
+// graph: every unit of level k completes before any unit of level k+1
+// starts (global repairs such as the domain-list relink must land before
+// the per-domain linkage fix-ups that traverse it). Units within a
+// non-serial level own disjoint state by construction and may execute
+// concurrently; serial levels express cross-domain writes that must not.
+//
+// The executor keeps the simulation deterministic by separating the two
+// notions of time: unit closures run on real goroutines (bounded by
+// workers), but the charged latency comes from a deterministic schedule —
+// longest-processing-time-first over simCPUs lanes, ties broken by unit
+// order — computed from the modeled costs alone. Running a plan with 1
+// worker or 16 therefore yields bit-identical state, spans, and latency;
+// only host wall-clock differs.
+package recdomain
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Kind classifies a recovery domain by the state it owns.
+type Kind int
+
+// Kinds.
+const (
+	// Global: state shared by the whole hypervisor (heap, static locks,
+	// scheduler metadata, IO-APIC, cross-guest linkage).
+	Global Kind = iota + 1
+	// PerCPU: one CPU's private state (timer heap, local_irq_count,
+	// local APIC).
+	PerCPU
+	// PerGuest: one guest domain's state (event-channel table, grant
+	// table, pending hypercalls).
+	PerGuest
+)
+
+// String returns the kind name.
+func (k Kind) String() string {
+	switch k {
+	case Global:
+		return "global"
+	case PerCPU:
+		return "per-cpu"
+	case PerGuest:
+		return "per-guest"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Domain identifies one recovery domain. ID is the CPU number (PerCPU) or
+// the guest domain ID (PerGuest); Global domains ignore it.
+type Domain struct {
+	Kind Kind
+	ID   int
+}
+
+// String returns a short label: "global", "cpu3", "d2".
+func (d Domain) String() string {
+	switch d.Kind {
+	case PerCPU:
+		return fmt.Sprintf("cpu%d", d.ID)
+	case PerGuest:
+		return fmt.Sprintf("d%d", d.ID)
+	default:
+		return "global"
+	}
+}
+
+// Unit is one schedulable piece of audit or repair work, bound to the
+// single recovery domain whose state it mutates.
+type Unit struct {
+	Dom  Domain
+	Name string
+	// Cost is the unit's modeled duration on one simulated CPU.
+	Cost time.Duration
+	// Run performs the state mutation; nil for latency-model-only units.
+	// Units sharing a non-serial level must touch disjoint state — and
+	// must not touch shared infrastructure (the virtual clock, telemetry,
+	// RNG streams): those belong in serial levels or to the caller.
+	Run func()
+}
+
+// Level is one rung of the dependency graph. Units within a level may run
+// concurrently unless Serial is set; levels always run in order.
+type Level struct {
+	Name   string
+	Serial bool
+	Units  []Unit
+}
+
+// Plan is an ordered sequence of levels.
+type Plan struct {
+	Levels []Level
+}
+
+// Span is one unit's interval in the simulated parallel timeline, offset
+// from the plan's start. Spans are reported in plan (unit) order.
+type Span struct {
+	Name  string
+	Dom   Domain
+	Start time.Duration
+	Dur   time.Duration
+	Lane  int
+}
+
+// Timing is the latency accounting of one executed plan.
+type Timing struct {
+	// Serial is the sum of every unit's cost — what the fully sequential
+	// walk would charge for the same work.
+	Serial time.Duration
+	// Parallel charges each non-serial level as its makespan over the
+	// simulated CPU lanes (serial levels as their plain sum) and sums the
+	// levels — the max-over-parallel-phases-plus-global model.
+	Parallel time.Duration
+	// Units counts schedulable units; Domains counts distinct recovery
+	// domains across the plan.
+	Units   int
+	Domains int
+	// Spans is every unit's scheduled interval, in plan order.
+	Spans []Span
+}
+
+// Merge folds another plan's timing into tm (an attempt runs one repair
+// plan and one audit plan; the attempt's totals combine both). Domains
+// counts distinct domains across both span sets.
+func (tm *Timing) Merge(o Timing) {
+	tm.Serial += o.Serial
+	tm.Parallel += o.Parallel
+	tm.Units += o.Units
+	tm.Spans = append(tm.Spans, o.Spans...)
+	seen := make(map[Domain]struct{}, tm.Units)
+	for _, sp := range tm.Spans {
+		seen[sp.Dom] = struct{}{}
+	}
+	tm.Domains = len(seen)
+}
+
+// Execute runs every level in order — units within a non-serial level
+// concurrently on up to workers goroutines — and returns the plan's
+// deterministic timing on simCPUs simulated lanes. State effects, spans,
+// and charged latency are independent of workers.
+func (p Plan) Execute(simCPUs, workers int) Timing {
+	if simCPUs < 1 {
+		simCPUs = 1
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	tm := Timing{}
+	domains := make(map[Domain]struct{})
+	var offset time.Duration
+	for _, lv := range p.Levels {
+		units := lv.Units
+		for i := range units {
+			domains[units[i].Dom] = struct{}{}
+			tm.Serial += units[i].Cost
+		}
+		tm.Units += len(units)
+		if lv.Serial || workers == 1 || len(units) < 2 {
+			for i := range units {
+				if fn := units[i].Run; fn != nil {
+					fn()
+				}
+			}
+		} else {
+			runConcurrent(units, workers)
+		}
+		lanes := simCPUs
+		if lv.Serial {
+			lanes = 1
+		}
+		spans, makespan := schedule(units, lanes, offset)
+		tm.Spans = append(tm.Spans, spans...)
+		tm.Parallel += makespan
+		offset += makespan
+	}
+	tm.Domains = len(domains)
+	return tm
+}
+
+// runConcurrent drains the unit list with a worker pool. Order within the
+// level is unconstrained — the level's disjointness contract makes any
+// interleaving equivalent.
+func runConcurrent(units []Unit, workers int) {
+	if workers > len(units) {
+		workers = len(units)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(units) {
+					return
+				}
+				if fn := units[i].Run; fn != nil {
+					fn()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// schedule assigns units to lanes and returns each unit's span (indexed in
+// unit order) plus the level makespan. One lane schedules in unit order
+// (the serialized walk); multiple lanes use longest-processing-time-first
+// onto the least-loaded lane, with all ties broken by unit order, so the
+// schedule is a pure function of the costs.
+func schedule(units []Unit, lanes int, offset time.Duration) ([]Span, time.Duration) {
+	spans := make([]Span, len(units))
+	if lanes <= 1 {
+		var at time.Duration
+		for i := range units {
+			spans[i] = Span{Name: units[i].Name, Dom: units[i].Dom, Start: offset + at, Dur: units[i].Cost}
+			at += units[i].Cost
+		}
+		return spans, at
+	}
+	idx := make([]int, len(units))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return units[idx[a]].Cost > units[idx[b]].Cost
+	})
+	loads := make([]time.Duration, lanes)
+	for _, i := range idx {
+		lane := 0
+		for l := 1; l < lanes; l++ {
+			if loads[l] < loads[lane] {
+				lane = l
+			}
+		}
+		spans[i] = Span{Name: units[i].Name, Dom: units[i].Dom,
+			Start: offset + loads[lane], Dur: units[i].Cost, Lane: lane}
+		loads[lane] += units[i].Cost
+	}
+	var makespan time.Duration
+	for _, l := range loads {
+		if l > makespan {
+			makespan = l
+		}
+	}
+	return spans, makespan
+}

@@ -275,6 +275,83 @@ func (s *Subsystem) queuedRecurring() []*Timer {
 	return out
 }
 
+// queuedRecurringOn returns one CPU's queued recurring timers sorted by
+// name — the per-CPU slice of queuedRecurring. It reads only cpu's heap,
+// so concurrent calls for distinct CPUs are safe.
+func (s *Subsystem) queuedRecurringOn(cpu int) []*Timer {
+	var out []*Timer
+	for _, t := range s.heaps[cpu] {
+		if t.Recurring() {
+			out = append(out, t)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// CheckHealthOn audits one CPU's queued recurring timers against their
+// liveness bounds — the per-CPU recovery-domain slice of CheckHealth.
+// Read-only over cpu's heap; safe to run concurrently for distinct CPUs.
+func (s *Subsystem) CheckHealthOn(cpu int, now time.Duration) []string {
+	var out []string
+	for _, t := range s.queuedRecurringOn(cpu) {
+		if t.Deadline > now+t.Period {
+			out = append(out, fmt.Sprintf("cpu%d %s stalled (deadline %v, now %v, period %v)", t.CPU, t.Name, t.Deadline, now, t.Period))
+		} else if t.Deadline+t.Period < now {
+			out = append(out, fmt.Sprintf("cpu%d %s overdue by more than a period (deadline %v, now %v)", t.CPU, t.Name, t.Deadline, now))
+		}
+	}
+	return out
+}
+
+// RepairHeapOn clamps cpu's out-of-bounds recurring deadlines to one
+// period from now and restores cpu's heap property, returning the number
+// of deadlines fixed. Unlike RepairHeaps it does NOT reprogram the APIC:
+// APIC programming goes through the shared virtual clock, so the
+// partitioned audit reprograms all CPUs in a serialized apply step after
+// the concurrent per-CPU repairs join. Writes only cpu's heap and timers
+// homed on cpu; safe concurrently for distinct CPUs.
+func (s *Subsystem) RepairHeapOn(cpu int, now time.Duration) int {
+	fixed := 0
+	for _, t := range s.queuedRecurringOn(cpu) {
+		if t.Deadline > now+t.Period || t.Deadline+t.Period < now {
+			t.Deadline = now + t.Period
+			fixed++
+		}
+	}
+	heap.Init(&s.heaps[cpu])
+	return fixed
+}
+
+// InactiveRecurringOn returns cpu's inactive recurring timers sorted by
+// name (InactiveRecurring returns all CPUs' in map order). It reads the
+// registration map, which concurrent per-CPU repair units never write.
+func (s *Subsystem) InactiveRecurringOn(cpu int) []*Timer {
+	var out []*Timer
+	for t := range s.all {
+		if t.CPU == cpu && t.Recurring() && !t.active {
+			out = append(out, t)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// ReactivateRecurringOn re-arms cpu's inactive recurring timers one period
+// from now and returns how many were revived. Like RepairHeapOn it leaves
+// APIC programming to the caller's serialized apply step. Writes only
+// timers homed on cpu and cpu's heap; safe concurrently for distinct CPUs.
+func (s *Subsystem) ReactivateRecurringOn(cpu int, now time.Duration) int {
+	n := 0
+	for _, t := range s.InactiveRecurringOn(cpu) {
+		t.Deadline = now + t.Period
+		t.active = true
+		heap.Push(&s.heaps[cpu], t)
+		n++
+	}
+	return n
+}
+
 // CorruptRandom structurally damages a random queued recurring timer's
 // deadline: either stalling it far into the future (the soft tick goes
 // silent — liveness violation) or burying it in the past without

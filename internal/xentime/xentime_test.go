@@ -274,3 +274,49 @@ func TestReactivateSingleTimer(t *testing.T) {
 		t.Fatal("Reactivate accepted a stopped (unregistered) timer")
 	}
 }
+
+// TestReaddStaleActiveFlagGuard is the regression test for the Readd
+// registration guard: a reusable timer can carry a stale active flag and
+// heap index from a subsystem a snapshot restore has since discarded.
+// Readd into the restored subsystem must key its "still queued" check on
+// registration in s.all, not the record's flag alone — otherwise it
+// heap.Removes whatever innocent timer sits at the stale index (or panics
+// on a shorter heap).
+func TestReaddStaleActiveFlagGuard(t *testing.T) {
+	// Arm the timer in a pre-restore subsystem so it carries a live flag
+	// and index.
+	old := NewSubsystem(2, newFakeAPIC())
+	stale := NewTimer(0, "wakeup", nil)
+	old.Readd(stale, 0, 10*time.Millisecond, 0)
+	if !stale.Active() {
+		t.Fatal("setup: timer not armed in the old subsystem")
+	}
+
+	// The restored subsystem never heard of it, but has its own timer at
+	// the same heap position.
+	s := NewSubsystem(2, newFakeAPIC())
+	innocent := s.AddTimer(0, "victim", 20*time.Millisecond, 0, nil)
+
+	s.Readd(stale, 0, 15*time.Millisecond, 0)
+
+	if !innocent.Active() {
+		t.Fatal("Readd of a stale-active unregistered timer evicted a registered one")
+	}
+	if d, ok := s.NextDeadline(0); !ok || d != 15*time.Millisecond {
+		t.Fatalf("NextDeadline = %v,%v, want 15ms from the re-added timer", d, ok)
+	}
+	due := s.PopDue(0, 20*time.Millisecond)
+	if len(due) != 2 || due[0] != stale || due[1] != innocent {
+		t.Fatalf("PopDue returned %d timer(s), want stale then innocent", len(due))
+	}
+
+	// Same guard on the empty-heap shape: must not panic reaching for a
+	// stale index past the heap's end.
+	empty := NewSubsystem(1, newFakeAPIC())
+	orphan := NewTimer(0, "orphan", nil)
+	old.Readd(orphan, 0, 5*time.Millisecond, 0)
+	empty.Readd(orphan, 0, 5*time.Millisecond, 0)
+	if n := empty.heaps[0].Len(); n != 1 {
+		t.Fatalf("empty-subsystem Readd queued %d timers, want 1", n)
+	}
+}
