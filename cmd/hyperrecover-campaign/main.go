@@ -43,8 +43,8 @@ func main() {
 
 func run() error {
 	var (
-		mechName   = flag.String("mechanism", "nilihype", "recovery mechanism: nilihype | rehype | checkpoint")
-		faultStr   = flag.String("fault", "failstop", "fault type: failstop | register | code")
+		mechName   = flag.String("mechanism", "nilihype", "recovery mechanism: nilihype | rehype | checkpoint | privvm-restart | hybrid | full-ladder")
+		faultStr   = flag.String("fault", "failstop", "fault type: failstop | register | code | privvm-crash | privvm-hang | ioapic")
 		setupStr   = flag.String("setup", "3appvm", "target system: 1appvm | 3appvm")
 		workload   = flag.String("workload", "unixbench", "1AppVM benchmark: blkbench | unixbench | netbench")
 		runs       = flag.Int("runs", 300, "number of injection runs")
@@ -60,6 +60,7 @@ func run() error {
 		shards     = flag.Int("shards", 0, "split the campaign across this many worker processes (0 = in-process)")
 		shardTO    = flag.Duration("shard-timeout", 30*time.Minute, "per-shard worker deadline (with -shards)")
 		worker     = flag.Bool("shard-worker", false, "internal: run as a shard worker (spec on stdin, summary on stdout)")
+		matrix     = flag.Bool("fault-matrix", false, "run the E12 per-fault-class recovery matrix (all classes × hybrid vs full ladder)")
 	)
 	flag.Parse()
 
@@ -67,10 +68,6 @@ func run() error {
 		return campaign.RunShardWorker(os.Stdin, os.Stdout)
 	}
 
-	mech, err := parseMechanism(*mechName)
-	if err != nil {
-		return err
-	}
 	setup, err := parseSetup(*setupStr)
 	if err != nil {
 		return err
@@ -88,14 +85,40 @@ func run() error {
 	// recoveryCfg builds the per-run recovery config, folding in the
 	// recovery-domain flags: partitioned repair needs the audit gate, since
 	// the domain walk is the audit.
-	recoveryCfg := func(m core.Mechanism) core.Config {
-		rc := core.Config{Mechanism: m, Enhancements: core.AllEnhancements}
+	withDomainFlags := func(rc core.Config) core.Config {
 		if *repairCPUs > 1 {
 			rc.RepairCPUs = *repairCPUs
 			rc.SerialRepairExec = *serialExec
 			rc.Escalation.Audit = true
 		}
 		return rc
+	}
+	recoveryCfg := func(m core.Mechanism) core.Config {
+		return withDomainFlags(core.Config{Mechanism: m, Enhancements: core.AllEnhancements})
+	}
+
+	if *matrix {
+		return execFaultMatrix(setup, wl, *logging, *hvm, benchDur, *runs, *parallel)
+	}
+
+	// Ladder presets name a whole escalating Config rather than a single
+	// mechanism; resolve them before the single-mechanism parse.
+	mechCfg, mechIsLadder := parseLadder(*mechName)
+	if mechIsLadder {
+		mechCfg = withDomainFlags(mechCfg)
+	}
+	var mech core.Mechanism
+	if !mechIsLadder {
+		mech, err = parseMechanism(*mechName)
+		if err != nil {
+			return err
+		}
+	}
+	cfgFor := func(m core.Mechanism) core.Config {
+		if mechIsLadder {
+			return mechCfg
+		}
+		return recoveryCfg(m)
 	}
 
 	execOne := func(m core.Mechanism, ft inject.FaultType, n int) error {
@@ -106,7 +129,7 @@ func run() error {
 				Workload:      wl,
 				Logging:       *logging,
 				HVM:           *hvm,
-				Recovery:      recoveryCfg(m),
+				Recovery:      cfgFor(m),
 				BenchDuration: benchDur,
 			},
 			Runs:        n,
@@ -132,7 +155,7 @@ func run() error {
 			Workload:      wl,
 			Logging:       *logging,
 			HVM:           *hvm,
-			Recovery:      recoveryCfg(mech),
+			Recovery:      cfgFor(mech),
 			BenchDuration: benchDur,
 			TraceCapacity: 4096,
 		})
@@ -178,6 +201,69 @@ func run() error {
 		}[ft]
 	}
 	return execOne(mech, ft, n)
+}
+
+// execFaultMatrix runs the E12 per-fault-class recovery matrix: every
+// fault class under the hybrid ladder (microreset→microreboot) and the
+// full ladder (…→PrivVM restart), then prints one matrix row per
+// class×ladder cell plus the PrivVM-fault comparison the full ladder's
+// extra rung exists for.
+func execFaultMatrix(setup campaign.Setup, wl guest.Kind, logging, hvm bool, benchDur time.Duration, runs, parallel int) error {
+	ladders := []struct {
+		name string
+		cfg  core.Config
+	}{
+		{"hybrid", core.HybridConfig()},
+		{"full-ladder", core.FullLadderConfig()},
+	}
+	faults := []inject.FaultType{
+		inject.Failstop, inject.Register, inject.Code,
+		inject.PrivVMCrash, inject.PrivVMHang, inject.DeviceIOAPIC,
+	}
+	fmt.Printf("== per-fault-class recovery matrix (n=%d per cell) ==\n", runs)
+	fmt.Printf("%-14s %-12s %-9s %-9s %-16s %-14s %s\n",
+		"class", "ladder", "detected", "success", "rate",
+		"mean-latency", "audit r/d/e")
+	// privSuccess tallies recovered PrivVM-fault runs per ladder: the
+	// full ladder must recover strictly more of them (E12 acceptance).
+	privSuccess := map[string]int{}
+	for _, ft := range faults {
+		for _, lad := range ladders {
+			c := campaign.Campaign{
+				Base: campaign.RunConfig{
+					Setup:         setup,
+					Fault:         ft,
+					Workload:      wl,
+					Logging:       logging,
+					HVM:           hvm,
+					Recovery:      lad.cfg,
+					BenchDuration: benchDur,
+				},
+				Runs:        runs,
+				Parallelism: parallel,
+			}
+			s := c.Execute()
+			for class, fc := range s.FaultClasses {
+				rate, ci := fc.SuccessRate()
+				fmt.Printf("%-14s %-12s %-9d %-9d %5.1f%% ±%5.1f%%   %-14v %d/%d/%d\n",
+					class, lad.name, fc.Detected, fc.Success, 100*rate, 100*ci,
+					fc.MeanSuccessLatency().Round(10*time.Microsecond),
+					fc.AuditRepaired, fc.AuditDegraded, fc.AuditEscalate)
+				if ft == inject.PrivVMCrash || ft == inject.PrivVMHang {
+					privSuccess[lad.name] += fc.Success
+				}
+			}
+		}
+	}
+	fmt.Printf("\nPrivVM faults recovered: hybrid=%d full-ladder=%d",
+		privSuccess["hybrid"], privSuccess["full-ladder"])
+	if privSuccess["full-ladder"] > privSuccess["hybrid"] {
+		fmt.Printf(" (PrivVM-restart rung recovers %d more)\n",
+			privSuccess["full-ladder"]-privSuccess["hybrid"])
+	} else {
+		fmt.Println(" (no gain from PrivVM-restart rung at this n)")
+	}
+	return nil
 }
 
 // execSharded runs the campaign across n worker subprocesses and prints
@@ -242,8 +328,23 @@ func parseMechanism(s string) (core.Mechanism, error) {
 		return core.Microreboot, nil
 	case "rehype-cp", "checkpoint":
 		return core.CheckpointRestore, nil
+	case "privvm-restart":
+		return core.PrivVMRestart, nil
 	default:
 		return 0, fmt.Errorf("unknown mechanism %q", s)
+	}
+}
+
+// parseLadder resolves the escalating-ladder presets that name a whole
+// Config rather than a single mechanism.
+func parseLadder(s string) (core.Config, bool) {
+	switch strings.ToLower(s) {
+	case "hybrid":
+		return core.HybridConfig(), true
+	case "full-ladder":
+		return core.FullLadderConfig(), true
+	default:
+		return core.Config{}, false
 	}
 }
 
@@ -255,6 +356,12 @@ func parseFault(s string) (inject.FaultType, error) {
 		return inject.Register, nil
 	case "code":
 		return inject.Code, nil
+	case "privvm-crash":
+		return inject.PrivVMCrash, nil
+	case "privvm-hang":
+		return inject.PrivVMHang, nil
+	case "ioapic", "device":
+		return inject.DeviceIOAPIC, nil
 	default:
 		return 0, fmt.Errorf("unknown fault type %q", s)
 	}

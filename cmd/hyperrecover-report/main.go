@@ -96,5 +96,43 @@ func main() {
 		parallel.SerialRepairLatency.Round(time.Millisecond),
 		parallel.ParallelRepairLatency.Round(time.Millisecond))
 
+	fmt.Println("\n== E12 fault-class × ladder recovery matrix (3AppVM, n=100/cell) ==")
+	ladders := []struct {
+		name string
+		cfg  core.Config
+	}{
+		{"hybrid", core.HybridConfig()},
+		{"full-ladder", core.FullLadderConfig()},
+	}
+	privSuccess := map[string]int{}
+	for _, ft := range []inject.FaultType{
+		inject.Failstop, inject.Register, inject.Code,
+		inject.PrivVMCrash, inject.PrivVMHang, inject.DeviceIOAPIC,
+	} {
+		for _, lad := range ladders {
+			c := campaign.Campaign{
+				Base: campaign.RunConfig{
+					Setup: campaign.ThreeAppVM, Fault: ft, Logging: true,
+					Recovery:      lad.cfg,
+					BenchDuration: 2 * time.Second,
+				},
+				Runs: 100,
+			}
+			for class, fc := range c.Execute().FaultClasses {
+				rate, ci := fc.SuccessRate()
+				fmt.Printf("%-12s %-12s detected=%-4d success %5.1f%%±%4.1f%%  mean-latency %-12v audit r/d/e %d/%d/%d\n",
+					class, lad.name, fc.Detected, 100*rate, 100*ci,
+					fc.MeanSuccessLatency().Round(10*time.Microsecond),
+					fc.AuditRepaired, fc.AuditDegraded, fc.AuditEscalate)
+				if ft == inject.PrivVMCrash || ft == inject.PrivVMHang {
+					privSuccess[lad.name] += fc.Success
+				}
+			}
+		}
+	}
+	fmt.Printf("PrivVM-fault recoveries: hybrid=%d, full-ladder=%d (restart rung gains %d)\n",
+		privSuccess["hybrid"], privSuccess["full-ladder"],
+		privSuccess["full-ladder"]-privSuccess["hybrid"])
+
 	fmt.Println("\nelapsed:", time.Since(start))
 }

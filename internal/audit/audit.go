@@ -71,6 +71,7 @@ const (
 	ClassTimers        = "timer-heap"
 	ClassEvtchn        = "evtchn-link"
 	ClassGrant         = "grant-count"
+	ClassIOAPIC        = "ioapic-route"
 )
 
 // Violation is one invariant violation the auditor found.
@@ -238,6 +239,8 @@ func Run(h *hv.Hypervisor, opts Options) *Report {
 		r.add(ClassTimers, fmt.Sprintf("%d recurring timers dead (%v); reactivated", len(inactive), names), Repaired)
 	}
 
+	auditIOAPIC(h, r)
+
 	auditEvtchn(h, doms, r)
 	auditGrants(h, doms, r)
 
@@ -249,6 +252,20 @@ func Run(h *hv.Hypervisor, opts Options) *Report {
 	h.Tel.Add(telemetry.CtrAuditEscalate, uint64(r.Escalations))
 	h.Tel.Record(0, telemetry.EvAudit, telemetry.AuditArg(len(r.Violations), r.Repaired, r.Escalations))
 	return r
+}
+
+// auditIOAPIC compares the IO-APIC redirection table against the software
+// copy recorded at boot and reprograms any diverged entry — the
+// device-corruption repair. (A stranded in-service line is cleared by the
+// attempt's interrupt-acknowledge mechanism, not here: the audit only
+// touches route state it can check against a reliable source.)
+func auditIOAPIC(h *hv.Hypervisor, r *Report) {
+	io := h.Machine.IOAPIC()
+	if n := io.RouteDamage(); n > 0 {
+		fixed := io.ReprogramFromBoot()
+		h.Tel.Inc(telemetry.CtrIOAPICRepairs)
+		r.add(ClassIOAPIC, fmt.Sprintf("%d redirection entries diverged from boot routes; %d reprogrammed", n, fixed), Repaired)
+	}
 }
 
 // auditEvtchn validates inter-domain event-channel linkage in two passes.

@@ -1,0 +1,76 @@
+package audit
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"nilihype/internal/hw"
+	"nilihype/internal/telemetry"
+)
+
+// TestIOAPICRouteDamageRepaired: the monolithic audit walk reads the
+// redirection table back against the boot copy, reprograms diverged
+// entries, and reports one Repaired violation.
+func TestIOAPICRouteDamageRepaired(t *testing.T) {
+	h, _ := newTarget(t)
+	io := h.Machine.IOAPIC()
+	io.CorruptRoute(hw.IRQBlock, hw.CorruptCPU)
+	io.CorruptRoute(hw.IRQNIC, hw.CorruptDisable)
+	r := Run(h, Options{})
+	vs := classes(r)[ClassIOAPIC]
+	if len(vs) != 1 || vs[0] != Repaired {
+		t.Fatalf("ioapic verdicts = %v", vs)
+	}
+	if io.RouteDamage() != 0 {
+		t.Fatal("audit left redirection damage")
+	}
+	if h.Tel.Counters[telemetry.CtrIOAPICRepairs] == 0 {
+		t.Fatal("repair counter did not advance")
+	}
+	// Idempotent: a re-audit finds nothing.
+	if r2 := Run(h, Options{}); len(classes(r2)[ClassIOAPIC]) != 0 {
+		t.Fatalf("re-audit found: %v", r2.Violations)
+	}
+}
+
+// TestIOAPICPartitionedMatchesMonolithic: the partitioned walk repairs the
+// same damage with the same verdicts at any worker count, and the parallel
+// execution is bit-identical to its serial baseline (the IO-APIC unit runs
+// at the serial linkage level).
+func TestIOAPICPartitionedMatchesMonolithic(t *testing.T) {
+	build := func(repairCPUs int, serialExec bool) *Report {
+		h, _ := newTarget(t)
+		io := h.Machine.IOAPIC()
+		io.CorruptRoute(hw.IRQBlock, hw.CorruptVector)
+		r := Run(h, Options{
+			RepairCPUs:    repairCPUs,
+			SerialExec:    serialExec,
+			FrameScanCost: 700 * time.Microsecond,
+		})
+		if io.RouteDamage() != 0 {
+			t.Fatalf("cpus=%d serial=%v: damage left behind", repairCPUs, serialExec)
+		}
+		return r
+	}
+	mono, _ := func() (*Report, bool) {
+		h, _ := newTarget(t)
+		h.Machine.IOAPIC().CorruptRoute(hw.IRQBlock, hw.CorruptVector)
+		return Run(h, Options{}), true
+	}()
+	ref := build(4, true)
+	if !reflect.DeepEqual(classes(mono)[ClassIOAPIC], classes(ref)[ClassIOAPIC]) {
+		t.Fatalf("monolithic %v vs partitioned %v", classes(mono)[ClassIOAPIC], classes(ref)[ClassIOAPIC])
+	}
+	for _, cpus := range []int{2, 4, 8} {
+		for i := 0; i < 3; i++ {
+			got := build(cpus, false)
+			got.Timing = ref.Timing // timing varies with worker count by design
+			want := *ref
+			want.Timing = got.Timing
+			if !reflect.DeepEqual(&want, got) {
+				t.Fatalf("cpus=%d run %d diverged:\nwant %+v\ngot  %+v", cpus, i, &want, got)
+			}
+		}
+	}
+}

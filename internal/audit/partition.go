@@ -29,6 +29,7 @@ const (
 	costEvtchnScan  = 60 * time.Microsecond
 	costGrantsGuest = 40 * time.Microsecond
 	costLinkApply   = 70 * time.Microsecond
+	costIOAPIC      = 25 * time.Microsecond
 )
 
 // evtchnPlan is one owner's read-only scan result: the ports found broken
@@ -200,6 +201,16 @@ func runPartitioned(h *hv.Hypervisor, opts Options) *Report {
 	}
 
 	linkage := recdomain.Level{Name: "linkage", Serial: true}
+	{
+		// The IO-APIC is shared hardware: its route check/reprogram runs at
+		// the serial linkage level, so the partitioned walk's result is
+		// bit-identical at any worker count.
+		sr := shard()
+		linkage.Units = append(linkage.Units, recdomain.Unit{
+			Dom: gdom, Name: "audit.ioapic", Cost: costIOAPIC,
+			Run: func() { auditIOAPIC(h, sr) },
+		})
+	}
 	{
 		sr := shard()
 		linkage.Units = append(linkage.Units, recdomain.Unit{

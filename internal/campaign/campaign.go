@@ -78,10 +78,19 @@ type Summary struct {
 	SerialRepairLatency   time.Duration
 	ParallelRepairLatency time.Duration
 
-	// Adversarial-injection totals: runs whose burst fault fired, and
-	// runs whose fault-during-recovery trigger fired.
+	// Adversarial-injection totals: runs whose burst fault fired, runs
+	// whose fault-during-recovery trigger fired, and runs whose
+	// correlated fault-while-degraded re-injection fired.
 	BurstFiredRuns          int
 	DuringRecoveryFiredRuns int
+	CorrelatedFiredRuns     int
+
+	// FaultClasses breaks the recovery statistics down by fault class —
+	// the per-fault-class recovery matrix. Lazy-nil like PhaseHists so
+	// summaries compare deep-equal across execution strategies; every
+	// field is a counter, so merges are order-independent and the map is
+	// bit-identical at any parallelism or sharding.
+	FaultClasses map[string]*FaultClassStats
 
 	// FailReasons histograms recovery-failure causes.
 	FailReasons map[string]int
@@ -93,6 +102,65 @@ type Summary struct {
 	// merges, so the summary stays bit-identical at any parallelism.
 	LatencyHist telemetry.Hist
 	PhaseHists  map[string]*telemetry.Hist
+}
+
+// FaultClassStats is one fault class's row of the per-class recovery
+// matrix. All fields are counters (SuccessLatency an additive sum), so the
+// row merges commutatively like every other Summary field.
+type FaultClassStats struct {
+	// Runs/Detected/Success/NoVMF mirror the Summary-level counters,
+	// restricted to this class's runs.
+	Runs     int
+	Detected int
+	Success  int
+	NoVMF    int
+	// SuccessLatency sums total recovery latency over successful runs.
+	SuccessLatency time.Duration
+	// AuditRepaired/AuditDegraded/AuditEscalate total the class's audit
+	// verdicts (degraded = sacrificed AppVMs).
+	AuditRepaired int
+	AuditDegraded int
+	AuditEscalate int
+}
+
+func (fc *FaultClassStats) merge(p *FaultClassStats) {
+	fc.Runs += p.Runs
+	fc.Detected += p.Detected
+	fc.Success += p.Success
+	fc.NoVMF += p.NoVMF
+	fc.SuccessLatency += p.SuccessLatency
+	fc.AuditRepaired += p.AuditRepaired
+	fc.AuditDegraded += p.AuditDegraded
+	fc.AuditEscalate += p.AuditEscalate
+}
+
+// MeanSuccessLatency returns the class's mean successful-recovery latency.
+func (fc *FaultClassStats) MeanSuccessLatency() time.Duration {
+	if fc.Success == 0 {
+		return 0
+	}
+	return fc.SuccessLatency / time.Duration(fc.Success)
+}
+
+// SuccessRate returns the class's successful recovery rate over its
+// detected runs, with its 95% confidence half-width.
+func (fc *FaultClassStats) SuccessRate() (rate, ci float64) {
+	return proportion(fc.Success, fc.Detected)
+}
+
+// faultClass returns the named class row, creating it on first use.
+// Laziness keeps FaultClasses nil when no run carried a class, so
+// summaries compare deep-equal across execution strategies.
+func (s *Summary) faultClass(name string) *FaultClassStats {
+	fc := s.FaultClasses[name]
+	if fc == nil {
+		if s.FaultClasses == nil {
+			s.FaultClasses = make(map[string]*FaultClassStats)
+		}
+		fc = &FaultClassStats{}
+		s.FaultClasses[name] = fc
+	}
+	return fc
 }
 
 // phaseHist returns the named phase histogram, creating it on first use.
@@ -199,7 +267,7 @@ func (c *Campaign) runOne(rc RunConfig, images map[imageKey]*image) Result {
 		var err error
 		img, err = buildImage(rc)
 		if err != nil {
-			return Result{Seed: rc.Seed, NewVMOK: true, FailReason: err.Error()}
+			return Result{Seed: rc.Seed, NewVMOK: true, FailReason: err.Error(), FaultClass: rc.FaultClass()}
 		}
 		images[k] = img
 	}
@@ -228,6 +296,10 @@ func (s *Summary) merge(p *Summary) {
 	s.ParallelRepairLatency += p.ParallelRepairLatency
 	s.BurstFiredRuns += p.BurstFiredRuns
 	s.DuringRecoveryFiredRuns += p.DuringRecoveryFiredRuns
+	s.CorrelatedFiredRuns += p.CorrelatedFiredRuns
+	for k, fc := range p.FaultClasses {
+		s.faultClass(k).merge(fc)
+	}
 	for k, v := range p.SuccessByAttempt {
 		s.SuccessByAttempt[k] += v
 	}
@@ -260,6 +332,26 @@ func (s *Summary) add(r Result) {
 	}
 	if r.DuringRecoveryFired {
 		s.DuringRecoveryFiredRuns++
+	}
+	if r.CorrelatedFired {
+		s.CorrelatedFiredRuns++
+	}
+	if r.FaultClass != "" {
+		fc := s.faultClass(r.FaultClass)
+		fc.Runs++
+		if r.Outcome == Detected {
+			fc.Detected++
+			if r.Success {
+				fc.Success++
+				fc.SuccessLatency += r.Latency
+			}
+			if r.NoVMF {
+				fc.NoVMF++
+			}
+		}
+		fc.AuditRepaired += r.AuditRepaired
+		fc.AuditDegraded += len(r.SacrificedVMs)
+		fc.AuditEscalate += r.AuditEscalations
 	}
 	switch r.Outcome {
 	case NonManifested:
@@ -412,9 +504,28 @@ func (s Summary) Format() string {
 				n, h.Count, h.Quantile(0.50), h.Quantile(0.99), h.Max)
 		}
 	}
-	if s.BurstFiredRuns > 0 || s.DuringRecoveryFiredRuns > 0 {
-		fmt.Fprintf(&b, "  adversarial: burst fired in %d run(s), during-recovery in %d run(s)\n",
-			s.BurstFiredRuns, s.DuringRecoveryFiredRuns)
+	if s.BurstFiredRuns > 0 || s.DuringRecoveryFiredRuns > 0 || s.CorrelatedFiredRuns > 0 {
+		fmt.Fprintf(&b, "  adversarial: burst fired in %d run(s), during-recovery in %d run(s), correlated in %d run(s)\n",
+			s.BurstFiredRuns, s.DuringRecoveryFiredRuns, s.CorrelatedFiredRuns)
+	}
+	if len(s.FaultClasses) > 0 {
+		fmt.Fprintf(&b, "  fault classes:\n")
+		names := make([]string, 0, len(s.FaultClasses))
+		for k := range s.FaultClasses {
+			names = append(names, k)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fc := s.FaultClasses[n]
+			rate, ci := fc.SuccessRate()
+			fmt.Fprintf(&b, "    %-28s runs=%-5d detected=%-5d success=%5.1f%% ±%4.1f%% noVMF=%-4d mean-latency=%v\n",
+				n, fc.Runs, fc.Detected, 100*rate, 100*ci, fc.NoVMF,
+				fc.MeanSuccessLatency().Round(10*time.Microsecond))
+			if fc.AuditRepaired > 0 || fc.AuditDegraded > 0 || fc.AuditEscalate > 0 {
+				fmt.Fprintf(&b, "      audit verdicts: %d repaired, %d degraded, %d escalate\n",
+					fc.AuditRepaired, fc.AuditDegraded, fc.AuditEscalate)
+			}
+		}
 	}
 	if len(s.FailReasons) > 0 {
 		fmt.Fprintf(&b, "  failure causes:\n")

@@ -1,0 +1,271 @@
+package campaign
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"nilihype/internal/core"
+	"nilihype/internal/inject"
+)
+
+// ladderCfg builds a RunConfig for the new fault classes under the full
+// escalation ladder (the configuration the fault-matrix experiment runs).
+func ladderCfg(fault inject.FaultType) RunConfig {
+	rc := fastCfg(fault, core.Microreset)
+	rc.Recovery = core.FullLadderConfig()
+	return rc
+}
+
+func TestFaultClassNames(t *testing.T) {
+	for _, tt := range []struct {
+		rc   RunConfig
+		want string
+	}{
+		{RunConfig{Fault: inject.Failstop}, "failstop"},
+		{RunConfig{Fault: inject.PrivVMCrash}, "privvm-crash"},
+		{RunConfig{Fault: inject.PrivVMHang}, "privvm-hang"},
+		{RunConfig{Fault: inject.DeviceIOAPIC}, "ioapic"},
+		{RunConfig{NoInjection: true}, "none"},
+		{RunConfig{Fault: inject.Failstop, FaultDuringRecovery: true, DuringFault: inject.PrivVMHang},
+			"failstop+during-privvm-hang"},
+		{RunConfig{Fault: inject.Code, CorrelatedReinjection: true}, "correlated-code"},
+	} {
+		if got := tt.rc.FaultClass(); got != tt.want {
+			t.Errorf("FaultClass(%+v) = %q, want %q", tt.rc.Fault, got, tt.want)
+		}
+	}
+}
+
+// TestPrivVMFaultsRecoverOnlyWithRestartRung is the PR's acceptance
+// demonstration in miniature: PrivVM crash and hang runs fail under the
+// microreset→microreboot hybrid (neither rung restores management
+// service), and recover under the full ladder's PrivVM-restart rung —
+// strictly more recoveries from the extra rung.
+func TestPrivVMFaultsRecoverOnlyWithRestartRung(t *testing.T) {
+	for _, fault := range []inject.FaultType{inject.PrivVMCrash, inject.PrivVMHang} {
+		hybridWins, fullWins := 0, 0
+		for seed := uint64(1); seed <= 4; seed++ {
+			rc := fastCfg(fault, core.Microreset)
+			rc.Recovery = core.HybridConfig()
+			rc.Seed = seed
+			rh := Run(rc)
+			if rh.Outcome != Detected {
+				t.Fatalf("%v seed %d: hybrid run not detected (mgmt watchdog dead?): %+v", fault, seed, rh)
+			}
+			if rh.Success {
+				hybridWins++
+			}
+
+			rcFull := ladderCfg(fault)
+			rcFull.Seed = seed
+			rf := Run(rcFull)
+			if rf.Success {
+				fullWins++
+				if rf.Attempts != 3 {
+					t.Fatalf("%v seed %d: recovered in %d attempts, want escalation to rung 3", fault, seed, rf.Attempts)
+				}
+				if rf.Latency < 1500*time.Millisecond {
+					t.Fatalf("%v seed %d: latency %v below the PrivVM boot cost — restart not charged", fault, seed, rf.Latency)
+				}
+			}
+		}
+		if fullWins <= hybridWins {
+			t.Fatalf("%v: full ladder recovered %d vs hybrid %d — the extra rung must win strictly more",
+				fault, fullWins, hybridWins)
+		}
+	}
+}
+
+// TestIOAPICFaultDetectedAndRepaired: device corruption is caught by the
+// IRQ-delivery criterion and repaired without ever reaching the
+// PrivVM-restart rung.
+func TestIOAPICFaultDetectedAndRepaired(t *testing.T) {
+	recovered := 0
+	for seed := uint64(1); seed <= 4; seed++ {
+		rc := ladderCfg(inject.DeviceIOAPIC)
+		rc.Seed = seed
+		r := Run(rc)
+		if r.Outcome != Detected {
+			t.Fatalf("seed %d: IO-APIC damage not detected: %+v", seed, r)
+		}
+		if r.Success {
+			recovered++
+			if r.Latency >= 1500*time.Millisecond {
+				t.Fatalf("seed %d: IO-APIC repair cost %v — escalated to PrivVM restart?", seed, r.Latency)
+			}
+		}
+	}
+	if recovered == 0 {
+		t.Fatal("no IO-APIC run recovered")
+	}
+}
+
+// TestPrivVMHangDuringRecoveryEscalates covers the fault-while-degraded
+// surface: the primary fault starts a microreset, the PrivVM hangs while
+// that recovery is in flight, and the re-armed management watchdog must
+// still catch it and escalate the ladder to the restart rung. Run with
+// -race this also exercises the detector re-arm path under the parallel
+// executor.
+func TestPrivVMHangDuringRecoveryEscalates(t *testing.T) {
+	sawEscalatedSuccess := false
+	for seed := uint64(1); seed <= 10 && !sawEscalatedSuccess; seed++ {
+		rc := fastCfg(inject.Failstop, core.Microreset)
+		rc.Recovery = core.FullLadderConfig()
+		rc.FaultDuringRecovery = true
+		rc.DuringFault = inject.PrivVMHang
+		rc.Seed = seed
+		r := Run(rc)
+		if r.DuringRecoveryFired && r.Success && r.Attempts == 3 {
+			sawEscalatedSuccess = true
+		}
+	}
+	if !sawEscalatedSuccess {
+		t.Fatal("no seed produced hang-during-recovery → escalation → restart → success")
+	}
+}
+
+// TestCorrelatedReinjectionIsDeterministic: the fault-while-degraded
+// re-injection (same structural cell, re-armed after a degraded audit
+// verdict) fires on some seed, is reported on the Result, and replays
+// bit-identically.
+func TestCorrelatedReinjectionIsDeterministic(t *testing.T) {
+	// Degraded verdicts need heap-object damage that lands in an AppVM's
+	// struct domain — a few runs per thousand. The hunt starts at a seed
+	// region known to contain one (595 at the time of writing) but scans
+	// broadly enough to survive distribution drift.
+	var fired *RunConfig
+	for seed := uint64(560); seed <= 700 && fired == nil; seed++ {
+		rc := adversarialCfg()
+		rc.BurstWindow = 0
+		rc.BurstFault = 0
+		rc.FaultDuringRecovery = false
+		rc.CorrelatedReinjection = true
+		rc.Seed = seed
+		if r := Run(rc); r.CorrelatedFired {
+			if !strings.HasPrefix(r.FaultClass, "correlated-") {
+				t.Fatalf("seed %d: fired but class %q", seed, r.FaultClass)
+			}
+			fired = &rc
+		}
+	}
+	if fired == nil {
+		t.Fatal("correlated re-injection never fired in 120 seeds")
+	}
+	a, b := Run(*fired), Run(*fired)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("correlated run is nondeterministic:\n a: %+v\n b: %+v", a, b)
+	}
+}
+
+// TestFaultClassSummariesBitIdenticalAcrossExecution extends the
+// execution-strategy equivalence bar to the per-fault-class matrix: for
+// every new fault class, the Summary (FaultClasses map included) is
+// bit-identical across parallelism 1 vs 4 and snapshot-fork vs cold boot.
+func TestFaultClassSummariesBitIdenticalAcrossExecution(t *testing.T) {
+	during := fastCfg(inject.Failstop, core.Microreset)
+	during.Recovery = core.FullLadderConfig()
+	during.FaultDuringRecovery = true
+	during.DuringFault = inject.PrivVMHang
+
+	correlated := adversarialCfg()
+	correlated.CorrelatedReinjection = true
+
+	bases := []RunConfig{
+		ladderCfg(inject.PrivVMCrash),
+		ladderCfg(inject.PrivVMHang),
+		ladderCfg(inject.DeviceIOAPIC),
+		during,
+		correlated,
+	}
+	for _, base := range bases {
+		var ref Summary
+		first := true
+		for _, par := range []int{1, 4} {
+			for _, coldBoot := range []bool{false, true} {
+				c := Campaign{Base: base, Runs: 6, Parallelism: par, ColdBoot: coldBoot}
+				s := c.Execute()
+				if first {
+					if len(s.FaultClasses) == 0 {
+						t.Fatalf("%s: summary has no fault-class stats", base.FaultClass())
+					}
+					ref, first = s, false
+					continue
+				}
+				if !reflect.DeepEqual(ref, s) {
+					t.Fatalf("%s: summary differs (par=%d coldBoot=%v):\n ref: %+v\n got: %+v",
+						base.FaultClass(), par, coldBoot, ref, s)
+				}
+			}
+		}
+	}
+}
+
+// TestFaultClassShardedEquivalence: the per-class stats survive the shard
+// wire protocol (JSON round-trip through the real worker body) and merge
+// back bit-identical to the in-process run at any shard count.
+func TestFaultClassShardedEquivalence(t *testing.T) {
+	for _, base := range []RunConfig{
+		ladderCfg(inject.PrivVMHang),
+		ladderCfg(inject.DeviceIOAPIC),
+	} {
+		c := Campaign{Base: base, Runs: 8, Parallelism: 2, SeedBase: 3}
+		inProc := c.Execute()
+		if len(inProc.FaultClasses) == 0 {
+			t.Fatalf("%s: no fault-class stats", base.FaultClass())
+		}
+		for _, n := range []int{1, 4} {
+			sharded, _, err := ExecuteSharded(c, n, ShardOptions{Spawn: jsonSpawn})
+			if err != nil {
+				t.Fatalf("%s shards=%d: %v", base.FaultClass(), n, err)
+			}
+			if !reflect.DeepEqual(inProc, sharded) {
+				t.Fatalf("%s shards=%d: summary differs:\n in-proc: %+v\n sharded: %+v",
+					base.FaultClass(), n, inProc, sharded)
+			}
+		}
+	}
+}
+
+// TestSnapshotForkMatchesColdBootNewFaultClasses extends the per-run
+// fork-equivalence bar to every new fault class, including the
+// fault-while-degraded shapes.
+func TestSnapshotForkMatchesColdBootNewFaultClasses(t *testing.T) {
+	during := fastCfg(inject.Failstop, core.Microreset)
+	during.Recovery = core.FullLadderConfig()
+	during.FaultDuringRecovery = true
+	during.DuringFault = inject.PrivVMHang
+
+	assertForkMatchesCold(t, ladderCfg(inject.PrivVMCrash), []uint64{1, 2})
+	assertForkMatchesCold(t, ladderCfg(inject.PrivVMHang), []uint64{1, 2})
+	assertForkMatchesCold(t, ladderCfg(inject.DeviceIOAPIC), []uint64{1, 2, 3})
+	assertForkMatchesCold(t, during, []uint64{1, 2})
+}
+
+// TestSummaryFormatShowsFaultClasses: the matrix is part of the report.
+func TestSummaryFormatShowsFaultClasses(t *testing.T) {
+	c := Campaign{Base: ladderCfg(inject.PrivVMCrash), Runs: 3}
+	out := c.Execute().Format()
+	if !strings.Contains(out, "fault classes:") || !strings.Contains(out, "privvm-crash") {
+		t.Fatalf("Format missing fault-class section:\n%s", out)
+	}
+}
+
+// TestFaultClassCountersConsistent: per-class counters must tie out with
+// the summary-level totals when a campaign runs a single class.
+func TestFaultClassCountersConsistent(t *testing.T) {
+	c := Campaign{Base: ladderCfg(inject.PrivVMHang), Runs: 6}
+	s := c.Execute()
+	fc := s.FaultClasses["privvm-hang"]
+	if fc == nil {
+		t.Fatalf("no privvm-hang stats: %+v", s.FaultClasses)
+	}
+	if fc.Runs != s.Runs || fc.Detected != s.DetectedCount || fc.Success != s.RecoverySuccess {
+		t.Fatalf("class counters diverge from summary: class %+v vs summary runs=%d detected=%d success=%d",
+			fc, s.Runs, s.DetectedCount, s.RecoverySuccess)
+	}
+	if fc.Success > 0 && fc.MeanSuccessLatency() <= 0 {
+		t.Fatal("mean success latency not accumulated")
+	}
+}

@@ -81,6 +81,15 @@ type RunConfig struct {
 	// FaultDuringRecovery arms an extra fault trigger when recovery
 	// pauses the system, so corruption lands while recovery itself runs.
 	FaultDuringRecovery bool
+	// DuringFault selects the fault-during-recovery fault's type (zero =
+	// same as Fault); e.g. a PrivVM hang beginning while a microreset is
+	// already in flight.
+	DuringFault inject.FaultType
+
+	// CorrelatedReinjection re-injects into the same structural cell the
+	// original latent corruption damaged, shortly after an audit accepts
+	// a degraded verdict — the fault-while-degraded scenario.
+	CorrelatedReinjection bool
 
 	// HVM runs the AppVMs under full hardware virtualization (§VI-A:
 	// injection results for HVM AppVMs are very similar to PV).
@@ -137,6 +146,75 @@ func (rc RunConfig) withDefaults() RunConfig {
 	return rc
 }
 
+// FaultClass names the run's fault class for the per-fault-class recovery
+// matrix: the primary fault type, suffixed with the during-recovery type
+// when it differs, and prefixed when the correlated fault-while-degraded
+// re-injection is armed. Baseline runs are "none".
+func (rc RunConfig) FaultClass() string {
+	if rc.NoInjection {
+		return "none"
+	}
+	name := faultClassName(rc.Fault)
+	if rc.FaultDuringRecovery && rc.DuringFault != 0 && rc.DuringFault != rc.Fault {
+		name += "+during-" + faultClassName(rc.DuringFault)
+	}
+	if rc.CorrelatedReinjection {
+		name = "correlated-" + name
+	}
+	return name
+}
+
+func faultClassName(f inject.FaultType) string {
+	switch f {
+	case inject.Failstop:
+		return "failstop"
+	case inject.Register:
+		return "register"
+	case inject.Code:
+		return "code"
+	case inject.PrivVMCrash:
+		return "privvm-crash"
+	case inject.PrivVMHang:
+		return "privvm-hang"
+	case inject.DeviceIOAPIC:
+		return "ioapic"
+	default:
+		return "other"
+	}
+}
+
+// isPrivVMFault reports whether f targets the PrivVM (detected by the
+// management-call watchdog rather than panics or soft-tick staleness).
+func isPrivVMFault(f inject.FaultType) bool {
+	return f == inject.PrivVMCrash || f == inject.PrivVMHang
+}
+
+// wantsMgmtWatchdog reports whether the run needs the management-call
+// watchdog criterion: it injects a PrivVM fault through any trigger, or
+// its ladder carries the PrivVM-restart rung (whose escalations are driven
+// by that watchdog).
+func (rc RunConfig) wantsMgmtWatchdog() bool {
+	if isPrivVMFault(rc.Fault) || isPrivVMFault(rc.BurstFault) {
+		return true
+	}
+	if rc.FaultDuringRecovery && isPrivVMFault(rc.DuringFault) {
+		return true
+	}
+	for _, m := range rc.Recovery.Escalation.Ladder {
+		if m == core.PrivVMRestart {
+			return true
+		}
+	}
+	return false
+}
+
+// wantsIRQCriterion reports whether the run needs the IRQ-delivery
+// criterion (it injects device/IO-APIC corruption through any trigger).
+func (rc RunConfig) wantsIRQCriterion() bool {
+	return rc.Fault == inject.DeviceIOAPIC || rc.BurstFault == inject.DeviceIOAPIC ||
+		(rc.FaultDuringRecovery && rc.DuringFault == inject.DeviceIOAPIC)
+}
+
 // Outcome classifies one run (§VII-A).
 type Outcome int
 
@@ -184,6 +262,10 @@ type VMResult struct {
 type Result struct {
 	Seed    uint64
 	Outcome Outcome
+	// FaultClass is the run's fault-class name (RunConfig.FaultClass) —
+	// carried per run because sharded workers aggregate partial Summaries
+	// whose Config is zero.
+	FaultClass string
 
 	// Detected/Recovered mirror the engine's state.
 	Detected  bool
@@ -218,18 +300,22 @@ type Result struct {
 	// Latency is the total modeled recovery latency across all attempts.
 	Latency time.Duration
 
-	// Adversarial-injection diagnostics: the burst fault and the
-	// fault-during-recovery trigger, when configured and fired.
+	// Adversarial-injection diagnostics: the burst fault, the
+	// fault-during-recovery trigger, and the correlated
+	// fault-while-degraded re-injection, when configured and fired.
 	BurstFired          bool
 	BurstEffect         string
 	DuringRecoveryFired bool
 	DuringEffect        string
+	CorrelatedFired     bool
 
 	// Audit results (EscalationPolicy.Audit): violations found, repairs
-	// applied, and AppVMs sacrificed across all attempts.
-	AuditViolations int
-	AuditRepaired   int
-	SacrificedVMs   []int
+	// applied, escalate verdicts, and AppVMs sacrificed across all
+	// attempts.
+	AuditViolations  int
+	AuditRepaired    int
+	AuditEscalations int
+	SacrificedVMs    []int
 
 	// Recovery-domain accounting (Recovery.RepairCPUs > 1): the distinct
 	// domains the partitioned repair and audit phases touched across all
@@ -313,7 +399,7 @@ func Run(rc RunConfig) Result {
 	rc = rc.withDefaults()
 	img, err := buildImage(rc)
 	if err != nil {
-		return Result{Seed: rc.Seed, NewVMOK: true, FailReason: err.Error()}
+		return Result{Seed: rc.Seed, NewVMOK: true, FailReason: err.Error(), FaultClass: rc.FaultClass()}
 	}
 	return img.run(rc)
 }
@@ -342,7 +428,16 @@ func (img *image) run(rc RunConfig) Result {
 	engine := core.NewEngine(h, rc.Recovery)
 	img.engine = engine
 	img.det.Reset()
+	// Detection criteria are opt-in per run (images are shared across
+	// configurations, so both directions must be set every time). Enabling
+	// them adds no clock events and draws no randomness — legacy runs'
+	// timelines are untouched.
+	img.det.SetCriteria(rc.wantsMgmtWatchdog(), rc.wantsIRQCriterion())
 	engine.Det = img.det
+	// The PrivVM-restart rung re-created Dom0 inside the hypervisor; the
+	// guest world re-arms its management service (housekeeping tick,
+	// domctl capability) against the fresh domain.
+	engine.OnPrivVMRestart = world.ResumePrivVM
 
 	var recorder *hv.TraceRecorder
 	if rc.TraceCapacity > 0 {
@@ -423,15 +518,20 @@ func (img *image) run(rc RunConfig) Result {
 	if !rc.NoInjection {
 		injRNG := prng.New(rc.Seed, 0xfa17)
 		injector = inject.New(h, world, injRNG, inject.Params{
-			Type:                rc.Fault,
-			WindowLo:            rc.BenchDuration / 10,
-			WindowHi:            rc.BenchDuration / 2,
-			AppDomains:          appDomains(rc.Setup),
-			BurstWindow:         rc.BurstWindow,
-			BurstFault:          rc.BurstFault,
-			FaultDuringRecovery: rc.FaultDuringRecovery,
+			Type:                  rc.Fault,
+			WindowLo:              rc.BenchDuration / 10,
+			WindowHi:              rc.BenchDuration / 2,
+			AppDomains:            appDomains(rc.Setup),
+			BurstWindow:           rc.BurstWindow,
+			BurstFault:            rc.BurstFault,
+			FaultDuringRecovery:   rc.FaultDuringRecovery,
+			DuringFault:           rc.DuringFault,
+			CorrelatedReinjection: rc.CorrelatedReinjection,
 		})
 		injector.Schedule()
+		if rc.CorrelatedReinjection {
+			engine.OnAuditDegraded = injector.OnDegradedVerdict
+		}
 	}
 
 	// Run to completion.
@@ -449,9 +549,16 @@ func (img *image) run(rc RunConfig) Result {
 		res.BurstEffect = injector.BurstEffect.String()
 		res.DuringRecoveryFired = injector.DuringRecoveryFired
 		res.DuringEffect = injector.DuringEffect.String()
+		res.CorrelatedFired = injector.CorrelatedFired
 	}
+	res.FaultClass = rc.FaultClass()
 	res.AuditViolations = engine.AuditViolations
 	res.AuditRepaired = engine.AuditRepaired
+	for i := range engine.Attempts {
+		if a := engine.Attempts[i].Audit; a != nil {
+			res.AuditEscalations += a.Escalations
+		}
+	}
 	res.SacrificedVMs = append(res.SacrificedVMs, engine.SacrificedVMs...)
 	res.RepairDomains = engine.RepairTiming.Domains
 	res.SerialRepairLatency = engine.RepairTiming.Serial
@@ -569,8 +676,12 @@ func TraceRun(rc RunConfig) (Result, *telemetry.Telemetry) {
 // and runs BenchDuration/3; postRunSettle covers benchmark verdict
 // bookkeeping (block-queue drain, final iterations, sender intervals).
 const (
-	newVMDelay       = 150 * time.Millisecond
-	detectionSlack   = (detect.StaleChecks + 2) * detect.Period
+	newVMDelay = 150 * time.Millisecond
+	// detectionSlack must cover every watchdog's declaration time: the
+	// hang watchdog's StaleChecks and the management-call watchdog's
+	// MgmtStaleChecks both count checks at the Period cadence (currently
+	// equal, so legacy horizons are bit-identical).
+	detectionSlack   = (max(detect.StaleChecks, detect.MgmtStaleChecks) + 2) * detect.Period
 	postRunSettle    = 750 * time.Millisecond
 	legacyHorizonPad = 2 * time.Second
 )

@@ -45,6 +45,13 @@ const (
 	// State effects match microreboot (fresh static image, rebuilt
 	// heap/free list) since the checkpoint is a pristine post-boot image.
 	CheckpointRestore
+	// PrivVMRestart is the ladder's top rung for PrivVM failure: run the
+	// in-place (microreset-style) hypervisor repairs, then reboot the
+	// PrivVM itself from its boot image and re-attach the surviving
+	// AppVMs' I/O rings. No hypervisor-state repair can bring back
+	// management service when Dom0 is gone or hung — failure cause 2 of
+	// §VII-A — so this rung replaces the PrivVM instead.
+	PrivVMRestart
 )
 
 // String returns the mechanism's system name.
@@ -56,6 +63,8 @@ func (m Mechanism) String() string {
 		return "ReHype"
 	case CheckpointRestore:
 		return "ReHype-CP"
+	case PrivVMRestart:
+		return "PrivVM-Restart"
 	default:
 		return fmt.Sprintf("mechanism(%d)", int(m))
 	}
@@ -95,6 +104,13 @@ const (
 	// dominant latency component (Table III) whose removal costs ~4% of
 	// recovery rate (§VII-B).
 	EnhPFScan
+	// EnhReprogramIOAPIC rewrites every diverged IO-APIC redirection
+	// entry from the software copy recorded at boot — the device-
+	// corruption repair. Not part of AllEnhancements (the paper's ladder
+	// predates the device fault surface); the post-recovery audit performs
+	// the same repair, and reboot rungs get it from the APIC-setup boot
+	// step.
+	EnhReprogramIOAPIC
 )
 
 // AllEnhancements is the full production configuration.
@@ -242,6 +258,26 @@ func ParallelRecoveryConfig(n int) Config {
 // activation by up to ~50 ms.
 const DefaultGraceWindow = 500 * time.Millisecond
 
+// FullLadderConfig returns the broadened-fault-surface escalation ladder:
+// microreset first (fast path), microreboot second (re-initializes the
+// state classes whose corruption dooms an in-place reset), and PrivVM
+// restart last — the only rung that restores management service when the
+// PrivVM itself crashed or hung. The post-recovery audit backstops every
+// rung, repairing (among others) IO-APIC route damage.
+func FullLadderConfig() Config {
+	return Config{
+		Mechanism:    Microreset,
+		Enhancements: AllEnhancements,
+		Scope:        AllThreads,
+		Escalation: EscalationPolicy{
+			MaxAttempts: 3,
+			Ladder:      []Mechanism{Microreset, Microreboot, PrivVMRestart},
+			GraceWindow: DefaultGraceWindow,
+			Audit:       true,
+		},
+	}
+}
+
 // HybridConfig returns the escalating configuration the hybrid experiment
 // demonstrates: microreset first (fast path), microreboot if the failure
 // is re-detected within the grace window — the reboot re-initializes
@@ -360,6 +396,17 @@ type Engine struct {
 	// (the campaign layer starts the post-recovery VM-creation check
 	// here).
 	OnRecovered func()
+	// OnPrivVMRestart, if set, is invoked when a PrivVM-restart attempt
+	// re-enables the CPUs: the guest world re-arms Dom0's management
+	// service against the freshly created domain.
+	OnPrivVMRestart func()
+	// OnAuditDegraded, if set, is invoked when an audit pass accepts one
+	// or more degraded verdicts (sacrificed AppVMs) — the hook the
+	// correlated fault-while-degraded re-injection arms itself from.
+	OnAuditDegraded func()
+	// PrivVMReattached counts the AppVM I/O rings the last PrivVM restart
+	// re-attached.
+	PrivVMReattached int
 
 	recovering bool
 	completing bool
@@ -374,6 +421,10 @@ type Engine struct {
 	// failed attempt never got to retry are merged with the next
 	// attempt's discards.
 	pending []*hv.PendingCall
+	// privRestartErr stashes a PrivVM re-creation failure for complete()
+	// to turn into an attempt failure (recover() must not recurse into
+	// the escalation machinery mid-repair).
+	privRestartErr error
 }
 
 // NewEngine builds an engine over a booted hypervisor. Wire it to a

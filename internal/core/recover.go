@@ -148,6 +148,24 @@ func (en *Engine) recover(e detect.Event, mech Mechanism) {
 		h.Locks.ReinitStatic()
 	}
 
+	if enh.Has(EnhReprogramIOAPIC) && !reboot {
+		// Device-corruption repair: rewrite diverged IO-APIC redirection
+		// entries from the software copy recorded at boot. (Reboot rungs
+		// get the equivalent from the APIC-setup boot step in
+		// rebootStateReinit.)
+		if h.Machine.IOAPIC().ReprogramFromBoot() > 0 {
+			h.Tel.Inc(telemetry.CtrIOAPICRepairs)
+		}
+		en.charge("Reprogram IO-APIC redirection entries from boot routes", reprogramIOAPICCost)
+	}
+
+	if mech == PrivVMRestart {
+		// The rung's distinguishing step: reboot the PrivVM from its boot
+		// image and re-attach the surviving AppVMs' I/O rings. Runs before
+		// the audit so the audit validates the fresh Dom0 structures.
+		en.restartPrivVM()
+	}
+
 	// Post-repair state audit (EscalationPolicy.Audit): walk the real
 	// structures, repair what is repairable, sacrifice AppVMs whose
 	// damage is confinable, and leave escalation-class damage for
@@ -174,6 +192,11 @@ func (en *Engine) recover(e detect.Event, mech Mechanism) {
 		en.AuditViolations += len(rep.Violations)
 		en.AuditRepaired += rep.Repaired
 		en.SacrificedVMs = append(en.SacrificedVMs, rep.Sacrificed...)
+		if len(rep.Sacrificed) > 0 && en.OnAuditDegraded != nil {
+			// The audit accepted degraded service; the correlated
+			// re-injection scenario arms itself here.
+			en.OnAuditDegraded()
+		}
 		if parallel {
 			en.chargeParallel("Post-recovery state audit and repair (parallel domains)", rep.Timing)
 			cur.Timing.Merge(rep.Timing)
@@ -252,6 +275,30 @@ func (en *Engine) synthesizeSingleDiscardHazards(detectCPU int) {
 	}
 }
 
+// PrivVM restart costs: rebooting Dom0 from its boot image is a guest OS
+// boot — orders of magnitude above any hypervisor repair step but far
+// below a full host reboot — plus a per-surviving-VM ring re-attach.
+const (
+	privVMBootCost      = 1500 * time.Millisecond
+	privVMReattachPerVM = 40 * time.Millisecond
+)
+
+// restartPrivVM performs the PrivVM-restart rung's distinguishing work:
+// destroy what remains of Dom0, create a fresh one from the boot image,
+// and re-bind every surviving AppVM's I/O ring to it. A re-creation
+// failure is stashed for complete() to escalate on.
+func (en *Engine) restartPrivVM() {
+	n, err := en.H.RestartPrivVM()
+	if err != nil {
+		en.privRestartErr = err
+	}
+	en.PrivVMReattached = n
+	en.chargeGroup("PrivVM restart",
+		LatencyStep{Name: "Reboot PrivVM from boot image", Dur: privVMBootCost},
+		LatencyStep{Name: "Re-attach surviving AppVM I/O rings", Dur: time.Duration(n) * privVMReattachPerVM},
+	)
+}
+
 // rebootStateReinit applies the state effects of booting a new hypervisor
 // instance and re-integrating preserved state (§III-B): a fresh heap free
 // list, a relinked domain list, re-initialized static scratch state, and
@@ -268,6 +315,11 @@ func (en *Engine) rebootStateReinit(mech Mechanism) {
 	h.Heap.Rebuild()
 	h.Domains.Rebuild()
 	h.ReinitStaticScratch()
+	// The "setup IO APIC" boot step re-programs the redirection table from
+	// the boot routes, so reboot rungs repair device corruption inherently.
+	if h.Machine.IOAPIC().ReprogramFromBoot() > 0 {
+		h.Tel.Inc(telemetry.CtrIOAPICRepairs)
+	}
 }
 
 // complete finishes a recovery attempt after the latency elapses:
@@ -283,6 +335,14 @@ func (en *Engine) complete(mech Mechanism) {
 	enh := en.Cfg.Enhancements
 	reboot := mech.Reboots()
 	now := h.Clock.Now()
+
+	// A PrivVM re-creation failure during the restart rung is the
+	// attempt's failure (typically terminal: this is the last rung).
+	if err := en.privRestartErr; err != nil {
+		en.privRestartErr = nil
+		en.attemptFailed("PrivVM restart failed: " + err.Error())
+		return
+	}
 
 	// Corruption of state both mechanisms reuse (live heap objects) is
 	// fatal regardless of mechanism — §VII-A failure cause 3. The audit
@@ -322,6 +382,12 @@ func (en *Engine) complete(mech Mechanism) {
 	}
 
 	h.ReenableCPUs()
+
+	if mech == PrivVMRestart && en.OnPrivVMRestart != nil {
+		// The fresh Dom0 exists; let the guest world re-arm its
+		// management service (housekeeping tick, domctl capability).
+		en.OnPrivVMRestart()
+	}
 
 	// Post-resume invariants; each violated invariant panics or fails
 	// the affected VM (handled inside hv; panics arrive at OnDetection

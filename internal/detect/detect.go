@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"nilihype/internal/hv"
+	"nilihype/internal/hw"
 	"nilihype/internal/telemetry"
 	"nilihype/internal/xentime"
 )
@@ -23,6 +24,17 @@ type Kind int
 const (
 	Panic Kind = iota + 1
 	Hang
+	// MgmtWatchdog is the management-call watchdog: the PrivVM's
+	// housekeeping tick issues a management hypercall every few
+	// milliseconds, so an extended silence means the PrivVM has crashed or
+	// hung (management calls stall mid-flight). Checked from CPU 0's
+	// performance-counter NMI; opt-in via SetCriteria.
+	MgmtWatchdog
+	// IRQDelivery is the IRQ-delivery criterion: CPU 0's NMI reads back
+	// the IO-APIC redirection table against the hypervisor's software copy
+	// (divergence = device corruption) and watches for interrupt lines
+	// stuck in service (pending-IRQ-route loss). Opt-in via SetCriteria.
+	IRQDelivery
 )
 
 // String returns the kind name.
@@ -32,6 +44,10 @@ func (k Kind) String() string {
 		return "panic"
 	case Hang:
 		return "hang"
+	case MgmtWatchdog:
+		return "mgmt-watchdog"
+	case IRQDelivery:
+		return "irq-delivery"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -57,6 +73,18 @@ const Period = 100 * time.Millisecond
 // that declare a hang.
 const StaleChecks = 3
 
+// MgmtStaleChecks is the number of consecutive NMI checks with no
+// completed PrivVM management hypercall before the management-call
+// watchdog fires. The PrivVM housekeeping tick completes a call every 5 ms
+// in a healthy system, so three silent 100 ms checks is unambiguous.
+const MgmtStaleChecks = 3
+
+// IRQStuckChecks is the number of consecutive NMI observations of the same
+// interrupt line in service before the IRQ-delivery criterion declares the
+// line's pending route lost. Device handlers EOI within microseconds, so
+// three 100 ms-spaced observations cannot be a live interrupt.
+const IRQStuckChecks = 3
+
 // Detector wires the panic and hang detectors into a hypervisor and
 // reports detections through a single hook.
 type Detector struct {
@@ -67,6 +95,15 @@ type Detector struct {
 	lastSeen  []uint64
 	stale     []int
 	ticks     []*xentime.Timer // per-CPU watchdog soft tick timers
+
+	// Management-call watchdog state (opt-in; checked on CPU 0's NMI).
+	mgmtOn    bool
+	mgmtLast  uint64
+	mgmtStale int
+
+	// IRQ-delivery criterion state (opt-in; checked on CPU 0's NMI).
+	irqOn    bool
+	svcStuck []int // per-line consecutive in-service observations
 
 	// Detections counts all events reported (including post-recovery
 	// re-detections).
@@ -82,6 +119,28 @@ func New(h *hv.Hypervisor, hook func(Event)) *Detector {
 		softCount: make([]uint64, n),
 		lastSeen:  make([]uint64, n),
 		stale:     make([]int, n),
+		svcStuck:  make([]int, h.Machine.IOAPIC().NumLines()+1),
+	}
+}
+
+// SetCriteria enables or disables the opt-in detection criteria: the
+// management-call watchdog and the IRQ-delivery check. Campaigns switch
+// them on for runs whose fault surface (PrivVM or device classes) or
+// recovery ladder (PrivVM-restart rung) needs them, and off otherwise so
+// legacy configurations behave exactly as before. Enabling re-baselines the
+// criterion's progress tracking against current state.
+func (d *Detector) SetCriteria(mgmt, irq bool) {
+	d.mgmtOn = mgmt
+	d.irqOn = irq
+	d.resetCriteria()
+}
+
+// resetCriteria re-baselines the opt-in criteria's progress tracking.
+func (d *Detector) resetCriteria() {
+	d.mgmtLast = d.h.Tel.Counters[telemetry.CtrMgmtCompletions]
+	d.mgmtStale = 0
+	for i := range d.svcStuck {
+		d.svcStuck[i] = 0
 	}
 }
 
@@ -104,23 +163,74 @@ func (d *Detector) Start() {
 }
 
 // checkHang is the NMI handler body: compare the CPU's soft counter with
-// the last observation.
+// the last observation, then (on CPU 0) run the opt-in criteria.
 func (d *Detector) checkHang(cpu int) {
 	if d.softCount[cpu] != d.lastSeen[cpu] {
 		d.lastSeen[cpu] = d.softCount[cpu]
 		d.stale[cpu] = 0
+	} else {
+		d.stale[cpu]++
+		if d.stale[cpu] >= StaleChecks {
+			d.stale[cpu] = 0
+			reason := "watchdog: no progress"
+			if pc := d.h.PerCPU(cpu); pc.Spinning != nil {
+				reason = fmt.Sprintf("watchdog: spinning on lock %q", pc.Spinning.Name())
+			} else if pc.Wedged {
+				reason = "watchdog: CPU wedged"
+			}
+			d.fire(Event{CPU: cpu, Kind: Hang, Reason: reason, At: d.h.Clock.Now()})
+		}
+	}
+	if cpu == 0 {
+		if d.mgmtOn {
+			d.checkMgmt()
+		}
+		if d.irqOn {
+			d.checkIRQDelivery()
+		}
+	}
+}
+
+// checkMgmt is the management-call watchdog: completed PrivVM management
+// hypercalls must advance between NMI checks.
+func (d *Detector) checkMgmt() {
+	cur := d.h.Tel.Counters[telemetry.CtrMgmtCompletions]
+	if cur != d.mgmtLast {
+		d.mgmtLast = cur
+		d.mgmtStale = 0
 		return
 	}
-	d.stale[cpu]++
-	if d.stale[cpu] >= StaleChecks {
-		d.stale[cpu] = 0
-		reason := "watchdog: no progress"
-		if pc := d.h.PerCPU(cpu); pc.Spinning != nil {
-			reason = fmt.Sprintf("watchdog: spinning on lock %q", pc.Spinning.Name())
-		} else if pc.Wedged {
-			reason = "watchdog: CPU wedged"
+	d.mgmtStale++
+	if d.mgmtStale >= MgmtStaleChecks {
+		d.mgmtStale = 0
+		d.fire(Event{CPU: 0, Kind: MgmtWatchdog,
+			Reason: "mgmt watchdog: no PrivVM management-call completions",
+			At:     d.h.Clock.Now()})
+	}
+}
+
+// checkIRQDelivery reads the IO-APIC redirection table back against the
+// hypervisor's software copy and watches for lines stuck in service.
+func (d *Detector) checkIRQDelivery() {
+	io := d.h.Machine.IOAPIC()
+	if io.RouteDamage() > 0 {
+		d.fire(Event{CPU: 0, Kind: IRQDelivery,
+			Reason: "irq-delivery: IO-APIC redirection table diverges from software copy",
+			At:     d.h.Clock.Now()})
+		return
+	}
+	for l := 1; l <= io.NumLines(); l++ {
+		if !io.InService(hw.IRQLine(l)) {
+			d.svcStuck[l] = 0
+			continue
 		}
-		d.fire(Event{CPU: cpu, Kind: Hang, Reason: reason, At: d.h.Clock.Now()})
+		d.svcStuck[l]++
+		if d.svcStuck[l] >= IRQStuckChecks {
+			d.svcStuck[l] = 0
+			d.fire(Event{CPU: 0, Kind: IRQDelivery,
+				Reason: "irq-delivery: interrupt line stuck in service (pending route lost)",
+				At:     d.h.Clock.Now()})
+		}
 	}
 }
 
@@ -130,6 +240,7 @@ func (d *Detector) ResetProgress() {
 		d.stale[cpu] = 0
 		d.lastSeen[cpu] = d.softCount[cpu]
 	}
+	d.resetCriteria()
 }
 
 // Rearm prepares the detectors for the next recovery attempt: staleness
@@ -163,6 +274,7 @@ func (d *Detector) Reset() {
 		d.lastSeen[cpu] = 0
 		d.stale[cpu] = 0
 	}
+	d.resetCriteria()
 	d.Detections = 0
 }
 
@@ -174,6 +286,10 @@ func (d *Detector) fire(e Event) {
 		d.h.Tel.Counters[telemetry.CtrDetectPanic]++
 	case Hang:
 		d.h.Tel.Counters[telemetry.CtrDetectHang]++
+	case MgmtWatchdog:
+		d.h.Tel.Counters[telemetry.CtrDetectMgmt]++
+	case IRQDelivery:
+		d.h.Tel.Counters[telemetry.CtrDetectIRQ]++
 	}
 	d.h.Tel.Record(e.CPU, telemetry.EvDetect, d.h.Tel.Intern(e.Reason))
 	if d.hook != nil {

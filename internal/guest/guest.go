@@ -85,6 +85,15 @@ type World struct {
 	// and rebuilding its closures each period would allocate on every tick.
 	privTickFn     func()
 	privTickBodyFn func()
+
+	// privHung marks the PrivVM guest as hung: management hypercalls
+	// stall (the housekeeping tick goes silent, domctl requests cannot be
+	// issued) even though Dom0's hypervisor-side structures are intact.
+	privHung bool
+	// privTickLive tracks whether the housekeeping tick chain is armed,
+	// so ResumePrivVM can re-arm a dead chain without double-scheduling a
+	// live one.
+	privTickLive bool
 }
 
 // NewWorld builds the guest world over a booted hypervisor and registers

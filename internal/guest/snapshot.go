@@ -33,6 +33,11 @@ func (w *World) Restore(s *WorldSnapshot) {
 		w.apps[d] = vm
 	}
 	w.Sender.reset()
+	// At image-build time the PrivVM is healthy and its housekeeping tick
+	// chain is armed (the queued tick event is clock-snapshot state that
+	// the paired clock restore revives).
+	w.privHung = false
+	w.privTickLive = true
 }
 
 // resetForRun returns the VM to a state indistinguishable (to the

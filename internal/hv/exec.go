@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"nilihype/internal/dom"
 	"nilihype/internal/hypercall"
 	"nilihype/internal/locking"
 	"nilihype/internal/telemetry"
@@ -236,6 +237,11 @@ func (h *Hypervisor) completeCall(cpu int) {
 	if call != nil {
 		call.Done = true
 		h.Tel.Counters[telemetry.CtrCompletions]++
+		if call.Dom == dom.PrivVMID {
+			// Management-call liveness signal: the detect package's
+			// management-call watchdog reads this counter from the NMI path.
+			h.Tel.Counters[telemetry.CtrMgmtCompletions]++
+		}
 		h.Tel.Record(cpu, telemetry.EvComplete, uint64(call.Op))
 		h.traceCall(cpu, TraceComplete, call)
 		if h.callDoneHook != nil {

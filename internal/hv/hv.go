@@ -286,6 +286,9 @@ func (a apicAdapter) DisarmTimer(cpu int)               { a.m.CPU(cpu).DisarmTim
 func (h *Hypervisor) Boot() error {
 	h.Machine.IOAPIC().Route(hw.IRQBlock, 0, hw.VecBlock)
 	h.Machine.IOAPIC().Route(hw.IRQNIC, 0, hw.VecNIC)
+	// Record the software copy of the redirection table (the irq_desc
+	// bookkeeping the IRQ-delivery detector reads back against).
+	h.Machine.IOAPIC().RecordBootRoutes()
 
 	for cpu := 0; cpu < h.Machine.NumCPUs(); cpu++ {
 		t := h.Timers.AddTimer(cpu, fmt.Sprintf("sched_tick.cpu%d", cpu),
@@ -416,6 +419,82 @@ func (h *Hypervisor) DestroyDomain(id int) error {
 // Domain returns a domain by ID (hard lookup for internal wiring; does not
 // model a hypervisor code path).
 func (h *Hypervisor) Domain(id int) (*dom.Domain, error) { return h.Domains.ByID(id) }
+
+// RestartPrivVM reboots the PrivVM from its boot image: the old Dom0 (dead
+// or hung) is torn down, a fresh Dom0 is created exactly as Boot creates
+// it, and every surviving AppVM's I/O ring channel is re-bound to the new
+// backend's event-channel table. Returns the number of AppVM rings
+// re-attached. This is the state-manipulation half of the PrivVM-restart
+// recovery rung; the engine charges its latency separately.
+//
+// The old Dom0 is located through the preserved domain pointers rather
+// than the linked list (the list may be damaged in the same run), and
+// Remove/Insert relink the list as a side effect.
+func (h *Hypervisor) RestartPrivVM() (int, error) {
+	var d0 *dom.Domain
+	for _, d := range h.Domains.Preserved() {
+		if d.ID == dom.PrivVMID {
+			d0 = d
+			break
+		}
+	}
+	reuseStart := -1
+	if d0 != nil {
+		if d0.MemCount > 0 {
+			reuseStart = d0.MemStart
+		}
+		for _, v := range d0.VCPUs {
+			h.Sched.RemoveVCPU(v)
+		}
+		if d0.Obj != nil {
+			h.Heap.Free(d0.Obj)
+		}
+		h.Broker.Unregister(dom.PrivVMID)
+		h.Domains.Remove(d0)
+	}
+	// Reuse the dead Dom0's guest-frame range: the bump allocator never
+	// reclaims, so carving a fresh 64 MB per restart would leak the old
+	// range's descriptors and eventually exhaust guest memory.
+	if reuseStart >= 0 {
+		saved := h.nextGuestFrame
+		h.nextGuestFrame = reuseStart
+		err := h.CreateDomain(dom.PrivVMID, "Domain-0", privVMPages, 0, true)
+		if h.nextGuestFrame < saved {
+			h.nextGuestFrame = saved
+		}
+		if err != nil {
+			return 0, fmt.Errorf("hv: PrivVM restart: %w", err)
+		}
+	} else if err := h.CreateDomain(dom.PrivVMID, "Domain-0", privVMPages, 0, true); err != nil {
+		return 0, fmt.Errorf("hv: PrivVM restart: %w", err)
+	}
+	priv0 := h.Broker.Table(dom.PrivVMID)
+	reattached := 0
+	for _, d := range h.Domains.Preserved() {
+		if d.IsPriv || d.Failed {
+			continue
+		}
+		// Drop the frontend port that pointed into the destroyed backend
+		// table, then rebind against the new one — the same wiring
+		// CreateDomain performs for a fresh AppVM.
+		if d.RingPort > 0 {
+			_ = d.Events.Close(d.RingPort)
+			d.RingPort = 0
+		}
+		back, err := priv0.AllocUnbound(d.ID)
+		if err != nil {
+			continue
+		}
+		front, err := h.Broker.BindInterdomain(d.ID, dom.PrivVMID, back)
+		if err != nil {
+			continue
+		}
+		d.RingPort = front
+		reattached++
+	}
+	h.Tel.Counters[telemetry.CtrPrivVMRestarts]++
+	return reattached, nil
+}
 
 // WakeVCPU makes a vCPU runnable and un-halts its CPU.
 func (h *Hypervisor) WakeVCPU(v *sched.VCPU) {

@@ -45,6 +45,15 @@ type IOAPIC struct {
 	machine *Machine
 	lines   [numIRQLines + 1]lineState
 
+	// bootLines is the hypervisor's software copy of the redirection
+	// table, recorded once at the end of boot (the irq_desc bookkeeping a
+	// real hypervisor keeps). Hardware-level corruption of the live table
+	// is detectable by read-back comparison against this copy, and
+	// repairable by reprogramming from it. Written before any campaign
+	// snapshot is taken and never mutated afterwards, so it needs no
+	// snapshot coverage.
+	bootLines [numIRQLines + 1]lineState
+
 	// RedirWrites counts redirection-table writes since boot; ReHype's
 	// IO-APIC logging during normal operation mirrors these.
 	RedirWrites uint64
@@ -110,6 +119,95 @@ func (io *IOAPIC) AckAll() {
 		io.lines[i].inService = false
 		io.lines[i].pending = false
 	}
+}
+
+// NumLines returns the highest valid IRQLine number; valid lines are
+// 1..NumLines.
+func (io *IOAPIC) NumLines() int { return numIRQLines }
+
+// LineEnabled reports whether line is enabled for delivery.
+func (io *IOAPIC) LineEnabled(line IRQLine) bool { return io.lines[line].enabled }
+
+// RecordBootRoutes captures the current redirection table as the
+// known-good software copy. Called once at the end of hypervisor boot,
+// after all device lines are routed.
+func (io *IOAPIC) RecordBootRoutes() {
+	for i := range io.lines {
+		io.bootLines[i] = lineState{
+			cpu:     io.lines[i].cpu,
+			vec:     io.lines[i].vec,
+			enabled: io.lines[i].enabled,
+		}
+	}
+}
+
+// RouteDamage counts redirection entries whose destination CPU, vector, or
+// enable bit diverge from the recorded software copy — the IRQ-delivery
+// detection criterion's read-back comparison. In-service/pending latch
+// state is transient and not compared.
+func (io *IOAPIC) RouteDamage() int {
+	n := 0
+	for i := 1; i <= numIRQLines; i++ {
+		st, b := &io.lines[i], &io.bootLines[i]
+		if st.cpu != b.cpu || st.vec != b.vec || st.enabled != b.enabled {
+			n++
+		}
+	}
+	return n
+}
+
+// ReprogramFromBoot rewrites every diverged redirection entry from the
+// software copy and returns the number of entries repaired. Pure table
+// state: latched pending assertions are left for the normal EOI/Raise
+// machinery (or recovery's AckAll) to resolve, keeping the repair
+// deterministic and side-effect-free for the audit walk.
+func (io *IOAPIC) ReprogramFromBoot() int {
+	n := 0
+	for i := 1; i <= numIRQLines; i++ {
+		st, b := &io.lines[i], &io.bootLines[i]
+		if st.cpu != b.cpu || st.vec != b.vec || st.enabled != b.enabled {
+			st.cpu, st.vec, st.enabled = b.cpu, b.vec, b.enabled
+			io.RedirWrites++
+			n++
+		}
+	}
+	return n
+}
+
+// Redirection-corruption modes for CorruptRoute.
+const (
+	CorruptDisable = iota // drop the enable bit: device goes silent
+	CorruptCPU            // misroute to the next CPU
+	CorruptVector         // deliver the wrong vector
+)
+
+// CorruptRoute applies a hardware-level redirection-table corruption to
+// line and returns a static description. Models a bit-flip in the IO-APIC
+// RTE: not a logged software write, so RedirWrites does not advance — which
+// is exactly why detection needs the read-back comparison.
+func (io *IOAPIC) CorruptRoute(line IRQLine, mode int) string {
+	st := &io.lines[line]
+	switch mode {
+	case CorruptCPU:
+		st.cpu = (st.cpu + 1) % len(io.machine.cpus)
+		return "ioapic-route:cpu"
+	case CorruptVector:
+		st.vec = VecIPI
+		return "ioapic-route:vector"
+	default:
+		st.enabled = false
+		return "ioapic-route:disabled"
+	}
+}
+
+// StrandLine wedges line's delivery state machine: a phantom in-service
+// interrupt that no EOI will ever acknowledge, so every later assertion
+// latches pending and is never delivered (pending-IRQ-route loss). Detected
+// by the IRQ-delivery criterion's stuck-in-service check; recovery's AckAll
+// clears it.
+func (io *IOAPIC) StrandLine(line IRQLine) string {
+	io.lines[line].inService = true
+	return "ioapic-pending:stranded-in-service"
 }
 
 // LineFor returns the line that delivers vec, or -1 if none does.

@@ -1,0 +1,102 @@
+package hw
+
+import "testing"
+
+// TestIOAPICCorruptRouteDetectedAndRepaired walks every redirection
+// corruption mode through the full damage → read-back → reprogram cycle:
+// the corruption diverges the table from the boot copy, ReprogramFromBoot
+// rewrites it, and delivery works again.
+func TestIOAPICCorruptRouteDetectedAndRepaired(t *testing.T) {
+	wantLabel := map[int]string{
+		CorruptDisable: "ioapic-route:disabled",
+		CorruptCPU:     "ioapic-route:cpu",
+		CorruptVector:  "ioapic-route:vector",
+	}
+	for mode, label := range wantLabel {
+		m, _, sink := newTestMachine(t)
+		routeAll(m)
+		io := m.IOAPIC()
+		io.RecordBootRoutes()
+		if io.RouteDamage() != 0 {
+			t.Fatalf("mode %d: pristine table reports damage", mode)
+		}
+		if got := io.CorruptRoute(IRQBlock, mode); got != label {
+			t.Fatalf("mode %d: label %q, want %q", mode, got, label)
+		}
+		if io.RouteDamage() != 1 {
+			t.Fatalf("mode %d: RouteDamage = %d, want 1", mode, io.RouteDamage())
+		}
+		if fixed := io.ReprogramFromBoot(); fixed != 1 {
+			t.Fatalf("mode %d: reprogrammed %d entries, want 1", mode, fixed)
+		}
+		if io.RouteDamage() != 0 {
+			t.Fatalf("mode %d: damage persists after reprogram", mode)
+		}
+		io.Raise(IRQBlock)
+		if len(sink.delivered) != 1 || sink.delivered[0].cpu != 0 || sink.delivered[0].vec != VecBlock {
+			t.Fatalf("mode %d: post-repair delivery = %v", mode, sink.delivered)
+		}
+	}
+}
+
+// TestIOAPICCorruptRouteIsNotASoftwareWrite: the corruption models a
+// hardware bit-flip, so the software write counter must not advance — that
+// is exactly why detection needs the read-back comparison rather than a
+// write log.
+func TestIOAPICCorruptRouteIsNotASoftwareWrite(t *testing.T) {
+	m, _, _ := newTestMachine(t)
+	routeAll(m)
+	io := m.IOAPIC()
+	io.RecordBootRoutes()
+	before := io.RedirWrites
+	io.CorruptRoute(IRQNIC, CorruptCPU)
+	if io.RedirWrites != before {
+		t.Fatalf("CorruptRoute advanced RedirWrites %d -> %d", before, io.RedirWrites)
+	}
+	// The repair IS a software write.
+	io.ReprogramFromBoot()
+	if io.RedirWrites != before+1 {
+		t.Fatalf("ReprogramFromBoot wrote %d entries, want 1", io.RedirWrites-before)
+	}
+}
+
+// TestIOAPICStrandedLineBlocksDeliveryUntilAckAll: a stranded in-service
+// latch suppresses all later assertions (pending-IRQ-route loss); AckAll —
+// the recovery path's interrupt-controller reset — restores delivery.
+func TestIOAPICStrandedLineBlocksDeliveryUntilAckAll(t *testing.T) {
+	m, _, sink := newTestMachine(t)
+	routeAll(m)
+	io := m.IOAPIC()
+	io.RecordBootRoutes()
+	if got := io.StrandLine(IRQNIC); got != "ioapic-pending:stranded-in-service" {
+		t.Fatalf("label = %q", got)
+	}
+	if !io.InService(IRQNIC) {
+		t.Fatal("line not in service after StrandLine")
+	}
+	if io.RouteDamage() != 0 {
+		t.Fatal("stranded latch must not read as route damage (it is transient state)")
+	}
+	io.Raise(IRQNIC)
+	if len(sink.delivered) != 0 {
+		t.Fatalf("stranded line delivered: %v", sink.delivered)
+	}
+	io.AckAll()
+	io.Raise(IRQNIC)
+	if len(sink.delivered) != 1 || sink.delivered[0].vec != VecNIC {
+		t.Fatalf("post-AckAll delivery = %v", sink.delivered)
+	}
+}
+
+// TestIOAPICReprogramCleanTableIsFree: an undamaged table costs nothing to
+// audit — no rewrites, no counter movement.
+func TestIOAPICReprogramCleanTableIsFree(t *testing.T) {
+	m, _, _ := newTestMachine(t)
+	routeAll(m)
+	io := m.IOAPIC()
+	io.RecordBootRoutes()
+	before := io.RedirWrites
+	if fixed := io.ReprogramFromBoot(); fixed != 0 || io.RedirWrites != before {
+		t.Fatalf("clean reprogram: fixed=%d writes=%d", fixed, io.RedirWrites-before)
+	}
+}

@@ -40,11 +40,24 @@ import (
 // FaultType selects what is injected.
 type FaultType int
 
-// Fault types (§VI-C).
+// Fault types (§VI-C), plus the broadened fault surface of the ReHype tech
+// report: PrivVM failure and device (IO-APIC) corruption.
 const (
 	Failstop FaultType = iota + 1
 	Register
 	Code
+	// PrivVMCrash kills Dom0 outright: the domain is gone and management
+	// hypercalls fail fast. Detected by the management-call watchdog.
+	PrivVMCrash
+	// PrivVMHang wedges the Dom0 guest: management hypercalls stall
+	// mid-flight (including during an in-progress recovery) with no
+	// hypervisor-visible structural damage. Detected by the
+	// management-call watchdog.
+	PrivVMHang
+	// DeviceIOAPIC corrupts the IO-APIC: a redirection-table entry is
+	// scrambled or a line's delivery state machine is wedged
+	// (pending-IRQ-route loss). Detected by the IRQ-delivery criterion.
+	DeviceIOAPIC
 )
 
 // String returns the fault type name.
@@ -56,6 +69,12 @@ func (f FaultType) String() string {
 		return "Register"
 	case Code:
 		return "Code"
+	case PrivVMCrash:
+		return "PrivVM-Crash"
+	case PrivVMHang:
+		return "PrivVM-Hang"
+	case DeviceIOAPIC:
+		return "IO-APIC"
 	default:
 		return fmt.Sprintf("fault(%d)", int(f))
 	}
@@ -65,6 +84,14 @@ func (f FaultType) String() string {
 // path). Implemented by guest.World.
 type GuestCorrupter interface {
 	CorruptGuestData(dom int)
+}
+
+// PrivVMController is the optional world surface the PrivVM fault classes
+// use: crash Dom0 or hang its guest. Implemented by guest.World; a World
+// without it silently absorbs PrivVM faults (unit-test corrupters).
+type PrivVMController interface {
+	CrashPrivVM(reason string)
+	HangPrivVM()
 }
 
 // Params configures one injection.
@@ -89,6 +116,16 @@ type Params struct {
 	// recovery attempt pauses the system (once per run), so the fault
 	// lands inside the recovery/resume path.
 	FaultDuringRecovery bool
+	// DuringFault is the fault-during-recovery fault's type; zero means
+	// same as Type. A PrivVM type here models the PrivVM failing while a
+	// recovery is already in flight.
+	DuringFault FaultType
+
+	// CorrelatedReinjection re-injects into the same structural cell the
+	// original latent corruption damaged, shortly after an audit accepts a
+	// degraded verdict — the fault-while-degraded adversarial scenario
+	// (once per run).
+	CorrelatedReinjection bool
 }
 
 // DefaultMaxInstrBudget is the paper's second-level trigger bound.
@@ -214,9 +251,15 @@ type Injector struct {
 	// outcome.
 	DuringRecoveryFired bool
 	DuringEffect        Effect
+	// CorrelatedFired records that the correlated re-injection landed.
+	CorrelatedFired bool
 
-	burstScheduled bool
-	duringArmed    bool
+	burstScheduled  bool
+	duringArmed     bool
+	correlatedArmed bool
+	// lastClass is the most recent structural-corruption class applied
+	// (-1 until one lands); the correlated re-injection targets it.
+	lastClass int
 }
 
 // New builds an injector. The rng must be a dedicated stream so that
@@ -225,7 +268,7 @@ func New(h *hv.Hypervisor, world GuestCorrupter, rng *rand.Rand, p Params) *Inje
 	if p.MaxInstrBudget == 0 {
 		p.MaxInstrBudget = DefaultMaxInstrBudget
 	}
-	return &Injector{H: h, World: world, params: p, rng: rng}
+	return &Injector{H: h, World: world, params: p, rng: rng, lastClass: -1}
 }
 
 // Schedule arms the two-level trigger: at a random time in the window,
@@ -281,6 +324,29 @@ func (inj *Injector) applyFault(pt hv.InjectionPoint, typ FaultType, effect *Eff
 		// The code fault is "repaired" on detection, so like Register
 		// faults its effects are transient (§VI-C).
 		return inj.manifest(pt, effect, codeDist, codeCorruption, codeLatencyLo, codeLatencyHi)
+	case PrivVMCrash:
+		// The PrivVM faults always manifest (they target the Dom0 guest
+		// directly, not a random hypervisor bit) and leave no panic to
+		// catch: only the management-call watchdog notices.
+		*effect = EffectLatent
+		if pc, ok := inj.World.(PrivVMController); ok {
+			pc.CrashPrivVM("PrivVM crashed (injected fault)")
+		}
+		inj.Corruptions = append(inj.Corruptions, "privvm-crash")
+		return hv.ActionContinue, ""
+	case PrivVMHang:
+		*effect = EffectLatent
+		if pc, ok := inj.World.(PrivVMController); ok {
+			pc.HangPrivVM()
+		}
+		inj.Corruptions = append(inj.Corruptions, "privvm-hang")
+		return hv.ActionContinue, ""
+	case DeviceIOAPIC:
+		// Device corruption is pure table/state damage: execution
+		// continues and only the IRQ-delivery criterion notices.
+		*effect = EffectLatent
+		inj.corruptIOAPIC()
+		return hv.ActionContinue, ""
 	default:
 		*effect = EffectNone
 		return hv.ActionContinue, ""
@@ -331,7 +397,46 @@ func (inj *Injector) onRecoveryPause() {
 
 func (inj *Injector) onDuringRecovery(pt hv.InjectionPoint) (hv.InjectAction, string) {
 	inj.DuringRecoveryFired = true
-	return inj.applyFault(pt, inj.params.Type, &inj.DuringEffect)
+	typ := inj.params.DuringFault
+	if typ == 0 {
+		typ = inj.params.Type
+	}
+	return inj.applyFault(pt, typ, &inj.DuringEffect)
+}
+
+// OnDegradedVerdict is wired to the recovery engine's audit hook when
+// CorrelatedReinjection is on: an audit just accepted degraded service.
+// Arm a small-budget trigger that re-damages the same structural cell the
+// original latent corruption hit, so the fault lands in the first
+// post-resume hypervisor activity while the system is still degraded.
+func (inj *Injector) OnDegradedVerdict() {
+	if !inj.params.CorrelatedReinjection || inj.correlatedArmed || inj.lastClass < 0 {
+		return
+	}
+	inj.correlatedArmed = true
+	budget := inj.rng.Int64N(inj.params.MaxInstrBudget/8 + 1)
+	inj.H.ArmInjection(budget, inj.onCorrelated)
+}
+
+func (inj *Injector) onCorrelated(pt hv.InjectionPoint) (hv.InjectAction, string) {
+	inj.CorrelatedFired = true
+	inj.corruptClass(inj.lastClass)
+	return hv.ActionContinue, ""
+}
+
+// corruptIOAPIC applies one device-corruption round: a redirection-table
+// corruption (disable / misroute / wrong vector) or a stranded in-service
+// line, on one of the two device lines.
+func (inj *Injector) corruptIOAPIC() {
+	io := inj.H.Machine.IOAPIC()
+	line := hw.IRQLine(1 + inj.rng.IntN(2)) // block or NIC line
+	var desc string
+	if mode := inj.rng.IntN(4); mode == 3 {
+		desc = io.StrandLine(line)
+	} else {
+		desc = io.CorruptRoute(line, mode)
+	}
+	inj.Corruptions = append(inj.Corruptions, desc)
 }
 
 // flipRegister applies the architectural bit flip to the CPU's register
@@ -394,65 +499,125 @@ func (inj *Injector) applyLatentCorruption(pt hv.InjectionPoint, cd corruptionDi
 	}
 }
 
+// Structural-corruption classes. The ids index classLabels and are stable
+// across runs, so the correlated re-injection can target "the same cell"
+// and the campaign can aggregate per-class without string parsing.
+const (
+	classPFDesc = iota
+	classSchedMeta
+	classHeapFreelist
+	classDomList
+	classStaticScratch
+	classAllocObj
+	classPrivVM
+	classRecovery
+	classTimerHeap
+	classEvtchn
+	classGrant
+	classLock
+	classScratch
+)
+
+// classLabels are the interned Corruptions labels: one static string per
+// class, appended without fmt.Sprintf or concatenation so the hot latent
+// path stays within the campaign's allocation ceiling.
+var classLabels = [...]string{
+	classPFDesc:        "pf-descriptor",
+	classSchedMeta:     "sched-meta",
+	classHeapFreelist:  "heap-freelist",
+	classDomList:       "domain-list",
+	classStaticScratch: "static-scratch",
+	classAllocObj:      "allocated-object",
+	classPrivVM:        "privvm",
+	classRecovery:      "recovery-path",
+	classTimerHeap:     "timer-heap",
+	classEvtchn:        "evtchn",
+	classGrant:         "grant",
+	classLock:          "lock",
+	classScratch:       "scratch",
+}
+
 // corruptOnce applies one round of structural damage to a randomly chosen
 // class of hypervisor state.
 func (inj *Injector) corruptOnce(pt hv.InjectionPoint, cd corruptionDist) {
-	h := inj.H
 	r := inj.rng.Float64()
 	cum := 0.0
 	pick := func(p float64) bool {
 		cum += p
 		return r < cum
 	}
+	id := classScratch
 	switch {
 	case pick(cd.pfDesc):
-		i := h.Frames.CorruptRandomDescriptor(inj.rng)
-		inj.Corruptions = append(inj.Corruptions, fmt.Sprintf("pf-descriptor[%d]", i))
+		id = classPFDesc
 	case pick(cd.schedMeta):
-		desc := h.Sched.CorruptRandom(inj.rng)
-		inj.Corruptions = append(inj.Corruptions, "sched-meta:"+desc)
+		id = classSchedMeta
 	case pick(cd.heapFreelist):
-		desc := h.Heap.CorruptFreeList(inj.rng)
-		inj.Corruptions = append(inj.Corruptions, "heap-freelist:"+desc)
+		id = classHeapFreelist
 	case pick(cd.domList):
-		desc := h.Domains.CorruptLink(inj.rng)
-		inj.Corruptions = append(inj.Corruptions, "domain-list:"+desc)
+		id = classDomList
 	case pick(cd.staticScr):
-		w := h.CorruptStaticScratchWord(inj.rng)
-		inj.Corruptions = append(inj.Corruptions, fmt.Sprintf("static-scratch[%d]", w))
+		id = classStaticScratch
 	case pick(cd.allocObj):
-		desc := h.Heap.CorruptRandomObject(inj.rng)
-		inj.Corruptions = append(inj.Corruptions, "allocated-object:"+desc)
+		id = classAllocObj
 	case pick(cd.privVM):
+		id = classPrivVM
+	case pick(cd.recovery):
+		id = classRecovery
+	case pick(cd.timerHeap):
+		id = classTimerHeap
+	case pick(cd.evtchnLink):
+		id = classEvtchn
+	case pick(cd.grantCount):
+		id = classGrant
+	case pick(cd.lockTable):
+		id = classLock
+	}
+	inj.corruptClass(id)
+}
+
+// corruptClass applies one round of class id's structural damage and
+// records the interned label. The correlated re-injection calls it
+// directly to hit the same cell again.
+func (inj *Injector) corruptClass(id int) {
+	h := inj.H
+	switch id {
+	case classPFDesc:
+		h.Frames.CorruptRandomDescriptor(inj.rng)
+	case classSchedMeta:
+		h.Sched.CorruptRandom(inj.rng)
+	case classHeapFreelist:
+		h.Heap.CorruptFreeList(inj.rng)
+	case classDomList:
+		h.Domains.CorruptLink(inj.rng)
+	case classStaticScratch:
+		h.CorruptStaticScratchWord(inj.rng)
+	case classAllocObj:
+		h.Heap.CorruptRandomObject(inj.rng)
+	case classPrivVM:
 		if d, err := h.Domain(0); err == nil {
 			d.Fail("PrivVM state corrupted by error propagation")
 		}
-		inj.Corruptions = append(inj.Corruptions, "privvm")
-	case pick(cd.recovery):
+	case classRecovery:
 		h.CorruptRecoveryVector(inj.rng)
-		inj.Corruptions = append(inj.Corruptions, "recovery-path")
-	case pick(cd.timerHeap):
-		desc := h.Timers.CorruptRandom(inj.rng)
-		inj.Corruptions = append(inj.Corruptions, "timer-heap:"+desc)
-	case pick(cd.evtchnLink):
-		desc := h.Broker.CorruptRandomLink(inj.rng)
-		inj.Corruptions = append(inj.Corruptions, "evtchn:"+desc)
-	case pick(cd.grantCount):
-		desc := inj.corruptGrantCount()
-		inj.Corruptions = append(inj.Corruptions, "grant:"+desc)
-	case pick(cd.lockTable):
-		desc := h.Locks.CorruptRandomHold(inj.rng)
-		inj.Corruptions = append(inj.Corruptions, "lock:"+desc)
-	default:
-		inj.Corruptions = append(inj.Corruptions, "scratch")
+	case classTimerHeap:
+		h.Timers.CorruptRandom(inj.rng)
+	case classEvtchn:
+		h.Broker.CorruptRandomLink(inj.rng)
+	case classGrant:
+		inj.corruptGrantCount()
+	case classLock:
+		h.Locks.CorruptRandomHold(inj.rng)
 	}
+	inj.Corruptions = append(inj.Corruptions, classLabels[id])
+	inj.lastClass = id
 }
 
 // corruptGrantCount garbles a grant entry's mapping count: an active
 // entry's count drifts from the maptrack truth, or a free entry gains a
 // phantom count. Either way Revoke wedges (ErrBusy forever) until the
 // audit recomputes the count.
-func (inj *Injector) corruptGrantCount() string {
+func (inj *Injector) corruptGrantCount() {
 	doms := inj.H.Domains.Preserved()
 	type cand struct {
 		d   *dom.Domain
@@ -471,7 +636,7 @@ func (inj *Injector) corruptGrantCount() string {
 		c := cands[inj.rng.IntN(len(cands))]
 		e, _ := c.d.GrantTab.Entry(c.ref)
 		e.MapCount += 7 + inj.rng.IntN(93)
-		return fmt.Sprintf("d%d ref %d count garbled to %d", c.d.ID, c.ref, e.MapCount)
+		return
 	}
 	// No active grants: give a free entry a phantom count.
 	var tabs []*dom.Domain
@@ -481,13 +646,12 @@ func (inj *Injector) corruptGrantCount() string {
 		}
 	}
 	if len(tabs) == 0 {
-		return "no grant tables"
+		return
 	}
 	d := tabs[inj.rng.IntN(len(tabs))]
 	ref := inj.rng.IntN(d.GrantTab.Len())
 	e, _ := d.GrantTab.Entry(ref)
 	e.MapCount = 7 + inj.rng.IntN(93)
-	return fmt.Sprintf("d%d free ref %d given phantom count %d", d.ID, ref, e.MapCount)
 }
 
 // scheduleDetection arranges the delayed detection of latent corruption:

@@ -189,7 +189,9 @@ func (h *Heap) Rebuild() {
 			allocated[fi] = true
 		}
 	}
-	for i := h.ft.Len() - 1; i >= 0; i-- {
+	// Walk only the heap's own range: free frames elsewhere in the
+	// machine (unallocated guest memory) are not the heap's to hand out.
+	for i := h.start + h.count - 1; i >= h.start; i-- {
 		f := h.ft.Frame(i)
 		if f.Type == FrameHeap && !allocated[i] {
 			f.Type = FrameFree

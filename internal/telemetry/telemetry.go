@@ -55,6 +55,11 @@ const (
 	CtrSchedBlocks
 	CtrLockAcquisitions
 	CtrLockContended
+	CtrMgmtCompletions // completed management hypercalls issued by the PrivVM
+	CtrDetectMgmt      // management-call watchdog firings
+	CtrDetectIRQ       // IRQ-delivery criterion firings
+	CtrPrivVMRestarts  // PrivVM-restart rung executions
+	CtrIOAPICRepairs   // IO-APIC redirection entries reprogrammed in recovery
 
 	// ctrOpBase starts the per-hypercall-op block: CtrOp(op) for op in
 	// [0, MaxOps). Keep this block last so new scalar counters can be
@@ -101,6 +106,11 @@ var counterNames = [...]string{
 	CtrSchedBlocks:      "sched.blocks",
 	CtrLockAcquisitions: "lock.acquisitions",
 	CtrLockContended:    "lock.contended",
+	CtrMgmtCompletions:  "hv.mgmt_completions",
+	CtrDetectMgmt:       "detect.mgmt_watchdog",
+	CtrDetectIRQ:        "detect.irq_delivery",
+	CtrPrivVMRestarts:   "recovery.privvm_restarts",
+	CtrIOAPICRepairs:    "recovery.ioapic_repairs",
 }
 
 // Name returns the counter's stable export name.
