@@ -70,6 +70,36 @@ func TestForkedRunAllocBudget(t *testing.T) {
 	}
 }
 
+// BenchmarkCampaignThroughputTraffic is BenchmarkCampaignThroughput with a
+// million-user open-loop population armed: the acceptance gate is that
+// runs/sec stays within 10% of the traffic-off number (the timing wheel's
+// one-event-per-5ms-tick batching makes the population cost ~400 events
+// per run regardless of user count).
+func BenchmarkCampaignThroughputTraffic(b *testing.B) {
+	const runs = 24
+	base := throughputConfig()
+	base.Traffic.Users = 1_000_000
+	c := Campaign{Base: base, Runs: runs}
+	var ms1, ms2 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms1)
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		s := c.Execute()
+		if s.SLORuns != runs {
+			b.Fatalf("SLORuns = %d", s.SLORuns)
+		}
+	}
+	elapsed := time.Since(start)
+	b.StopTimer()
+	runtime.ReadMemStats(&ms2)
+	total := float64(runs) * float64(b.N)
+	b.ReportMetric(total/elapsed.Seconds(), "runs/sec")
+	b.ReportMetric(float64(ms2.Mallocs-ms1.Mallocs)/total, "allocs/run")
+	b.ReportMetric(float64(ms2.TotalAlloc-ms1.TotalAlloc)/total/1024, "KB/run")
+}
+
 // BenchmarkGuestReseed measures the per-run guest re-arm path in isolation:
 // snapshot restore, RNG rewind, and re-seeding every AppVM's workload state
 // (file stores, process tables, scratch). This is the path the guest pools

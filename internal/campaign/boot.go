@@ -10,6 +10,7 @@ import (
 	"nilihype/internal/hv"
 	"nilihype/internal/hw"
 	"nilihype/internal/simclock"
+	"nilihype/internal/traffic"
 )
 
 // hvConfig is the standard campaign machine configuration — the single
@@ -109,6 +110,16 @@ type image struct {
 	// (see Result.Clone) is what makes the aliasing safe.
 	res  Result
 	apps []*guest.AppVM
+
+	// traffic is the open-loop population engine, created lazily on the
+	// first traffic-enabled run and re-armed per run (traffic is applied
+	// after the snapshot like the sender, so it is not part of the image
+	// key — trafficCfg guards against a differently-configured run
+	// sharing the image). slo is the per-run scratch Result.SLO points
+	// into, under the same copy-on-retain contract as res.
+	traffic    *traffic.Engine
+	trafficCfg traffic.Config
+	slo        traffic.SLO
 
 	// used marks that a run has consumed the pristine state, so the next
 	// run must restore first.

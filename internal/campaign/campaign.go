@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"nilihype/internal/telemetry"
+	"nilihype/internal/traffic"
 )
 
 // Campaign is a batch of identical runs differing only in seed.
@@ -102,6 +103,13 @@ type Summary struct {
 	// merges, so the summary stays bit-identical at any parallelism.
 	LatencyHist telemetry.Hist
 	PhaseHists  map[string]*telemetry.Hist
+
+	// SLORuns counts runs that carried a traffic SLO (RunConfig.Traffic
+	// enabled); SLO aggregates them. traffic.SLO.Merge is exact-integer
+	// commutative/associative like every other Summary field, so the
+	// aggregate is bit-identical at any parallelism or shard count.
+	SLORuns int
+	SLO     traffic.SLO
 }
 
 // FaultClassStats is one fault class's row of the per-class recovery
@@ -310,11 +318,17 @@ func (s *Summary) merge(p *Summary) {
 	for k, h := range p.PhaseHists {
 		s.phaseHist(k).Merge(h)
 	}
+	s.SLORuns += p.SLORuns
+	s.SLO.Merge(&p.SLO)
 }
 
 func (s *Summary) add(r Result) {
 	for _, ph := range r.Phases {
 		s.phaseHist(ph.Name).Observe(uint64(ph.Dur / time.Microsecond))
+	}
+	if r.SLO != nil {
+		s.SLORuns++
+		s.SLO.Merge(r.SLO)
 	}
 	s.AuditViolations += r.AuditViolations
 	s.AuditRepaired += r.AuditRepaired
@@ -526,6 +540,19 @@ func (s Summary) Format() string {
 					fc.AuditRepaired, fc.AuditDegraded, fc.AuditEscalate)
 			}
 		}
+	}
+	if s.SLORuns > 0 {
+		slo := &s.SLO
+		fmt.Fprintf(&b, "  end-user SLO (%d user(s), %d run(s)):\n", slo.Users, s.SLORuns)
+		fmt.Fprintf(&b, "    requests: %d offered, %d completed (%d late), %d timed out, %d failed — goodput %d.%d%%\n",
+			slo.Offered, slo.Completed, slo.Delayed, slo.TimedOut, slo.Failed,
+			slo.GoodputPermille()/10, slo.GoodputPermille()%10)
+		fmt.Fprintf(&b, "    degradation: %.2f user-seconds/run (%d outage(s), %v total outage)\n",
+			slo.DegradedUserSeconds()/float64(s.SLORuns), slo.Outages,
+			(time.Duration(slo.OutageUs) * time.Microsecond).Round(10*time.Microsecond))
+		fmt.Fprintf(&b, "    latency (µs): p50=%d p99=%d max=%d; intervals: %d scored, %d degraded, worst goodput %d‰\n",
+			slo.Latency.Quantile(0.50), slo.Latency.Quantile(0.99), slo.Latency.Max,
+			slo.Intervals, slo.DegradedIntervals, slo.WorstIntervalPermille)
 	}
 	if len(s.FailReasons) > 0 {
 		fmt.Fprintf(&b, "  failure causes:\n")

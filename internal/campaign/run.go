@@ -17,6 +17,7 @@ import (
 	"nilihype/internal/inject"
 	"nilihype/internal/prng"
 	"nilihype/internal/telemetry"
+	"nilihype/internal/traffic"
 )
 
 // Setup selects the target system configuration (§VI-A).
@@ -111,6 +112,13 @@ type RunConfig struct {
 	// shapes the boot image, so runs differing in it fork from separate
 	// snapshots.
 	FlightRecorderCapacity int
+
+	// Traffic, when enabled (Users > 0), arms the open-loop end-user
+	// population against the run: Result.SLO then scores what those users
+	// experienced through the recovery window. Traffic is armed after the
+	// snapshot restore (like the NetBench sender), so it does not shape
+	// the boot image and runs differing only in it share one.
+	Traffic traffic.Config
 }
 
 // Defaults for scaled-down campaign runs.
@@ -342,6 +350,11 @@ type Result struct {
 	// that fails recovery or escalates — the forensic record of what the
 	// system was doing when the recovery story went sideways.
 	Flight []string
+
+	// SLO is the run's end-user traffic outcome (nil unless
+	// RunConfig.Traffic is enabled). Like the slice fields, it points into
+	// image-owned scratch — Clone deep-copies it.
+	SLO *traffic.SLO
 }
 
 // Clone returns a deep copy whose slices alias nothing: the copy to keep
@@ -354,6 +367,10 @@ func (r Result) Clone() Result {
 	r.Trace = append([]string(nil), r.Trace...)
 	r.Phases = append([]core.LatencyStep(nil), r.Phases...)
 	r.Flight = append([]string(nil), r.Flight...)
+	if r.SLO != nil {
+		slo := *r.SLO
+		r.SLO = &slo
+	}
 	return r
 }
 
@@ -473,12 +490,33 @@ func (img *image) run(rc RunConfig) Result {
 	}
 	world.StartAll()
 
+	// The open-loop user population, armed after the restore like the
+	// sender so it is absent from the boot image. Its outage bracket is
+	// pause→stable-resume: OnPause fires at every attempt's stop-the-world
+	// (ServiceDown is idempotent across escalations), OnResume only when an
+	// attempt stably re-enabled guest execution — a rung that failed before
+	// resuming leaves service down into the next rung, exactly what its
+	// users saw.
+	var traf *traffic.Engine
+	if rc.Traffic.Enabled() {
+		if img.traffic == nil || img.trafficCfg != rc.Traffic {
+			img.traffic = traffic.New(rc.Traffic)
+			img.trafficCfg = rc.Traffic
+		}
+		traf = img.traffic
+		traf.Start(clk, h.Tel, rc.BenchDuration)
+		engine.OnPause = traf.ServiceDown
+	}
+
 	// Every attempt's resume extends the announced outage window: the
 	// NetBench reception criterion must not penalize the recovery gap,
 	// including the grace windows and repair time of escalated attempts.
 	engine.OnResume = func() {
 		if engine.FirstDetection != nil {
 			world.Sender.ExcludeWindow(engine.FirstDetection.At, clk.Now())
+		}
+		if traf != nil {
+			traf.ServiceUp()
 		}
 	}
 	// The post-recovery functionality check (ThreeAppVM): create a new
@@ -634,6 +672,18 @@ func (img *image) run(rc RunConfig) Result {
 			res.Success = recovered && !res.PrivVMFailed && res.AppVMsFailed <= 1 && res.NewVMOK
 			res.NoVMF = res.Success && res.AppVMsFailed == 0
 		}
+	}
+
+	// Close the traffic run: a terminal failure means service never came
+	// back (the halted clock pins Now() at the failure instant, which is
+	// when the population stopped being served), then the purely
+	// arithmetic Finish scores everything through the measurement horizon.
+	if traf != nil {
+		if failed, _ := h.Failed(); failed {
+			traf.ServiceDown()
+		}
+		img.slo = *traf.Finish()
+		res.SLO = &img.slo
 	}
 
 	// Sample the end-of-run gauges, and for any run whose recovery story

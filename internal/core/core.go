@@ -336,6 +336,11 @@ type Attempt struct {
 	Trigger string
 	// StartedAt is the virtual time the attempt began.
 	StartedAt time.Duration
+	// ResumedAt is the virtual time the attempt's stable resume re-enabled
+	// guest execution (0 if the attempt never got the system back up —
+	// its outage window then extends into the next attempt or the end of
+	// the run).
+	ResumedAt time.Duration
 	// Latency/Breakdown are the attempt's modeled recovery cost.
 	Latency   time.Duration
 	Breakdown []LatencyStep
@@ -385,6 +390,12 @@ type Engine struct {
 	// were charged, plus distinct-domain counts and phase spans.
 	RepairTiming recdomain.Timing
 
+	// OnPause, if set, is invoked every time an attempt stops the world
+	// (every rung pauses at its start, so escalating runs call it once
+	// per attempt — consumers must be idempotent). Together with OnResume
+	// it brackets the user-visible outage: pause is the instant service
+	// stops answering, resume the instant it answers again.
+	OnPause func()
 	// OnResume, if set, is invoked at the end of every completed attempt
 	// when the system resumes (the campaign layer annotates the NetBench
 	// sender's exclusion window here — every attempt's outage is an
@@ -425,6 +436,46 @@ type Engine struct {
 	// to turn into an attempt failure (recover() must not recurse into
 	// the escalation machinery mid-repair).
 	privRestartErr error
+}
+
+// Window is one contiguous service outage caused by recovery: guest
+// execution stopped at Start (the attempt's stop-the-world pause) and came
+// back at End (its stable resume). End == 0 means the outage never closed
+// — the run ended with the system down. Mechanism is the rung whose resume
+// closed the window (for a still-open window, the last rung tried).
+type Window struct {
+	Mechanism Mechanism
+	Start     time.Duration
+	End       time.Duration
+}
+
+// RecoveryWindows derives the run's user-visible outage windows from the
+// attempt records. An attempt that never resumed (escalation: its rung
+// failed before re-enabling guests) does not open a new window — the
+// outage simply continues until some later rung's resume, so consecutive
+// non-resuming attempts merge into one window attributed to the rung that
+// finally brought service back. This is the per-attempt export the traffic
+// layer's arithmetic scoring consumes: microreset's ~2 ms, microreboot's
+// ~713 ms, and a PrivVM restart's ~2 s become directly comparable
+// user-seconds of degradation.
+func (en *Engine) RecoveryWindows() []Window {
+	var ws []Window
+	open := -1 // index into ws of the still-open window, or -1
+	for i := range en.Attempts {
+		a := &en.Attempts[i]
+		if open < 0 {
+			ws = append(ws, Window{Mechanism: a.Mechanism, Start: a.StartedAt})
+			open = len(ws) - 1
+		} else {
+			// Outage continues: re-attribute to the rung now trying.
+			ws[open].Mechanism = a.Mechanism
+		}
+		if a.ResumedAt > 0 {
+			ws[open].End = a.ResumedAt
+			open = -1
+		}
+	}
+	return ws
 }
 
 // NewEngine builds an engine over a booted hypervisor. Wire it to a

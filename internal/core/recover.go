@@ -40,6 +40,9 @@ func (en *Engine) recover(e detect.Event, mech Mechanism) {
 	// Initial steps (§III-B / §III-C): stop the world. All CPUs disable
 	// interrupts; guest activity and device delivery are deferred.
 	h.Pause()
+	if en.OnPause != nil {
+		en.OnPause()
+	}
 
 	// Discard execution threads per the configured scope.
 	var pending []*hv.PendingCall
@@ -446,6 +449,10 @@ func (en *Engine) complete(mech Mechanism) {
 	if failed, _ := h.Failed(); failed {
 		return
 	}
+	// The attempt stably resumed guest execution: stamp the instant that
+	// closes its user-visible outage window (a post-resume failure above
+	// leaves ResumedAt zero — the outage runs on into the next attempt).
+	en.Attempts[att-1].ResumedAt = h.Clock.Now()
 	if en.OnResume != nil {
 		en.OnResume()
 	}

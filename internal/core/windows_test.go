@@ -1,0 +1,120 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRecoveryWindowSingleAttempt: a plain failstop recovered by the first
+// rung yields exactly one closed window bracketing the stop-the-world
+// pause and the stable resume, and OnPause fires once at the pause
+// instant.
+func TestRecoveryWindowSingleAttempt(t *testing.T) {
+	r := newRig(t, HybridConfig(), 512)
+	var pauses int
+	var pausedAt time.Duration
+	r.engine.OnPause = func() {
+		pauses++
+		pausedAt = r.clk.Now()
+	}
+	r.clk.RunUntil(50 * time.Millisecond)
+	r.injectPanicAtBudget(t, 250)
+	r.clk.RunUntil(2 * time.Second)
+	if r.engine.Status() != StatusRecovered {
+		t.Fatalf("status = %v (%s)", r.engine.Status(), r.engine.FailReason)
+	}
+	if pauses != 1 {
+		t.Fatalf("OnPause fired %d times, want 1", pauses)
+	}
+	ws := r.engine.RecoveryWindows()
+	if len(ws) != 1 {
+		t.Fatalf("got %d windows, want 1: %+v", len(ws), ws)
+	}
+	w := ws[0]
+	a := r.engine.Attempts[0]
+	if w.Mechanism != Microreset {
+		t.Fatalf("window mechanism = %v, want Microreset", w.Mechanism)
+	}
+	if w.Start != a.StartedAt || w.Start != pausedAt {
+		t.Fatalf("window Start %v != attempt StartedAt %v / OnPause instant %v",
+			w.Start, a.StartedAt, pausedAt)
+	}
+	if a.ResumedAt == 0 || w.End != a.ResumedAt {
+		t.Fatalf("window End %v != attempt ResumedAt %v", w.End, a.ResumedAt)
+	}
+	if w.End <= w.Start {
+		t.Fatalf("window not positive: [%v, %v)", w.Start, w.End)
+	}
+}
+
+// TestRecoveryWindowEscalationMerges: when the first rung fails before it
+// can re-enable guests, no second outage opens — the window runs from the
+// first attempt's pause to the rung that finally resumed, and is
+// attributed to that rung. OnPause still fires once per stop-the-world.
+func TestRecoveryWindowEscalationMerges(t *testing.T) {
+	r := newRig(t, HybridConfig(), 512)
+	var pauses int
+	r.engine.OnPause = func() { pauses++ }
+	r.clk.RunUntil(50 * time.Millisecond)
+	r.h.CorruptStaticScratchWord(testRNG())
+	r.injectPanicAtBudget(t, 250)
+	r.clk.RunUntil(5 * time.Second)
+	if r.engine.Status() != StatusRecovered || len(r.engine.Attempts) != 2 {
+		t.Fatalf("status = %v, attempts = %d", r.engine.Status(), len(r.engine.Attempts))
+	}
+	if pauses != len(r.engine.Attempts) {
+		t.Fatalf("OnPause fired %d times over %d attempts", pauses, len(r.engine.Attempts))
+	}
+	a0, a1 := r.engine.Attempts[0], r.engine.Attempts[1]
+	if a0.ResumedAt != 0 {
+		t.Fatalf("failed first rung has ResumedAt %v, want 0 (outage never closed)", a0.ResumedAt)
+	}
+	ws := r.engine.RecoveryWindows()
+	if len(ws) != 1 {
+		t.Fatalf("escalated run yields %d windows, want 1 merged: %+v", len(ws), ws)
+	}
+	w := ws[0]
+	if w.Mechanism != Microreboot {
+		t.Fatalf("merged window attributed to %v, want the resuming rung Microreboot", w.Mechanism)
+	}
+	if w.Start != a0.StartedAt {
+		t.Fatalf("merged window Start %v != first pause %v", w.Start, a0.StartedAt)
+	}
+	if a1.ResumedAt == 0 || w.End != a1.ResumedAt {
+		t.Fatalf("merged window End %v != final resume %v", w.End, a1.ResumedAt)
+	}
+	// The merged outage must span both rungs' repair work: strictly longer
+	// than the reboot alone would be from its own start.
+	if w.End-w.Start <= a1.Latency {
+		t.Fatalf("merged window %v not longer than the final rung's latency %v",
+			w.End-w.Start, a1.Latency)
+	}
+}
+
+// TestRecoveryWindowExhaustionStaysOpen: a terminally failed run leaves
+// the last window open (End == 0) — the system never came back.
+func TestRecoveryWindowExhaustionStaysOpen(t *testing.T) {
+	r := newRig(t, HybridConfig(), 512)
+	r.clk.RunUntil(50 * time.Millisecond)
+	if tag := r.h.Heap.CorruptRandomObject(testRNG()); tag == "no live objects" {
+		t.Fatal("no live heap object to corrupt")
+	}
+	r.injectPanicAtBudget(t, 250)
+	r.clk.RunUntil(5 * time.Second)
+	if r.engine.Status() != StatusFailed {
+		t.Fatalf("status = %v, want failed", r.engine.Status())
+	}
+	ws := r.engine.RecoveryWindows()
+	if len(ws) == 0 {
+		t.Fatal("failed run reports no outage windows")
+	}
+	last := ws[len(ws)-1]
+	if last.End != 0 {
+		t.Fatalf("terminally failed run closed its last window at %v", last.End)
+	}
+	for _, w := range ws[:len(ws)-1] {
+		if w.End <= w.Start {
+			t.Fatalf("closed window not positive: %+v", w)
+		}
+	}
+}

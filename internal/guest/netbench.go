@@ -96,8 +96,43 @@ func (s *NetSender) ServiceInterruption() time.Duration {
 // window) that the reception-rate criterion does not penalize. The paper
 // applies the 10%-drop criterion to steady-state behavior and separately
 // reports the recovery gap as latency (§VI-A, §VII-B).
+//
+// The exclusion set is kept sorted, disjoint, and coalesced on insert.
+// Escalating recoveries announce one window per attempt and those windows
+// share a start (the first detection instant), so without coalescing the
+// per-window overlap sum would double-count the shared span and
+// over-discount an interval's usable time — masking genuinely failed
+// intervals. Adjacent windows ([a,b) + [b,c)) merge too: exclusion is
+// about covered time, and they cover [a,c).
 func (s *NetSender) ExcludeWindow(start, end time.Duration) {
-	s.exclusions = append(s.exclusions, window{start, end})
+	if end <= start {
+		return
+	}
+	// Find the run [i, j) of existing windows that overlap or touch
+	// [start, end); they merge with it into one.
+	i := 0
+	for i < len(s.exclusions) && s.exclusions[i].end < start {
+		i++
+	}
+	j := i
+	for j < len(s.exclusions) && s.exclusions[j].start <= end {
+		if s.exclusions[j].start < start {
+			start = s.exclusions[j].start
+		}
+		if s.exclusions[j].end > end {
+			end = s.exclusions[j].end
+		}
+		j++
+	}
+	if i == j {
+		// No overlap: splice the new window in at i.
+		s.exclusions = append(s.exclusions, window{})
+		copy(s.exclusions[i+1:], s.exclusions[i:])
+		s.exclusions[i] = window{start, end}
+		return
+	}
+	s.exclusions[i] = window{start, end}
+	s.exclusions = append(s.exclusions[:i+1], s.exclusions[j:]...)
 }
 
 // FailedIntervals applies the paper's criterion: the number of 1-second
@@ -129,6 +164,8 @@ func (s *NetSender) FailedIntervals() int {
 }
 
 // overlap returns how much of [a,b) is covered by exclusion windows.
+// Because the set is disjoint, the per-window sum is exact (and can never
+// exceed b-a).
 func (s *NetSender) overlap(a, b time.Duration) time.Duration {
 	var total time.Duration
 	for _, w := range s.exclusions {
@@ -136,9 +173,6 @@ func (s *NetSender) overlap(a, b time.Duration) time.Duration {
 		if hi > lo {
 			total += hi - lo
 		}
-	}
-	if total > b-a {
-		total = b - a
 	}
 	return total
 }

@@ -1,0 +1,128 @@
+package guest
+
+import (
+	"testing"
+	"time"
+)
+
+const ms = time.Millisecond
+
+// TestExcludeWindowCoalescing checks that the exclusion set stays sorted,
+// disjoint, and coalesced for every insertion pattern recovery produces.
+func TestExcludeWindowCoalescing(t *testing.T) {
+	cases := []struct {
+		name string
+		add  []window
+		want []window
+	}{
+		{
+			name: "disjoint stay separate",
+			add:  []window{{100 * ms, 200 * ms}, {400 * ms, 500 * ms}},
+			want: []window{{100 * ms, 200 * ms}, {400 * ms, 500 * ms}},
+		},
+		{
+			name: "disjoint inserted out of order sort",
+			add:  []window{{400 * ms, 500 * ms}, {100 * ms, 200 * ms}},
+			want: []window{{100 * ms, 200 * ms}, {400 * ms, 500 * ms}},
+		},
+		{
+			name: "adjacent merge",
+			add:  []window{{100 * ms, 200 * ms}, {200 * ms, 300 * ms}},
+			want: []window{{100 * ms, 300 * ms}},
+		},
+		{
+			name: "nested absorbed",
+			add:  []window{{100 * ms, 500 * ms}, {200 * ms, 300 * ms}},
+			want: []window{{100 * ms, 500 * ms}},
+		},
+		{
+			name: "nested outward extends",
+			add:  []window{{200 * ms, 300 * ms}, {100 * ms, 500 * ms}},
+			want: []window{{100 * ms, 500 * ms}},
+		},
+		{
+			// The escalation pattern: each attempt announces a window
+			// starting at the same first-detection instant, with a later
+			// end per rung. These must collapse to one window.
+			name: "shared-start escalation windows collapse",
+			add:  []window{{100 * ms, 150 * ms}, {100 * ms, 400 * ms}, {100 * ms, 900 * ms}},
+			want: []window{{100 * ms, 900 * ms}},
+		},
+		{
+			name: "bridge joins two neighbors",
+			add:  []window{{100 * ms, 200 * ms}, {300 * ms, 400 * ms}, {150 * ms, 350 * ms}},
+			want: []window{{100 * ms, 400 * ms}},
+		},
+		{
+			name: "empty window ignored",
+			add:  []window{{100 * ms, 200 * ms}, {300 * ms, 300 * ms}},
+			want: []window{{100 * ms, 200 * ms}},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := &NetSender{}
+			for _, w := range tc.add {
+				s.ExcludeWindow(w.start, w.end)
+			}
+			if len(s.exclusions) != len(tc.want) {
+				t.Fatalf("got %v windows, want %v", s.exclusions, tc.want)
+			}
+			for i, w := range tc.want {
+				if s.exclusions[i] != w {
+					t.Fatalf("window %d: got %v, want %v", i, s.exclusions[i], w)
+				}
+			}
+		})
+	}
+}
+
+// TestOverlapExact checks the per-interval discount against hand-computed
+// coverage, including windows only partially inside the interval.
+func TestOverlapExact(t *testing.T) {
+	s := &NetSender{}
+	s.ExcludeWindow(100*ms, 300*ms)
+	s.ExcludeWindow(600*ms, 700*ms)
+	s.ExcludeWindow(900*ms, 1200*ms)
+	cases := []struct {
+		a, b, want time.Duration
+	}{
+		{0, 1000 * ms, 200*ms + 100*ms + 100*ms},
+		{0, 100 * ms, 0},
+		{150 * ms, 250 * ms, 100 * ms}, // interval inside a window
+		{250 * ms, 650 * ms, 50*ms + 50*ms},
+		{1200 * ms, 1500 * ms, 0},
+	}
+	for _, tc := range cases {
+		if got := s.overlap(tc.a, tc.b); got != tc.want {
+			t.Errorf("overlap(%v,%v) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+// TestFailedIntervalsNoDoubleDiscount is the regression for the
+// double-subtract bug: two announced recovery windows sharing a start
+// (an escalating recovery) used to have their overlap counted twice,
+// shrinking the interval's expected packet count enough to mask a real
+// reception-rate failure.
+func TestFailedIntervalsNoDoubleDiscount(t *testing.T) {
+	s := &NetSender{period: ms, intervalLen: time.Second}
+	s.startAt = 0
+	s.stopAt = time.Second
+
+	// Recovery actually covered [400ms, 700ms): attempt 1 announced
+	// [400ms, 500ms), the escalated attempt [400ms, 700ms). True usable
+	// time is 700ms → expected 700 replies, 10%-drop threshold 630.
+	s.ExcludeWindow(400*ms, 500*ms)
+	s.ExcludeWindow(400*ms, 700*ms)
+
+	// 580 replies: below the true threshold (failed interval), but above
+	// the 540 threshold the double-counted 400ms discount used to give.
+	for i := 0; i < 580; i++ {
+		s.replyTimes = append(s.replyTimes, time.Duration(i)*ms/2)
+	}
+
+	if got := s.FailedIntervals(); got != 1 {
+		t.Fatalf("FailedIntervals = %d, want 1 (double-discounted exclusion masks the drop)", got)
+	}
+}

@@ -53,6 +53,23 @@ func (h *Hist) Observe(v uint64) {
 	h.Buckets[BucketIndex(v)]++
 }
 
+// ObserveN records n observations of the same value v in O(1) — the batch
+// form the traffic engine's cohort accounting depends on: a million users
+// arriving in one wheel slot cost one bucket add, not a million. Exactly
+// equivalent to calling Observe(v) n times (all fields are integer adds
+// plus a max), so batched and per-request recording stay bit-identical.
+func (h *Hist) ObserveN(v, n uint64) {
+	if n == 0 {
+		return
+	}
+	h.Count += n
+	h.Sum += v * n
+	if v > h.Max {
+		h.Max = v
+	}
+	h.Buckets[BucketIndex(v)] += n
+}
+
 // Merge folds other into h. Integer adds plus a max: associative,
 // commutative, and bit-exact regardless of merge order.
 func (h *Hist) Merge(other *Hist) {

@@ -133,6 +133,8 @@ const (
 	GaugeLiveDomains
 	GaugeClockQueueHighWater // peak pending-event queue depth
 	GaugeHypervisorCycles    // cycles spent in hypervisor code
+	GaugeTrafficUsers        // simulated open-loop users offered against the host
+	GaugeTrafficGoodput      // traffic goodput of the last closed SLO interval, ‰
 	NumGauges
 )
 
@@ -141,6 +143,8 @@ var gaugeNames = [...]string{
 	GaugeLiveDomains:         "dom.live",
 	GaugeClockQueueHighWater: "clock.queue_high_water",
 	GaugeHypervisorCycles:    "cpu.hypervisor_cycles",
+	GaugeTrafficUsers:        "traffic.users",
+	GaugeTrafficGoodput:      "traffic.goodput_permille",
 }
 
 // Name returns the gauge's stable export name.
@@ -158,12 +162,14 @@ type HistID int
 const (
 	HistProgramSteps     HistID = iota // steps per dispatched handler program
 	HistAttemptLatencyUs               // per-attempt recovery latency, µs
+	HistRequestLatencyUs               // end-user request latency (traffic engine), µs
 	NumHists
 )
 
 var histNames = [...]string{
 	HistProgramSteps:     "hv.program_steps",
 	HistAttemptLatencyUs: "recovery.attempt_latency_us",
+	HistRequestLatencyUs: "traffic.request_latency_us",
 }
 
 // Name returns the histogram's stable export name.

@@ -1,0 +1,119 @@
+package traffic
+
+// Hierarchical timing wheel over cohort indices.
+//
+// The wheel is what lets a million open-loop users cost one simclock event
+// per coarse tick instead of one event per request: cohorts (batches of
+// users sharing a request period and phase) sit in wheel slots keyed by
+// the tick their next request batch is due, and advancing the wheel by one
+// tick touches exactly the cohorts due in that tick. Three levels of 256
+// slots cover 2^24 ticks of horizon; deadlines beyond a level's range park
+// in a coarser level and cascade down when the wheel crosses that level's
+// slot boundary — the classic hashed hierarchical wheel, specialized here
+// to int32 indices into the engine's cohort slab so that insertion,
+// cascade, and advance are pointer-free list splices with zero allocation.
+//
+// Slot lists are LIFO (push-front). Firing order within a tick therefore
+// depends on insertion history — which is fine, because every per-tick
+// effect (batch counter adds, histogram bucket adds) is commutative, so
+// the SLO stays bit-identical regardless of intra-slot order.
+
+const (
+	wheelBits   = 8
+	wheelSlots  = 1 << wheelBits // 256
+	wheelMask   = wheelSlots - 1
+	wheelLevels = 3
+	// wheelHorizon is the farthest future tick the wheel can hold,
+	// relative to the current tick.
+	wheelHorizon = 1 << (wheelBits * wheelLevels) // 2^24 ticks
+)
+
+// none is the empty-slot / end-of-list sentinel.
+const none int32 = -1
+
+// cohort is one batch of identical users: all issue one request per period,
+// in phase. It is a slab entry; next links it into a wheel slot list.
+type cohort struct {
+	users uint64
+	due   uint64 // absolute tick of the next request batch
+	next  int32  // wheel slot list link (none = tail)
+}
+
+// wheel is the three-level timing wheel. cur is the next tick to process.
+type wheel struct {
+	cur   uint64
+	slots [wheelLevels][wheelSlots]int32
+}
+
+// init readies an all-empty wheel positioned at tick 0.
+func (w *wheel) init() {
+	w.cur = 0
+	for l := range w.slots {
+		for i := range w.slots[l] {
+			w.slots[l][i] = none
+		}
+	}
+}
+
+// levelSlot returns the level and slot index for a deadline, given the
+// current tick. Deadlines within 256 ticks land in level 0 at their exact
+// tick slot; farther deadlines land in the level whose slot width covers
+// their distance, keyed by the deadline's high bits.
+func (w *wheel) levelSlot(due uint64) (int, int) {
+	delta := due - w.cur
+	switch {
+	case delta < wheelSlots:
+		return 0, int(due & wheelMask)
+	case delta < wheelSlots*wheelSlots:
+		return 1, int((due >> wheelBits) & wheelMask)
+	default:
+		return 2, int((due >> (2 * wheelBits)) & wheelMask)
+	}
+}
+
+// insert links cohort i into the slot for due. due must be >= cur and
+// within the wheel horizon (the engine validates the period bound once at
+// configuration time).
+func (w *wheel) insert(cs []cohort, i int32, due uint64) {
+	co := &cs[i]
+	co.due = due
+	l, s := w.levelSlot(due)
+	co.next = w.slots[l][s]
+	w.slots[l][s] = i
+}
+
+// advance processes the current tick: cascades coarser levels when the
+// tick crosses their slot boundaries, detaches and returns the list of
+// cohorts due exactly now, and steps the wheel to the next tick. Every
+// returned cohort has due == the processed tick.
+func (w *wheel) advance(cs []cohort) int32 {
+	t := w.cur
+	// Crossing into a new 2^16-tick block: re-distribute that block's
+	// level-2 slot (before level 1, so its cohorts can cascade twice).
+	if t&(wheelSlots*wheelSlots-1) == 0 && t != 0 {
+		w.cascade(cs, 2, int((t>>(2*wheelBits))&wheelMask))
+	}
+	// Crossing into a new 256-tick block: re-distribute its level-1 slot.
+	if t&wheelMask == 0 && t != 0 {
+		w.cascade(cs, 1, int((t>>wheelBits)&wheelMask))
+	}
+	s := int(t & wheelMask)
+	head := w.slots[0][s]
+	w.slots[0][s] = none
+	w.cur = t + 1
+	return head
+}
+
+// cascade re-inserts every cohort of a coarse slot one level down (or into
+// level 0 when the deadline is now near). Deadlines in a coarse slot are
+// always >= the tick that triggers the cascade, so re-insertion never goes
+// backwards.
+func (w *wheel) cascade(cs []cohort, level, slot int) {
+	i := w.slots[level][slot]
+	w.slots[level][slot] = none
+	for i != none {
+		next := cs[i].next
+		w.insert(cs, i, cs[i].due)
+		i = next
+	}
+}

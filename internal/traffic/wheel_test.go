@@ -1,0 +1,92 @@
+package traffic
+
+import "testing"
+
+// TestWheelPopsAtExactTick inserts cohorts at deadlines spanning all three
+// levels (including slot and block boundaries) and advances tick by tick:
+// every cohort must pop exactly at its deadline, after cascading down
+// through the coarse levels.
+func TestWheelPopsAtExactTick(t *testing.T) {
+	dues := []uint64{1, 2, 255, 256, 257, 300, 511, 512, 65535, 65536, 65537, 70000, 131072, 200000}
+	cs := make([]cohort, len(dues))
+	var w wheel
+	w.init()
+	for i, d := range dues {
+		w.insert(cs, int32(i), d)
+	}
+	popped := 0
+	var max uint64 = 200000
+	for tick := uint64(0); tick <= max; tick++ {
+		for i := w.advance(cs); i != none; i = cs[i].next {
+			if cs[i].due != tick {
+				t.Fatalf("cohort %d popped at tick %d, due %d", i, tick, cs[i].due)
+			}
+			popped++
+		}
+	}
+	if popped != len(dues) {
+		t.Fatalf("popped %d cohorts, want %d", popped, len(dues))
+	}
+}
+
+// TestWheelPeriodicReinsertion drives one cohort through many re-arm
+// cycles with a period that crosses the level-0 range (so every cycle
+// parks in level 1 and cascades back down): fires must be exactly one
+// period apart.
+func TestWheelPeriodicReinsertion(t *testing.T) {
+	const period = 300
+	cs := make([]cohort, 1)
+	var w wheel
+	w.init()
+	w.insert(cs, 0, period)
+	var fires []uint64
+	for tick := uint64(0); tick <= 100*period; tick++ {
+		head := w.advance(cs)
+		if head == none {
+			continue
+		}
+		if head != 0 || cs[head].next != none {
+			t.Fatalf("tick %d: unexpected pop list", tick)
+		}
+		fires = append(fires, tick)
+		w.insert(cs, 0, cs[0].due+period)
+	}
+	if len(fires) != 100 {
+		t.Fatalf("got %d fires, want 100", len(fires))
+	}
+	for i, f := range fires {
+		if want := uint64(i+1) * period; f != want {
+			t.Fatalf("fire %d at tick %d, want %d", i, f, want)
+		}
+	}
+}
+
+// TestWheelManyCohortsPerSlot checks list integrity when many cohorts
+// share slots and periods (the campaign shape: ~1000 cohorts, period a
+// couple hundred ticks).
+func TestWheelManyCohortsPerSlot(t *testing.T) {
+	const n = 1000
+	const period = 200
+	cs := make([]cohort, n)
+	var w wheel
+	w.init()
+	for i := range cs {
+		cs[i].users = 1
+		w.insert(cs, int32(i), 1+uint64(i*period)/n)
+	}
+	pops := 0
+	for tick := uint64(0); tick <= 10*period; tick++ {
+		for i := w.advance(cs); i != none; {
+			next := cs[i].next
+			if cs[i].due != tick {
+				t.Fatalf("cohort %d popped at %d, due %d", i, tick, cs[i].due)
+			}
+			w.insert(cs, i, cs[i].due+period)
+			pops++
+			i = next
+		}
+	}
+	if pops != 10*n {
+		t.Fatalf("got %d pops over 10 periods of %d cohorts, want %d", pops, n, 10*n)
+	}
+}
