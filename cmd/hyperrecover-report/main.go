@@ -2,20 +2,113 @@
 // the Table I enhancement ladder, the Figure 2 recovery-rate grid with the
 // §VII-A outcome breakdowns, and the Figure 3 overhead table — the numbers
 // recorded in EXPERIMENTS.md. Expect several CPU-minutes.
+//
+// With -format json it instead emits the machine-readable fault-class ×
+// ladder recovery matrix (per-class stats, root causes, health trajectory)
+// plus the aggregated end-user SLO block, sized by -runs.
 package main
 
 import (
+	"encoding/json"
+	"flag"
 	"fmt"
+	"os"
 	"time"
 
 	"nilihype/internal/campaign"
 	"nilihype/internal/core"
 	"nilihype/internal/guest"
+	"nilihype/internal/health"
 	"nilihype/internal/inject"
 	"nilihype/internal/report"
+	"nilihype/internal/traffic"
 )
 
 func main() {
+	format := flag.String("format", "text", "output format: text (full evaluation) | json (fault-class matrix + SLO block)")
+	runs := flag.Int("runs", 100, "runs per fault-class cell (json mode)")
+	users := flag.Uint64("users", 100_000, "simulated end-user population per run (json mode; 0 disables the SLO block)")
+	flag.Parse()
+
+	f, err := report.ParseFormat(*format)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hyperrecover-report:", err)
+		os.Exit(1)
+	}
+	if f == report.JSON {
+		if err := jsonReport(os.Stdout, *runs, *users); err != nil {
+			fmt.Fprintln(os.Stderr, "hyperrecover-report:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	textReport()
+}
+
+// ladderJSON is one escalation ladder's row of the JSON report.
+type ladderJSON struct {
+	Runs         int                                  `json:"runs"`
+	FaultClasses map[string]*campaign.FaultClassStats `json:"fault_classes"`
+	RootCauses   map[string]int                       `json:"root_causes,omitempty"`
+	SLORuns      int                                  `json:"slo_runs,omitempty"`
+	SLO          *traffic.SLO                         `json:"slo,omitempty"`
+	Health       health.Report                        `json:"health"`
+}
+
+// jsonReport runs the fault-class × ladder matrix with the end-user
+// traffic engine armed and emits the per-class recovery stats, the
+// forensic root-cause breakdown, the replayed host-health trajectory, and
+// the aggregate SLO block as one JSON document.
+func jsonReport(w *os.File, runs int, users uint64) error {
+	out := map[string]*ladderJSON{}
+	for _, lad := range []struct {
+		name string
+		cfg  core.Config
+	}{
+		{"hybrid", core.HybridConfig()},
+		{"full-ladder", core.FullLadderConfig()},
+	} {
+		var sum campaign.Summary
+		first := true
+		for _, ft := range []inject.FaultType{
+			inject.Failstop, inject.Register, inject.Code,
+			inject.PrivVMCrash, inject.PrivVMHang, inject.DeviceIOAPIC,
+		} {
+			c := campaign.Campaign{
+				Base: campaign.RunConfig{
+					Setup: campaign.ThreeAppVM, Fault: ft, Logging: true,
+					Recovery:      lad.cfg,
+					BenchDuration: 2 * time.Second,
+					Traffic:       traffic.Config{Users: users},
+				},
+				Runs: runs,
+			}
+			s := c.Execute()
+			if first {
+				sum, first = s, false
+			} else {
+				sum.Merge(s)
+			}
+		}
+		row := &ladderJSON{
+			Runs:         sum.Runs,
+			FaultClasses: sum.FaultClasses,
+			RootCauses:   sum.RootCauses,
+			SLORuns:      sum.SLORuns,
+			Health:       sum.HealthReport(health.Config{}),
+		}
+		if sum.SLORuns > 0 {
+			slo := sum.SLO
+			row.SLO = &slo
+		}
+		out[lad.name] = row
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+func textReport() {
 	start := time.Now()
 	fmt.Println("== Table I ladder (1AppVM failstop, n=500) ==")
 	for _, rung := range core.Ladder() {

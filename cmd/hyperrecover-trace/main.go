@@ -23,6 +23,7 @@ import (
 	"nilihype/internal/campaign"
 	"nilihype/internal/core"
 	"nilihype/internal/inject"
+	"nilihype/internal/journal"
 )
 
 func main() {
@@ -97,10 +98,10 @@ func render(o options, w, diag io.Writer) error {
 	if err != nil {
 		return err
 	}
-	res, tel := campaign.TraceRun(rc)
+	res, tel, jrn := campaign.TraceRun(rc)
 	for i := 1; i < o.FindFailed && !wentWrong(res); i++ {
 		rc.Seed++
-		res, tel = campaign.TraceRun(rc)
+		res, tel, jrn = campaign.TraceRun(rc)
 	}
 	if tel == nil {
 		return fmt.Errorf("run failed to boot: %s", res.FailReason)
@@ -113,10 +114,18 @@ func render(o options, w, diag io.Writer) error {
 
 	switch strings.ToLower(o.Format) {
 	case "chrome", "":
-		return tel.WriteChromeTrace(w, campaign.MachineCPUs)
+		// The causal journal renders as its own lane alongside the raw
+		// flight-recorder lanes.
+		return tel.WriteChromeTraceLanes(w, campaign.MachineCPUs, journal.TraceLane(jrn))
 	case "text":
 		if err := tel.WriteTextTimeline(w); err != nil {
 			return err
+		}
+		if len(jrn) > 0 {
+			fmt.Fprintln(w, "\nrecovery journal:")
+			for _, e := range jrn {
+				fmt.Fprintln(w, " ", e)
+			}
 		}
 		fmt.Fprintln(w)
 		return tel.WriteMetrics(w)

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"nilihype/internal/health"
 	"nilihype/internal/telemetry"
 	"nilihype/internal/traffic"
 )
@@ -110,6 +111,19 @@ type Summary struct {
 	// aggregate is bit-identical at any parallelism or shard count.
 	SLORuns int
 	SLO     traffic.SLO
+
+	// RootCauses histograms the forensic root-cause classes over wrong
+	// runs (failed, escalated, or degraded). Lazy-nil like FailReasons'
+	// siblings; counters only, so the breakdown is bit-identical at any
+	// parallelism or shard count.
+	RootCauses map[string]int
+
+	// HealthSamples carries each detected run's health-model episode,
+	// keyed by seed. Keyed merging is order-independent, and the health
+	// trajectory is computed by replaying samples in seed order
+	// (HealthReport) — never in completion order — so it too is
+	// bit-identical across execution strategies.
+	HealthSamples map[uint64]health.Sample
 }
 
 // FaultClassStats is one fault class's row of the per-class recovery
@@ -129,6 +143,9 @@ type FaultClassStats struct {
 	AuditRepaired int
 	AuditDegraded int
 	AuditEscalate int
+	// RootCauses histograms the class's wrong runs by forensic root
+	// cause. Lazy-nil like the Summary-level map.
+	RootCauses map[string]int
 }
 
 func (fc *FaultClassStats) merge(p *FaultClassStats) {
@@ -140,6 +157,12 @@ func (fc *FaultClassStats) merge(p *FaultClassStats) {
 	fc.AuditRepaired += p.AuditRepaired
 	fc.AuditDegraded += p.AuditDegraded
 	fc.AuditEscalate += p.AuditEscalate
+	for k, v := range p.RootCauses {
+		if fc.RootCauses == nil {
+			fc.RootCauses = make(map[string]int)
+		}
+		fc.RootCauses[k] += v
+	}
 }
 
 // MeanSuccessLatency returns the class's mean successful-recovery latency.
@@ -320,6 +343,49 @@ func (s *Summary) merge(p *Summary) {
 	}
 	s.SLORuns += p.SLORuns
 	s.SLO.Merge(&p.SLO)
+	for k, v := range p.RootCauses {
+		s.rootCause(k, v)
+	}
+	for seed, hs := range p.HealthSamples {
+		s.healthSample(seed, hs)
+	}
+}
+
+// rootCause bumps the named root-cause counter, creating the map on first
+// use (lazy-nil like FaultClasses).
+func (s *Summary) rootCause(name string, n int) {
+	if s.RootCauses == nil {
+		s.RootCauses = make(map[string]int)
+	}
+	s.RootCauses[name] += n
+}
+
+// healthSample records one run's health episode, creating the map on
+// first use (lazy-nil like FaultClasses).
+func (s *Summary) healthSample(seed uint64, hs health.Sample) {
+	if s.HealthSamples == nil {
+		s.HealthSamples = make(map[uint64]health.Sample)
+	}
+	s.HealthSamples[seed] = hs
+}
+
+// HealthReport replays the campaign's detected runs, in seed order, as
+// one host's recovery-episode sequence through the health model — the
+// host-health trajectory this campaign's fault load would produce.
+func (s *Summary) HealthReport(cfg health.Config) health.Report {
+	if len(s.HealthSamples) == 0 {
+		return health.Replay(cfg, nil)
+	}
+	seeds := make([]uint64, 0, len(s.HealthSamples))
+	for seed := range s.HealthSamples {
+		seeds = append(seeds, seed)
+	}
+	sort.Slice(seeds, func(i, j int) bool { return seeds[i] < seeds[j] })
+	samples := make([]health.Sample, len(seeds))
+	for i, seed := range seeds {
+		samples[i] = s.HealthSamples[seed]
+	}
+	return health.Replay(cfg, samples)
 }
 
 func (s *Summary) add(r Result) {
@@ -349,6 +415,29 @@ func (s *Summary) add(r Result) {
 	}
 	if r.CorrelatedFired {
 		s.CorrelatedFiredRuns++
+	}
+	if r.RootCause != "" {
+		s.rootCause(r.RootCause, 1)
+		if r.FaultClass != "" {
+			fc := s.faultClass(r.FaultClass)
+			if fc.RootCauses == nil {
+				fc.RootCauses = make(map[string]int)
+			}
+			fc.RootCauses[r.RootCause]++
+		}
+	}
+	if r.Detected {
+		var damage uint64
+		if r.SLO != nil {
+			damage = r.SLO.DegradedUserUs
+		}
+		s.healthSample(r.Seed, health.Sample{
+			Recovered:        r.Recovered && r.FailReason == "",
+			Attempts:         r.Attempts,
+			MaxAttempts:      r.MaxAttempts,
+			DegradedVerdicts: len(r.SacrificedVMs),
+			SLODamageUs:      damage,
+		})
 	}
 	if r.FaultClass != "" {
 		fc := s.faultClass(r.FaultClass)
@@ -573,6 +662,21 @@ func (s Summary) Format() string {
 		for _, e := range sorted {
 			fmt.Fprintf(&b, "    %-40s %d\n", e.k, e.v)
 		}
+	}
+	if len(s.RootCauses) > 0 {
+		fmt.Fprintf(&b, "  root causes (wrong runs):\n")
+		causes := make([]string, 0, len(s.RootCauses))
+		for k := range s.RootCauses {
+			causes = append(causes, k)
+		}
+		sort.Strings(causes)
+		for _, c := range causes {
+			fmt.Fprintf(&b, "    %-40s %d\n", c, s.RootCauses[c])
+		}
+	}
+	if len(s.HealthSamples) > 0 {
+		b.WriteString("  " + strings.TrimSuffix(strings.ReplaceAll(
+			s.HealthReport(health.Config{}).Format(), "\n", "\n  "), "  "))
 	}
 	return b.String()
 }

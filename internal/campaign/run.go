@@ -15,6 +15,7 @@ import (
 	"nilihype/internal/hv"
 	"nilihype/internal/hypercall"
 	"nilihype/internal/inject"
+	"nilihype/internal/journal"
 	"nilihype/internal/prng"
 	"nilihype/internal/telemetry"
 	"nilihype/internal/traffic"
@@ -347,9 +348,32 @@ type Result struct {
 	Phases []core.LatencyStep
 
 	// Flight is the telemetry flight-recorder tail, captured for any run
-	// that fails recovery or escalates — the forensic record of what the
-	// system was doing when the recovery story went sideways.
+	// that fails recovery, escalates, or accepts degraded service — the
+	// forensic record of what the system was doing when the recovery
+	// story went sideways.
 	Flight []string
+
+	// Journal is the causal recovery journal, exported for the same runs
+	// Flight is captured for: the fault → detect → attempt → disposition
+	// event chain with span/cause links.
+	Journal []journal.Entry
+
+	// Corruptions lists the injector's structural-corruption cells, in
+	// the order damaged; captured alongside Journal.
+	Corruptions []string
+
+	// Windows are the engine's per-attempt user-visible outage windows;
+	// captured alongside Journal.
+	Windows []core.Window
+
+	// RootCause is the forensic root-cause classification
+	// (classifyRootCause) for failed/escalated/degraded runs; empty for
+	// clean runs.
+	RootCause string
+
+	// MaxAttempts is the run's escalation-ladder capacity — carried so
+	// health scoring can tell a top-rung climb from a short ladder.
+	MaxAttempts int
 
 	// SLO is the run's end-user traffic outcome (nil unless
 	// RunConfig.Traffic is enabled). Like the slice fields, it points into
@@ -367,6 +391,9 @@ func (r Result) Clone() Result {
 	r.Trace = append([]string(nil), r.Trace...)
 	r.Phases = append([]core.LatencyStep(nil), r.Phases...)
 	r.Flight = append([]string(nil), r.Flight...)
+	r.Journal = append([]journal.Entry(nil), r.Journal...)
+	r.Corruptions = append([]string(nil), r.Corruptions...)
+	r.Windows = append([]core.Window(nil), r.Windows...)
 	if r.SLO != nil {
 		slo := *r.SLO
 		r.SLO = &slo
@@ -375,8 +402,9 @@ func (r Result) Clone() Result {
 }
 
 // reset rewinds r for the next run, retaining the backing arrays grown by
-// previous runs. InvariantViolations and Flight are handed over whole by
-// their producers, so they restart nil rather than recycling.
+// previous runs. InvariantViolations, Flight, Journal, Corruptions and
+// Windows are handed over whole by their producers, so they restart nil
+// rather than recycling.
 func (r *Result) reset(seed uint64) {
 	*r = Result{
 		Seed:          seed,
@@ -692,8 +720,16 @@ func (img *image) run(rc RunConfig) Result {
 	h.Tel.SetGauge(telemetry.GaugeLiveDomains, int64(h.Domains.Len()))
 	h.Tel.SetGauge(telemetry.GaugeClockQueueHighWater, int64(clk.QueueHighWater()))
 	h.Tel.SetGauge(telemetry.GaugeHypervisorCycles, int64(h.Machine.HypervisorCycles()))
-	if res.Detected && (!res.Success || res.Escalated) {
+	res.MaxAttempts = rc.Recovery.MaxAttempts()
+	h.Jrn.Disposition(clk.Now(), engine.Status().String(), res.FailReason)
+	if res.Detected && (!res.Success || res.Escalated || len(res.SacrificedVMs) > 0) {
 		res.Flight = h.Tel.FlightTail(flightTailLen)
+		res.Journal = h.Jrn.Export()
+		if injector != nil {
+			res.Corruptions = append([]string(nil), injector.Corruptions...)
+		}
+		res.Windows = engine.RecoveryWindows()
+		res.RootCause = classifyRootCause(*res)
 	}
 	return res.normalized()
 }
@@ -704,18 +740,19 @@ func (img *image) run(rc RunConfig) Result {
 // with many failures stay cheap.
 const flightTailLen = 64
 
-// TraceRun executes one cold-boot run and returns both the Result and the
-// final telemetry state — the metrics registry, histograms and flight ring
-// the trace tooling renders. Callers wanting a deeper ring set
-// rc.FlightRecorderCapacity.
-func TraceRun(rc RunConfig) (Result, *telemetry.Telemetry) {
+// TraceRun executes one cold-boot run and returns the Result, the final
+// telemetry state — the metrics registry, histograms and flight ring the
+// trace tooling renders — and the full journal export (the Result only
+// carries the journal for wrong runs; the trace view wants it always).
+// Callers wanting a deeper ring set rc.FlightRecorderCapacity.
+func TraceRun(rc RunConfig) (Result, *telemetry.Telemetry, []journal.Entry) {
 	rc = rc.withDefaults()
 	img, err := buildImage(rc)
 	if err != nil {
-		return Result{Seed: rc.Seed, NewVMOK: true, FailReason: err.Error()}, nil
+		return Result{Seed: rc.Seed, NewVMOK: true, FailReason: err.Error()}, nil, nil
 	}
 	res := img.run(rc)
-	return res, img.h.Tel
+	return res, img.h.Tel, img.h.Jrn.Export()
 }
 
 // Horizon components: injection can land as late as BenchDuration/2; each

@@ -116,7 +116,7 @@ func TestForkedRunTelemetryMatchesColdBoot(t *testing.T) {
 	}
 	for _, seed := range []uint64{1, 2, 3} {
 		rc.Seed = seed
-		_, coldTel := TraceRun(rc) // fresh image every call = cold boot
+		_, coldTel, _ := TraceRun(rc) // fresh image every call = cold boot
 		forkedRes := img.run(rc)
 		forkTel := img.h.Tel
 		if forkTel.Counters != coldTel.Counters {

@@ -560,6 +560,7 @@ func (en *Engine) beginAttempt(trigger string) {
 	mech := en.Cfg.MechanismFor(len(en.Attempts))
 	en.H.Tel.Counters[telemetry.CtrRecoveryAttempts]++
 	en.H.Tel.Record(en.lastEvent.CPU, telemetry.EvAttemptBegin, en.H.Tel.Intern(mech.String()))
+	en.H.Jrn.Attempt(en.H.Clock.Now(), en.lastEvent.CPU, mech.String(), len(en.Attempts)+1)
 	en.Attempts = append(en.Attempts, Attempt{
 		Mechanism: mech,
 		Trigger:   trigger,
@@ -579,6 +580,7 @@ func (en *Engine) attemptFailed(reason string) {
 		cur.FailReason = reason
 	}
 	en.H.Tel.Record(en.lastEvent.CPU, telemetry.EvAttemptFail, en.H.Tel.Intern(reason))
+	en.H.Jrn.AttemptFail(en.H.Clock.Now(), en.lastEvent.CPU, reason)
 	if len(en.Attempts) >= en.Cfg.MaxAttempts() {
 		en.fail(reason)
 		return
@@ -586,6 +588,7 @@ func (en *Engine) attemptFailed(reason string) {
 	en.H.Tel.Counters[telemetry.CtrEscalations]++
 	en.H.Tel.Record(en.lastEvent.CPU, telemetry.EvEscalate,
 		en.H.Tel.Intern(en.Cfg.MechanismFor(len(en.Attempts)).String()))
+	en.H.Jrn.Escalate(en.H.Clock.Now(), en.lastEvent.CPU, en.Cfg.MechanismFor(len(en.Attempts)).String())
 	// The failed attempt may already have marked the hypervisor failed
 	// (e.g. a panic path with no recovery hook); the next rung needs a
 	// live simulation to repair.
@@ -605,6 +608,7 @@ func (en *Engine) fail(reason string) {
 		// Attempt failures routed through attemptFailed already recorded
 		// their flight event; this branch covers direct terminal paths.
 		en.H.Tel.Record(en.lastEvent.CPU, telemetry.EvAttemptFail, en.H.Tel.Intern(reason))
+		en.H.Jrn.AttemptFail(en.H.Clock.Now(), en.lastEvent.CPU, reason)
 	}
 	en.H.MarkFailed(reason)
 }

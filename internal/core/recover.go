@@ -40,6 +40,7 @@ func (en *Engine) recover(e detect.Event, mech Mechanism) {
 	// Initial steps (§III-B / §III-C): stop the world. All CPUs disable
 	// interrupts; guest activity and device delivery are deferred.
 	h.Pause()
+	h.Jrn.Pause(h.Clock.Now(), e.CPU)
 	if en.OnPause != nil {
 		en.OnPause()
 	}
@@ -195,6 +196,8 @@ func (en *Engine) recover(e detect.Event, mech Mechanism) {
 		en.AuditViolations += len(rep.Violations)
 		en.AuditRepaired += rep.Repaired
 		en.SacrificedVMs = append(en.SacrificedVMs, rep.Sacrificed...)
+		h.Jrn.Audit(h.Clock.Now(), e.CPU, len(rep.Violations), rep.Repaired,
+			len(rep.Sacrificed), rep.Escalations)
 		if len(rep.Sacrificed) > 0 && en.OnAuditDegraded != nil {
 			// The audit accepted degraded service; the correlated
 			// re-injection scenario arms itself here.
@@ -453,6 +456,7 @@ func (en *Engine) complete(mech Mechanism) {
 	// closes its user-visible outage window (a post-resume failure above
 	// leaves ResumedAt zero — the outage runs on into the next attempt).
 	en.Attempts[att-1].ResumedAt = h.Clock.Now()
+	h.Jrn.Resume(h.Clock.Now(), en.lastEvent.CPU)
 	if en.OnResume != nil {
 		en.OnResume()
 	}

@@ -292,6 +292,7 @@ func (d *Detector) fire(e Event) {
 		d.h.Tel.Counters[telemetry.CtrDetectIRQ]++
 	}
 	d.h.Tel.Record(e.CPU, telemetry.EvDetect, d.h.Tel.Intern(e.Reason))
+	d.h.Jrn.Detect(e.At, e.CPU, e.Reason)
 	if d.hook != nil {
 		d.hook(e)
 	}

@@ -1,0 +1,145 @@
+package health
+
+import (
+	"reflect"
+	"testing"
+)
+
+func clean() Sample {
+	return Sample{Recovered: true, Attempts: 1, MaxAttempts: 3}
+}
+
+func TestHealthyStaysHealthy(t *testing.T) {
+	m := New(Config{})
+	for i := 0; i < 100; i++ {
+		if st := m.Observe(clean()); st != Healthy {
+			t.Fatalf("episode %d: state = %v, want healthy", i+1, st)
+		}
+	}
+	if len(m.Transitions()) != 0 {
+		t.Errorf("clean host recorded transitions: %v", m.Transitions())
+	}
+}
+
+func TestTerminalFailureExhaustsAndSticks(t *testing.T) {
+	m := New(Config{})
+	m.Observe(clean())
+	if st := m.Observe(Sample{Recovered: false, Attempts: 3, MaxAttempts: 3}); st != Exhausted {
+		t.Fatalf("state after terminal failure = %v, want exhausted", st)
+	}
+	// Sticky: a long quiet stretch (window fully refilled with clean
+	// episodes) must not resurrect the host.
+	for i := 0; i < 40; i++ {
+		if st := m.Observe(clean()); st != Exhausted {
+			t.Fatalf("exhausted un-stuck after %d clean episodes: %v", i+1, st)
+		}
+	}
+	tr := m.Transitions()
+	if len(tr) != 1 || tr[0].To != "exhausted" || tr[0].Episode != 2 {
+		t.Errorf("unexpected transitions: %v", tr)
+	}
+}
+
+func TestDegradedVerdictPressure(t *testing.T) {
+	m := New(Config{})
+	s := clean()
+	s.DegradedVerdicts = 1
+	if st := m.Observe(s); st != Healthy {
+		t.Fatalf("one degraded verdict already degrades: %v", st)
+	}
+	if st := m.Observe(s); st != Degraded { // default MaxDegradedVerdicts=2
+		t.Fatalf("two degraded verdicts in window: state = %v, want degraded", st)
+	}
+	// The window rolls: once the degraded episodes age out, the host
+	// returns to healthy (degradation, unlike exhaustion, is recoverable).
+	for i := 0; i < 16; i++ {
+		m.Observe(clean())
+	}
+	if st := m.State(); st != Healthy {
+		t.Errorf("state after verdicts aged out = %v, want healthy", st)
+	}
+	tr := m.Transitions()
+	if len(tr) != 2 || tr[0].To != "degraded" || tr[1].To != "healthy" {
+		t.Errorf("unexpected transitions: %v", tr)
+	}
+}
+
+func TestLadderDepthPressure(t *testing.T) {
+	m := New(Config{})
+	top := Sample{Recovered: true, Attempts: 3, MaxAttempts: 3}
+	m.Observe(top)
+	if st := m.Observe(top); st != Degraded { // default MaxFullLadder=2
+		t.Fatalf("two top-rung climbs: state = %v, want degraded", st)
+	}
+}
+
+func TestSingleRungLadderIsNotDepthPressure(t *testing.T) {
+	m := New(Config{})
+	// MaxAttempts=1 means every recovery "uses the whole ladder"; that
+	// must not count as ladder-depth pressure.
+	for i := 0; i < 20; i++ {
+		if st := m.Observe(Sample{Recovered: true, Attempts: 1, MaxAttempts: 1}); st != Healthy {
+			t.Fatalf("single-rung ladder degraded at episode %d: %v", i+1, st)
+		}
+	}
+}
+
+func TestSLODamagePressure(t *testing.T) {
+	m := New(Config{MaxSLODamageUsPerEpisode: 1_000_000})
+	s := clean()
+	s.SLODamageUs = 2_000_000
+	if st := m.Observe(s); st != Degraded {
+		t.Fatalf("mean damage 2x limit: state = %v, want degraded", st)
+	}
+}
+
+func TestSuccessRateFloor(t *testing.T) {
+	// MaxFailures=3 keeps the exhaustion rule out of the way so the
+	// permille floor fires first.
+	m := New(Config{MinSuccessPermille: 900, MaxFailures: 3})
+	for i := 0; i < 9; i++ {
+		m.Observe(clean())
+	}
+	// 1 failure in a 10-episode window is exactly the 900‰ floor — still
+	// healthy; the rule is strict.
+	if st := m.Observe(Sample{Recovered: false, Attempts: 1, MaxAttempts: 3}); st != Healthy {
+		t.Fatalf("exactly at 900‰ floor: state = %v, want healthy", st)
+	}
+	// A second failure (2/12) drops the window below the floor.
+	m.Observe(clean())
+	if st := m.Observe(Sample{Recovered: false, Attempts: 1, MaxAttempts: 3}); st != Degraded {
+		t.Fatalf("2/12 failed (below 900‰ floor): state = %v, want degraded", st)
+	}
+}
+
+func TestReplayDeterminism(t *testing.T) {
+	samples := []Sample{
+		clean(),
+		{Recovered: true, Attempts: 3, MaxAttempts: 3, DegradedVerdicts: 1},
+		{Recovered: true, Attempts: 3, MaxAttempts: 3, DegradedVerdicts: 1},
+		clean(),
+		{Recovered: false, Attempts: 3, MaxAttempts: 3},
+	}
+	a := Replay(Config{}, samples)
+	b := Replay(Config{}, samples)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("replay not deterministic:\n%+v\nvs\n%+v", a, b)
+	}
+	if a.Final != "exhausted" || a.Episodes != 5 || a.Failures != 1 ||
+		a.FullLadder != 3 || a.DegradedVerdicts != 2 {
+		t.Errorf("unexpected report: %+v", a)
+	}
+	if len(a.Transitions) == 0 || a.Transitions[len(a.Transitions)-1].To != "exhausted" {
+		t.Errorf("unexpected transitions: %v", a.Transitions)
+	}
+}
+
+func TestReplayEmpty(t *testing.T) {
+	rep := Replay(Config{}, nil)
+	if rep.Final != "healthy" || rep.Episodes != 0 || rep.Transitions != nil {
+		t.Errorf("unexpected empty report: %+v", rep)
+	}
+	if got := rep.Format(); got != "host health: healthy (no recovery episodes)\n" {
+		t.Errorf("unexpected format: %q", got)
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"nilihype/internal/grant"
 	"nilihype/internal/hw"
 	"nilihype/internal/hypercall"
+	"nilihype/internal/journal"
 	"nilihype/internal/locking"
 	"nilihype/internal/mm"
 	"nilihype/internal/prng"
@@ -92,6 +93,11 @@ type Hypervisor struct {
 	// Tel is the always-on telemetry instance: metrics registry plus
 	// flight recorder. Never nil on a constructed hypervisor.
 	Tel *telemetry.Telemetry
+
+	// Jrn is the causal recovery journal: the structured fault → detect →
+	// attempt → disposition event stream. Never nil on a constructed
+	// hypervisor.
+	Jrn *journal.Journal
 
 	// rngStream is RNG's underlying reseedable stream (see ReseedRun).
 	rngStream *prng.Stream
@@ -222,6 +228,7 @@ func New(clock *simclock.Clock, cfg Config) (*Hypervisor, error) {
 		flightCap = DefaultFlightRecorderCapacity
 	}
 	h.Tel = telemetry.New(flightCap, clock.Now)
+	h.Jrn = journal.New(journal.DefaultCapacity)
 	opNames := make([]string, int(hypercall.OpIOEmulation)+1)
 	for op := 1; op < len(opNames); op++ {
 		opNames[op] = hypercall.Op(op).String()

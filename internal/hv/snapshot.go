@@ -5,6 +5,7 @@ import (
 	"nilihype/internal/evtchn"
 	"nilihype/internal/hw"
 	"nilihype/internal/hypercall"
+	"nilihype/internal/journal"
 	"nilihype/internal/locking"
 	"nilihype/internal/mm"
 	"nilihype/internal/sched"
@@ -90,6 +91,7 @@ type Snapshot struct {
 	recoveryVector uint64
 	stats          Stats
 	tel            *telemetry.Snapshot
+	jrn            *journal.Snapshot
 }
 
 // Snapshot captures the hypervisor and everything below it (machine,
@@ -143,6 +145,7 @@ func (h *Hypervisor) Snapshot() *Snapshot {
 		recoveryVector: h.recoveryVector,
 		stats:          h.Stats,
 		tel:            h.Tel.Snapshot(),
+		jrn:            h.Jrn.Snapshot(),
 	}
 	// Deterministic order for the standing-tick set is not needed (it is
 	// restored into a map), but capture through the timer subsystem's
@@ -229,6 +232,7 @@ func (h *Hypervisor) Restore(s *Snapshot) {
 	h.recoveryVector = s.recoveryVector
 	h.Stats = s.stats
 	h.Tel.Restore(s.tel)
+	h.Jrn.Restore(s.jrn)
 
 	for i, pc := range h.percpu {
 		st := &s.percpu[i]

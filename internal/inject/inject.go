@@ -300,7 +300,7 @@ func (inj *Injector) Schedule() {
 func (inj *Injector) onInject(pt hv.InjectionPoint) (hv.InjectAction, string) {
 	inj.Fired = true
 	inj.Point = pt
-	action, reason := inj.applyFault(pt, inj.params.Type, &inj.FaultEffect)
+	action, reason := inj.applyFault(pt, inj.params.Type, &inj.FaultEffect, "primary")
 	if inj.params.BurstWindow > 0 {
 		inj.scheduleBurst()
 	}
@@ -309,8 +309,11 @@ func (inj *Injector) onInject(pt hv.InjectionPoint) (hv.InjectAction, string) {
 
 // applyFault injects one fault of the given type at pt, recording the
 // architectural effect into *effect. Shared by the primary, burst, and
-// during-recovery triggers.
-func (inj *Injector) applyFault(pt hv.InjectionPoint, typ FaultType, effect *Effect) (hv.InjectAction, string) {
+// during-recovery triggers; trigger names the arming path for the journal.
+func (inj *Injector) applyFault(pt hv.InjectionPoint, typ FaultType, effect *Effect, trigger string) (hv.InjectAction, string) {
+	// Journal the fault before its effects land, so corruption-cell
+	// events chain causally off this one.
+	inj.H.Jrn.Fault(inj.H.Clock.Now(), pt.CPU, typ.String(), trigger)
 	switch typ {
 	case Failstop:
 		*effect = EffectPanic
@@ -333,6 +336,7 @@ func (inj *Injector) applyFault(pt hv.InjectionPoint, typ FaultType, effect *Eff
 			pc.CrashPrivVM("PrivVM crashed (injected fault)")
 		}
 		inj.Corruptions = append(inj.Corruptions, "privvm-crash")
+		inj.H.Jrn.Corruption(inj.H.Clock.Now(), pt.CPU, "privvm-crash")
 		return hv.ActionContinue, ""
 	case PrivVMHang:
 		*effect = EffectLatent
@@ -340,6 +344,7 @@ func (inj *Injector) applyFault(pt hv.InjectionPoint, typ FaultType, effect *Eff
 			pc.HangPrivVM()
 		}
 		inj.Corruptions = append(inj.Corruptions, "privvm-hang")
+		inj.H.Jrn.Corruption(inj.H.Clock.Now(), pt.CPU, "privvm-hang")
 		return hv.ActionContinue, ""
 	case DeviceIOAPIC:
 		// Device corruption is pure table/state damage: execution
@@ -379,7 +384,7 @@ func (inj *Injector) onBurst(pt hv.InjectionPoint) (hv.InjectAction, string) {
 	if typ == 0 {
 		typ = inj.params.Type
 	}
-	return inj.applyFault(pt, typ, &inj.BurstEffect)
+	return inj.applyFault(pt, typ, &inj.BurstEffect, "burst")
 }
 
 // onRecoveryPause runs from the hypervisor's pause hook: a recovery
@@ -401,7 +406,7 @@ func (inj *Injector) onDuringRecovery(pt hv.InjectionPoint) (hv.InjectAction, st
 	if typ == 0 {
 		typ = inj.params.Type
 	}
-	return inj.applyFault(pt, typ, &inj.DuringEffect)
+	return inj.applyFault(pt, typ, &inj.DuringEffect, "during-recovery")
 }
 
 // OnDegradedVerdict is wired to the recovery engine's audit hook when
@@ -420,6 +425,7 @@ func (inj *Injector) OnDegradedVerdict() {
 
 func (inj *Injector) onCorrelated(pt hv.InjectionPoint) (hv.InjectAction, string) {
 	inj.CorrelatedFired = true
+	inj.H.Jrn.Fault(inj.H.Clock.Now(), pt.CPU, classLabels[inj.lastClass], "correlated")
 	inj.corruptClass(inj.lastClass)
 	return hv.ActionContinue, ""
 }
@@ -437,6 +443,7 @@ func (inj *Injector) corruptIOAPIC() {
 		desc = io.CorruptRoute(line, mode)
 	}
 	inj.Corruptions = append(inj.Corruptions, desc)
+	inj.H.Jrn.Corruption(inj.H.Clock.Now(), -1, desc)
 }
 
 // flipRegister applies the architectural bit flip to the CPU's register
@@ -610,6 +617,7 @@ func (inj *Injector) corruptClass(id int) {
 		h.Locks.CorruptRandomHold(inj.rng)
 	}
 	inj.Corruptions = append(inj.Corruptions, classLabels[id])
+	inj.H.Jrn.Corruption(h.Clock.Now(), -1, classLabels[id])
 	inj.lastClass = id
 }
 

@@ -141,6 +141,65 @@ func TestHistMergeAssociativity(t *testing.T) {
 
 // --- flight recorder ---------------------------------------------------------
 
+func TestHistQuantileEmpty(t *testing.T) {
+	var h Hist
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Errorf("empty Quantile(%v) = %d, want 0", q, got)
+		}
+	}
+	if h.Mean() != 0 {
+		t.Errorf("empty Mean = %v, want 0", h.Mean())
+	}
+}
+
+func TestHistMergeEmptyOperand(t *testing.T) {
+	var h Hist
+	for _, v := range []uint64{3, 17, 1024} {
+		h.Observe(v)
+	}
+	want := h
+
+	var empty Hist
+	h.Merge(&empty)
+	if !reflect.DeepEqual(h, want) {
+		t.Errorf("merging an empty operand changed the histogram:\n%+v\nvs\n%+v", h, want)
+	}
+
+	// Merging INTO an empty histogram must reproduce the operand exactly.
+	var into Hist
+	into.Merge(&want)
+	if !reflect.DeepEqual(into, want) {
+		t.Errorf("merge into empty diverged:\n%+v\nvs\n%+v", into, want)
+	}
+}
+
+func TestHistSingleBucketDistribution(t *testing.T) {
+	// All mass in one bucket: every quantile resolves to that bucket,
+	// capped at the exact Max.
+	var h Hist
+	h.ObserveN(100, 7) // bucket for 100 spans [64, 127]
+	for _, q := range []float64{0.01, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 100 {
+			t.Errorf("single-bucket Quantile(%v) = %d, want 100 (capped at Max)", q, got)
+		}
+	}
+	if h.Mean() != 100 {
+		t.Errorf("single-bucket Mean = %v, want 100", h.Mean())
+	}
+
+	// The zero bucket is its own single-bucket case: value 0 lands in
+	// bucket 0 and every quantile is 0.
+	var z Hist
+	z.ObserveN(0, 5)
+	if z.Count != 5 || z.Buckets[0] != 5 {
+		t.Fatalf("zero observations landed wrong: %+v", z)
+	}
+	if got := z.Quantile(0.99); got != 0 {
+		t.Errorf("all-zero Quantile(0.99) = %d, want 0", got)
+	}
+}
+
 func TestRingKeepsMostRecent(t *testing.T) {
 	tel, now := newTestTel(16)
 	for i := 0; i < 40; i++ {

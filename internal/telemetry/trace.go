@@ -31,12 +31,37 @@ type chromeTrace struct {
 // above the per-CPU lanes, in the chrome trace.
 const recoveryLaneOffset = 1000
 
+// TraceMarker is one externally-supplied trace entry merged into the
+// Chrome trace view via WriteChromeTraceLanes — an instant when Dur is
+// zero, a span otherwise.
+type TraceMarker struct {
+	Name   string
+	At     time.Duration
+	Dur    time.Duration
+	Detail string
+}
+
+// ExtraLane is an additional named lane of externally-supplied markers
+// (e.g. the recovery journal) merged into the Chrome trace view.
+type ExtraLane struct {
+	TID     int
+	Name    string
+	Markers []TraceMarker
+}
+
 // WriteChromeTrace renders the flight recorder's retained events as a
 // Chrome trace_event JSON document: per-CPU instant lanes for hypervisor
 // activity, span ("X") events for recovery phases, and instant markers for
 // injection, detection, and recovery milestones. Load the output in
 // chrome://tracing or https://ui.perfetto.dev.
 func (t *Telemetry) WriteChromeTrace(w io.Writer, numCPUs int) error {
+	return t.WriteChromeTraceLanes(w, numCPUs)
+}
+
+// WriteChromeTraceLanes is WriteChromeTrace with extra lanes merged in —
+// the recovery journal's causal event stream renders alongside the flight
+// recorder's raw activity on its own named lane.
+func (t *Telemetry) WriteChromeTraceLanes(w io.Writer, numCPUs int, lanes ...ExtraLane) error {
 	events := t.Flight.Events()
 	doc := chromeTrace{DisplayTimeUnit: "ms", TraceEvents: make([]chromeEvent, 0, len(events)+numCPUs+4)}
 
@@ -84,6 +109,30 @@ func (t *Telemetry) WriteChromeTrace(w io.Writer, numCPUs int) error {
 				Name: t.markerName(e), Phase: "i", TS: ts,
 				PID: 1, TID: int(e.CPU), Scope: "t",
 			})
+		}
+	}
+
+	for _, lane := range lanes {
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: "thread_name", Phase: "M", PID: 1, TID: lane.TID,
+			Args: map[string]any{"name": lane.Name},
+		})
+		for _, m := range lane.Markers {
+			ev := chromeEvent{
+				Name: m.Name, TS: float64(m.At) / float64(time.Microsecond),
+				PID: 1, TID: lane.TID,
+			}
+			if m.Detail != "" {
+				ev.Args = map[string]any{"detail": m.Detail}
+			}
+			if m.Dur > 0 {
+				ev.Phase = "X"
+				ev.Dur = float64(m.Dur) / float64(time.Microsecond)
+			} else {
+				ev.Phase = "i"
+				ev.Scope = "p"
+			}
+			doc.TraceEvents = append(doc.TraceEvents, ev)
 		}
 	}
 
